@@ -1,0 +1,134 @@
+// Experiment E10: legacy-application (BGP) trace replay through the proxy.
+// Measures updates/second through speaker -> proxy -> maybe-rule inference,
+// and how provenance state grows with trace length.
+#include <benchmark/benchmark.h>
+
+#include "src/bgp/speaker.h"
+#include "src/bgp/tracegen.h"
+#include "src/protocols/programs.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace {
+
+struct BgpNet {
+  net::Simulator sim;
+  bgp::AsTopology topo;
+  std::vector<std::unique_ptr<runtime::Engine>> engines;
+  std::vector<std::unique_ptr<proxy::Proxy>> proxies;
+  std::vector<std::unique_ptr<bgp::Speaker>> speakers;
+};
+
+std::unique_ptr<BgpNet> BuildBgp(size_t tier1, size_t mid, size_t stubs,
+                                 bool with_proxy, uint64_t seed) {
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(protocols::BgpMaybeProgram());
+  if (!prog.ok()) return nullptr;
+  auto net = std::make_unique<BgpNet>();
+  Rng rng(seed);
+  net->topo = bgp::MakeAsTopology(tier1, mid, stubs, &rng);
+  net->topo.Install(&net->sim);
+  for (size_t i = 0; i < net->topo.num_ases; ++i) {
+    net->engines.push_back(std::make_unique<runtime::Engine>(
+        &net->sim, static_cast<NodeId>(i), *prog));
+    proxy::Proxy* px = nullptr;
+    if (with_proxy) {
+      net->proxies.push_back(
+          std::make_unique<proxy::Proxy>(net->engines.back().get()));
+      px = net->proxies.back().get();
+    }
+    net->speakers.push_back(std::make_unique<bgp::Speaker>(
+        &net->sim, static_cast<NodeId>(i), px));
+  }
+  for (const bgp::AsLink& l : net->topo.links) {
+    net->speakers[l.a]->AddNeighbor(l.b, l.relation);
+    net->speakers[l.b]->AddNeighbor(l.a, bgp::Reverse(l.relation));
+  }
+  return net;
+}
+
+void Replay(BgpNet* net, const std::vector<bgp::TraceEvent>& trace) {
+  for (const bgp::TraceEvent& ev : trace) {
+    net->sim.ScheduleAt(ev.time, [net, ev]() {
+      if (ev.withdraw) {
+        net->speakers[ev.origin]->Withdraw(ev.prefix);
+      } else {
+        net->speakers[ev.origin]->Originate(ev.prefix);
+      }
+    });
+  }
+  net->sim.Run();
+}
+
+void RunReplayBench(benchmark::State& state, bool with_proxy) {
+  const size_t churn = static_cast<size_t>(state.range(0));
+  uint64_t updates = 0, rounds = 0;
+  size_t prov_tuples = 0, state_tuples = 0;
+  for (auto _ : state) {
+    std::unique_ptr<BgpNet> net = BuildBgp(3, 4, 5, with_proxy, 2011);
+    if (net == nullptr) {
+      state.SkipWithError("build failed");
+      return;
+    }
+    Rng rng(17);
+    std::vector<bgp::TraceEvent> trace =
+        bgp::GenerateTrace(net->topo, churn, &rng);
+    Replay(net.get(), trace);
+    for (const auto& s : net->speakers) updates += s->updates_sent();
+    prov_tuples = 0;
+    state_tuples = 0;
+    for (const auto& e : net->engines) {
+      prov_tuples += e->TotalTuples(true);
+      state_tuples += e->TotalTuples(false) - e->TotalTuples(true);
+    }
+    ++rounds;
+  }
+  state.counters["churn_events"] = static_cast<double>(churn);
+  if (rounds > 0) {
+    state.counters["bgp_updates"] =
+        static_cast<double>(updates) / static_cast<double>(rounds);
+  }
+  state.counters["route_state_tuples"] = static_cast<double>(state_tuples);
+  state.counters["prov_tuples"] = static_cast<double>(prov_tuples);
+}
+
+// Baseline: plain BGP, no interception (the cost of the legacy app alone).
+void BM_BgpReplay_NoProxy(benchmark::State& state) {
+  RunReplayBench(state, false);
+}
+// NetTrails: proxy interception + maybe-rule provenance inference.
+void BM_BgpReplay_WithProxy(benchmark::State& state) {
+  RunReplayBench(state, true);
+}
+
+BENCHMARK(BM_BgpReplay_NoProxy)->Arg(10)->Arg(50)->Arg(200)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BgpReplay_WithProxy)->Arg(10)->Arg(50)->Arg(200)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Provenance growth vs topology size at fixed churn.
+void BM_BgpProvenanceGrowth(benchmark::State& state) {
+  const size_t stubs = static_cast<size_t>(state.range(0));
+  size_t prov_tuples = 0;
+  for (auto _ : state) {
+    std::unique_ptr<BgpNet> net = BuildBgp(3, stubs / 2 + 2, stubs, true, 5);
+    if (net == nullptr) {
+      state.SkipWithError("build failed");
+      return;
+    }
+    Rng rng(23);
+    std::vector<bgp::TraceEvent> trace =
+        bgp::GenerateTrace(net->topo, 50, &rng);
+    Replay(net.get(), trace);
+    prov_tuples = 0;
+    for (const auto& e : net->engines) prov_tuples += e->TotalTuples(true);
+  }
+  state.counters["stub_ases"] = static_cast<double>(stubs);
+  state.counters["prov_tuples"] = static_cast<double>(prov_tuples);
+}
+
+BENCHMARK(BM_BgpProvenanceGrowth)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nettrails

@@ -1,0 +1,161 @@
+// Experiment E7: "optimization techniques, such as caching and
+// threshold-based pruning, effectively reduce the network traffic." A
+// Zipf-skewed stream of provenance queries runs with each optimization
+// toggled; the per-configuration counters reproduce the comparison the
+// demo shows visually. MINCOST on a grid provides tuples with many
+// alternative derivations (symmetric equal-cost routes), which is where
+// threshold pruning bites.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "src/net/topology.h"
+#include "src/protocols/programs.h"
+#include "src/query/query_engine.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace {
+
+struct Fixture {
+  net::Simulator sim;
+  net::Topology topo;
+  std::vector<std::unique_ptr<runtime::Engine>> engines;
+  std::unique_ptr<query::ProvenanceQuerier> querier;
+  std::vector<Tuple> targets;
+};
+
+std::unique_ptr<Fixture> Build(size_t rows, size_t cols) {
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(protocols::MincostProgram());
+  if (!prog.ok()) return nullptr;
+  auto fx = std::make_unique<Fixture>();
+  fx->topo = net::MakeGrid(rows, cols, 1);
+  fx->engines = protocols::MakeEngines(&fx->sim, fx->topo, *prog);
+  fx->querier = std::make_unique<query::ProvenanceQuerier>(
+      &fx->sim, protocols::EnginePtrs(fx->engines));
+  if (!protocols::InstallLinks(fx->topo, &fx->engines, &fx->sim).ok()) {
+    return nullptr;
+  }
+  // Query targets: cost tuples at node 0 (corner), most-derivations first,
+  // so the Zipf head hits the multi-derivation targets an operator
+  // investigating redundancy would.
+  fx->targets = fx->engines[0]->TableContents("cost");
+  std::sort(fx->targets.begin(), fx->targets.end(),
+            [&fx](const Tuple& a, const Tuple& b) {
+              return fx->engines[0]->CountOf(a) > fx->engines[0]->CountOf(b);
+            });
+  return fx;
+}
+
+// Runs `queries` Zipf-selected queries and accumulates traffic.
+void RunStream(Fixture* fx, const query::QueryOptions& base, size_t queries,
+               Rng* rng, uint64_t* messages, uint64_t* bytes) {
+  for (size_t q = 0; q < queries; ++q) {
+    size_t idx = rng->NextZipf(fx->targets.size(), 1.1);
+    Result<query::QueryResult> r =
+        fx->querier->Query(fx->targets[idx], base);
+    if (r.ok()) {
+      *messages += r->messages;
+      *bytes += r->bytes;
+    }
+  }
+}
+
+void BM_CachingOnOff(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  std::unique_ptr<Fixture> fx = Build(4, 4);
+  if (fx == nullptr || fx->targets.empty()) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  query::QueryOptions opts;
+  opts.type = query::QueryType::kLineage;
+  opts.use_cache = cached;
+  uint64_t messages = 0, bytes = 0, rounds = 0;
+  for (auto _ : state) {
+    fx->querier->ClearCaches();
+    Rng rng(99);
+    RunStream(fx.get(), opts, 64, &rng, &messages, &bytes);
+    ++rounds;
+  }
+  state.counters["cache"] = cached ? 1 : 0;
+  if (rounds > 0) {
+    state.counters["msgs_per_64q"] =
+        static_cast<double>(messages) / static_cast<double>(rounds);
+    state.counters["bytes_per_64q"] =
+        static_cast<double>(bytes) / static_cast<double>(rounds);
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(fx->querier->total_cache_hits());
+}
+
+BENCHMARK(BM_CachingOnOff)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_TraversalOrder(benchmark::State& state) {
+  const bool sequential = state.range(0) != 0;
+  std::unique_ptr<Fixture> fx = Build(4, 4);
+  if (fx == nullptr || fx->targets.empty()) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  query::QueryOptions opts;
+  opts.type = query::QueryType::kDerivCount;
+  opts.traversal = sequential ? query::Traversal::kSequential
+                              : query::Traversal::kParallel;
+  opts.use_cache = false;
+  uint64_t messages = 0, latency = 0, rounds = 0;
+  for (auto _ : state) {
+    Rng rng(5);
+    for (size_t q = 0; q < 32; ++q) {
+      size_t idx = rng.NextZipf(fx->targets.size(), 1.1);
+      Result<query::QueryResult> r =
+          fx->querier->Query(fx->targets[idx], opts);
+      if (r.ok()) {
+        messages += r->messages;
+        latency += r->latency;
+      }
+    }
+    ++rounds;
+  }
+  state.counters["sequential"] = sequential ? 1 : 0;
+  if (rounds > 0) {
+    state.counters["msgs_per_32q"] =
+        static_cast<double>(messages) / static_cast<double>(rounds);
+    state.counters["vlat_us_per_32q"] =
+        static_cast<double>(latency) / static_cast<double>(rounds);
+  }
+}
+
+BENCHMARK(BM_TraversalOrder)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ThresholdPruning(benchmark::State& state) {
+  const int64_t threshold = state.range(0);
+  std::unique_ptr<Fixture> fx = Build(4, 4);
+  if (fx == nullptr || fx->targets.empty()) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  query::QueryOptions opts;
+  opts.type = query::QueryType::kDerivCount;
+  opts.traversal = query::Traversal::kSequential;  // pruning needs order
+  opts.count_threshold = threshold;
+  opts.use_cache = false;
+  uint64_t messages = 0, bytes = 0, rounds = 0;
+  for (auto _ : state) {
+    Rng rng(27);
+    RunStream(fx.get(), opts, 32, &rng, &messages, &bytes);
+    ++rounds;
+  }
+  state.counters["threshold"] = static_cast<double>(threshold);
+  if (rounds > 0) {
+    state.counters["msgs_per_32q"] =
+        static_cast<double>(messages) / static_cast<double>(rounds);
+  }
+}
+
+BENCHMARK(BM_ThresholdPruning)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nettrails

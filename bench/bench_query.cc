@@ -1,0 +1,144 @@
+// Experiment E6: distributed provenance query cost by query type and
+// network size (path-vector provenance). Reports per-query virtual latency,
+// messages, and bytes as counters; wall time measures engine-side work.
+#include <benchmark/benchmark.h>
+
+#include "src/net/topology.h"
+#include "src/protocols/programs.h"
+#include "src/query/query_engine.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace {
+
+struct Fixture {
+  net::Simulator sim;
+  net::Topology topo;
+  std::vector<std::unique_ptr<runtime::Engine>> engines;
+  std::unique_ptr<query::ProvenanceQuerier> querier;
+  std::vector<Tuple> targets;
+};
+
+// MINCOST scales to larger networks than path-vector (whose loop-free path
+// count explodes on dense random graphs); mincost provenance trees are
+// deep derivation chains, which is what the query cost depends on.
+std::unique_ptr<Fixture> BuildMincost(size_t n, uint64_t seed) {
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(protocols::MincostProgram());
+  if (!prog.ok()) return nullptr;
+  auto fx = std::make_unique<Fixture>();
+  Rng rng(seed);
+  fx->topo = net::MakeRandomConnected(n, 0.08, &rng, 8);
+  fx->engines = protocols::MakeEngines(&fx->sim, fx->topo, *prog);
+  fx->querier = std::make_unique<query::ProvenanceQuerier>(
+      &fx->sim, protocols::EnginePtrs(fx->engines));
+  if (!protocols::InstallLinks(fx->topo, &fx->engines, &fx->sim).ok()) {
+    return nullptr;
+  }
+  fx->targets = fx->engines[0]->TableContents("mincost");
+  return fx;
+}
+
+void RunQueryBench(benchmark::State& state, query::QueryType type) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::unique_ptr<Fixture> fx = BuildMincost(n, 7);
+  if (fx == nullptr || fx->targets.empty()) {
+    state.SkipWithError("fixture build failed");
+    return;
+  }
+  query::QueryOptions opts;
+  opts.type = type;
+  opts.use_cache = false;
+
+  uint64_t queries = 0, messages = 0, bytes = 0, latency = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Tuple& target = fx->targets[i++ % fx->targets.size()];
+    Result<query::QueryResult> r = fx->querier->Query(target, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->count);
+    ++queries;
+    messages += r->messages;
+    bytes += r->bytes;
+    latency += r->latency;
+  }
+  if (queries > 0) {
+    state.counters["nodes"] = static_cast<double>(n);
+    state.counters["msgs_per_query"] =
+        static_cast<double>(messages) / static_cast<double>(queries);
+    state.counters["bytes_per_query"] =
+        static_cast<double>(bytes) / static_cast<double>(queries);
+    state.counters["vlat_us_per_query"] =
+        static_cast<double>(latency) / static_cast<double>(queries);
+  }
+}
+
+void BM_Query_Lineage(benchmark::State& state) {
+  RunQueryBench(state, query::QueryType::kLineage);
+}
+void BM_Query_NodeSet(benchmark::State& state) {
+  RunQueryBench(state, query::QueryType::kNodeSet);
+}
+void BM_Query_DerivCount(benchmark::State& state) {
+  RunQueryBench(state, query::QueryType::kDerivCount);
+}
+
+BENCHMARK(BM_Query_Lineage)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Query_NodeSet)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Query_DerivCount)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
+// Query latency vs derivation depth: a line topology makes the provenance
+// tree depth proportional to the path length.
+void BM_Query_ByDepth(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(protocols::PathVectorProgram());
+  if (!prog.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  auto fx = std::make_unique<Fixture>();
+  fx->topo = net::MakeLine(len + 1, 1);
+  fx->engines = protocols::MakeEngines(&fx->sim, fx->topo, *prog);
+  fx->querier = std::make_unique<query::ProvenanceQuerier>(
+      &fx->sim, protocols::EnginePtrs(fx->engines));
+  if (!protocols::InstallLinks(fx->topo, &fx->engines, &fx->sim).ok()) {
+    state.SkipWithError("install failed");
+    return;
+  }
+  // The full-length path has derivation depth proportional to len.
+  Tuple target;
+  for (const Tuple& t : fx->engines[0]->TableContents("path")) {
+    if (t.field(3).as_list().size() == len + 1) target = t;
+  }
+  query::QueryOptions opts;
+  opts.type = query::QueryType::kLineage;
+  opts.use_cache = false;
+  uint64_t messages = 0, queries = 0;
+  for (auto _ : state) {
+    Result<query::QueryResult> r = fx->querier->Query(target, opts);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    messages += r->messages;
+    ++queries;
+  }
+  state.counters["depth"] = static_cast<double>(len);
+  if (queries > 0) {
+    state.counters["msgs_per_query"] =
+        static_cast<double>(messages) / static_cast<double>(queries);
+  }
+}
+
+BENCHMARK(BM_Query_ByDepth)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace nettrails

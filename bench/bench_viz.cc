@@ -1,0 +1,114 @@
+// Experiment E11: hypertree layout scalability — the responsiveness proxy
+// for the GUI's "smooth transitions". Layout and refocus cost on synthetic
+// provenance DAGs from 100 to 100k vertices.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rand.h"
+#include "src/viz/export.h"
+#include "src/viz/hypertree.h"
+
+namespace nettrails {
+namespace {
+
+// Synthetic provenance-shaped graph: alternating tuple / rule-exec levels
+// with fanout drawn from [1, 4].
+provenance::Graph SyntheticProvenance(size_t target_vertices, uint64_t seed) {
+  provenance::Graph g;
+  Rng rng(seed);
+  g.root = 1;
+  Vid next = 1;
+  std::vector<Vid> frontier;
+  g.vertices[next] = {next, provenance::VertexKind::kTuple, 0, "t1", false};
+  frontier.push_back(next++);
+  while (g.vertices.size() < target_vertices && !frontier.empty()) {
+    std::vector<Vid> next_frontier;
+    for (Vid v : frontier) {
+      if (g.vertices.size() >= target_vertices) break;
+      size_t fanout = 1 + rng.NextBelow(4);
+      bool parent_tuple =
+          g.vertices[v].kind == provenance::VertexKind::kTuple;
+      for (size_t c = 0; c < fanout; ++c) {
+        if (g.vertices.size() >= target_vertices) break;
+        Vid id = next++;
+        provenance::VertexKind kind = parent_tuple
+                                          ? provenance::VertexKind::kRuleExec
+                                          : provenance::VertexKind::kTuple;
+        g.vertices[id] = {id, kind,
+                          static_cast<NodeId>(rng.NextBelow(64)),
+                          "v" + std::to_string(id), false};
+        g.edges.push_back({v, id, false});
+        next_frontier.push_back(id);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  // Mark leaves base (single pass over edges; ChildrenOf would be O(V*E)).
+  std::set<Vid> has_children;
+  for (const provenance::GraphEdge& e : g.edges) has_children.insert(e.from);
+  for (auto& [id, v] : g.vertices) v.is_base = !has_children.count(id);
+  return g;
+}
+
+void BM_HypertreeLayout(benchmark::State& state) {
+  provenance::Graph g =
+      SyntheticProvenance(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    viz::Hypertree ht(g);
+    benchmark::DoNotOptimize(ht.size());
+  }
+  state.counters["vertices"] = static_cast<double>(g.vertices.size());
+}
+
+BENCHMARK(BM_HypertreeLayout)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HypertreeRefocus(benchmark::State& state) {
+  provenance::Graph g =
+      SyntheticProvenance(static_cast<size_t>(state.range(0)), 3);
+  viz::Hypertree ht(g);
+  std::vector<Vid> ids;
+  for (const auto& [id, n] : ht.nodes()) ids.push_back(id);
+  size_t i = 0;
+  for (auto _ : state) {
+    ht.Focus(ids[i++ % ids.size()]);
+  }
+  state.counters["vertices"] = static_cast<double>(g.vertices.size());
+}
+
+BENCHMARK(BM_HypertreeRefocus)
+    ->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_HypertreeTransitionFrames(benchmark::State& state) {
+  provenance::Graph g = SyntheticProvenance(5000, 3);
+  viz::Hypertree ht(g);
+  std::vector<Vid> ids;
+  for (const auto& [id, n] : ht.nodes()) ids.push_back(id);
+  const size_t frames = static_cast<size_t>(state.range(0));
+  size_t i = 1;
+  for (auto _ : state) {
+    auto fs = ht.TransitionFrames(ids[i++ % ids.size()], frames);
+    benchmark::DoNotOptimize(fs.size());
+  }
+  state.counters["frames"] = static_cast<double>(frames);
+}
+
+BENCHMARK(BM_HypertreeTransitionFrames)->Arg(4)->Arg(16)->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DotExport(benchmark::State& state) {
+  provenance::Graph g =
+      SyntheticProvenance(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    std::string dot = viz::ToDot(g);
+    benchmark::DoNotOptimize(dot.size());
+  }
+  state.counters["vertices"] = static_cast<double>(g.vertices.size());
+}
+
+BENCHMARK(BM_DotExport)->Arg(100)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nettrails

@@ -1,0 +1,200 @@
+// A scriptable NetTrails console — the batch equivalent of the demo
+// station: load an NDlog program, build a topology, converge, then execute
+// commands from stdin (or arguments):
+//
+//   tables <node>                 list materialized tables at a node
+//   dump <node> <table>           print a table's tuples
+//   query <TEXT QUERY>            e.g. query LINEAGE OF mincost(@0,@3,6)
+//   tree <tuple>                  print the provenance tree of a tuple
+//   fail <a> <b> <cost>           delete a link (both directions)
+//   recover <a> <b> <cost>        re-insert a link
+//   verify <tuple>                collect + verify signed evidence (SNP)
+//   stats                         engine and traffic statistics
+//
+// Usage:
+//   ./nettrails_console [mincost|pathvector|dsr] [nodes] < script.txt
+//   echo "query COUNT OF mincost(@0,@3,6)" | ./nettrails_console
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "src/net/topology.h"
+#include "src/protocols/programs.h"
+#include "src/provenance/graph.h"
+#include "src/provenance/secure.h"
+#include "src/query/parser.h"
+#include "src/query/query_engine.h"
+#include "src/runtime/plan.h"
+#include "src/viz/export.h"
+
+using namespace nettrails;
+
+namespace {
+
+const char* ProgramByName(const std::string& name) {
+  if (name == "pathvector") return protocols::PathVectorProgram();
+  if (name == "dsr") return protocols::DsrProgram();
+  return protocols::MincostProgram();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string proto = argc > 1 ? argv[1] : "mincost";
+  const size_t n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 6;
+
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(ProgramByName(proto));
+  if (!prog.ok()) {
+    std::fprintf(stderr, "compile: %s\n", prog.status().ToString().c_str());
+    return 1;
+  }
+  net::Simulator sim;
+  net::Topology topo = net::MakeRingWithChords(n, 1, 2);
+  auto engines = protocols::MakeEngines(&sim, topo, *prog);
+  query::ProvenanceQuerier querier(&sim, protocols::EnginePtrs(engines));
+  provenance::KeyAuthority authority(2011);
+  if (!protocols::InstallLinks(topo, &engines, &sim).ok()) return 1;
+  std::printf("nettrails console: %s on %zu-node ring+chords; reading "
+              "commands from stdin\n",
+              proto.c_str(), n);
+
+  auto stores = [&]() {
+    std::vector<const provenance::ProvStore*> out;
+    for (size_t i = 0; i < engines.size(); ++i) {
+      out.push_back(querier.store(static_cast<NodeId>(i)));
+    }
+    return out;
+  };
+  auto labeler = [&](Vid vid) { return querier.RenderVid(vid); };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string cmd;
+    ls >> cmd;
+    std::printf("> %s\n", line.c_str());
+
+    if (cmd == "tables") {
+      NodeId node = 0;
+      ls >> node;
+      if (node >= engines.size()) {
+        std::printf("  no such node\n");
+        continue;
+      }
+      for (const auto& [name, info] : engines[node]->program().tables) {
+        if (!info.materialized) continue;
+        const runtime::Table* t = engines[node]->GetTable(name);
+        std::printf("  %-16s %zu tuples\n", name.c_str(),
+                    t ? t->size() : 0);
+      }
+    } else if (cmd == "dump") {
+      NodeId node = 0;
+      std::string table;
+      ls >> node >> table;
+      if (node >= engines.size()) {
+        std::printf("  no such node\n");
+        continue;
+      }
+      for (const Tuple& t : engines[node]->TableContents(table)) {
+        std::printf("  %s\n", t.ToString().c_str());
+      }
+    } else if (cmd == "query") {
+      std::string rest;
+      std::getline(ls, rest);
+      Result<query::ParsedQuery> parsed = query::ParseQuery(rest);
+      if (!parsed.ok()) {
+        std::printf("  parse error: %s\n",
+                    parsed.status().ToString().c_str());
+        continue;
+      }
+      NodeId home = parsed->target.Location();
+      if (home < engines.size() && !engines[home]->HasTuple(parsed->target)) {
+        std::printf("  (note: tuple not currently present at @%u — "
+                    "querying historical/unknown state)\n",
+                    home);
+      }
+      Result<query::QueryResult> r =
+          querier.Query(parsed->target, parsed->options);
+      if (!r.ok()) {
+        std::printf("  query error: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      if (parsed->options.type == query::QueryType::kLineage) {
+        for (const std::string& leaf : r->leaf_tuples) {
+          std::printf("  base: %s\n", leaf.c_str());
+        }
+      } else if (parsed->options.type == query::QueryType::kNodeSet) {
+        std::printf("  nodes:");
+        for (NodeId p : r->nodes) std::printf(" @%u", p);
+        std::printf("\n");
+      } else {
+        std::printf("  derivations: %lld%s\n", (long long)r->count,
+                    r->truncated ? " (pruned/truncated)" : "");
+      }
+      std::printf("  [%llu msgs, %llu bytes, %llu us]\n",
+                  (unsigned long long)r->messages,
+                  (unsigned long long)r->bytes,
+                  (unsigned long long)r->latency);
+    } else if (cmd == "tree") {
+      std::string rest;
+      std::getline(ls, rest);
+      size_t start = rest.find_first_not_of(" \t");
+      if (start == std::string::npos) continue;
+      Result<Tuple> t = Tuple::Parse(rest.substr(start));
+      if (!t.ok() || !t->HasLocation()) {
+        std::printf("  bad tuple\n");
+        continue;
+      }
+      provenance::Graph g = provenance::BuildGraph(
+          stores(), t->Location(), t->Hash(), labeler);
+      std::printf("%s", viz::ToTextTree(g, 12).c_str());
+    } else if (cmd == "fail" || cmd == "recover") {
+      NodeId a = 0, b = 0;
+      int64_t cost = 1;
+      ls >> a >> b >> cost;
+      Status st = cmd == "fail"
+                      ? protocols::FailLink(a, b, cost, &engines, &sim)
+                      : protocols::RecoverLink(a, b, cost, &engines, &sim);
+      std::printf("  %s\n", st.ok() ? "ok" : st.ToString().c_str());
+    } else if (cmd == "verify") {
+      std::string rest;
+      std::getline(ls, rest);
+      size_t start = rest.find_first_not_of(" \t");
+      if (start == std::string::npos) continue;
+      Result<Tuple> t = Tuple::Parse(rest.substr(start));
+      if (!t.ok() || !t->HasLocation()) {
+        std::printf("  bad tuple\n");
+        continue;
+      }
+      provenance::Evidence ev = provenance::CollectEvidence(
+          stores(), authority, t->Location(), t->Hash());
+      provenance::VerifyResult vr =
+          provenance::VerifyEvidence(ev, authority, t->Hash());
+      std::printf("  evidence: %zu edges, %zu executions -> %s\n",
+                  ev.edges.size(), ev.execs.size(),
+                  vr.ok ? "VERIFIED" : "REJECTED");
+      for (const std::string& p : vr.problems) {
+        std::printf("    note: %s\n", p.c_str());
+      }
+    } else if (cmd == "stats") {
+      uint64_t firings = 0, msgs = 0;
+      size_t tuples = 0, prov = 0;
+      for (const auto& e : engines) {
+        firings += e->stats().rule_firings;
+        msgs += e->stats().messages_sent;
+        tuples += e->TotalTuples(false);
+        prov += e->TotalTuples(true);
+      }
+      std::printf("  rule firings: %llu, messages: %llu, tuples: %zu "
+                  "(%zu provenance), virtual time: %llu us\n",
+                  (unsigned long long)firings, (unsigned long long)msgs,
+                  tuples, prov, (unsigned long long)sim.now());
+    } else {
+      std::printf("  unknown command\n");
+    }
+  }
+  return 0;
+}

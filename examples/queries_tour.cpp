@@ -1,0 +1,163 @@
+// Experiment E6/E7 companion: a guided tour of the three provenance query
+// types (lineage, participating node set, derivation count) and of the
+// ExSPAN query optimizations (result caching, traversal orders,
+// threshold-based pruning), with the network traffic of every variant
+// printed side by side.
+//
+//   $ ./queries_tour [nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/net/topology.h"
+#include "src/protocols/programs.h"
+#include "src/query/parser.h"
+#include "src/query/query_engine.h"
+#include "src/runtime/plan.h"
+
+using namespace nettrails;
+
+namespace {
+
+const char* TypeName(query::QueryType t) {
+  switch (t) {
+    case query::QueryType::kLineage:
+      return "lineage";
+    case query::QueryType::kNodeSet:
+      return "node-set";
+    case query::QueryType::kDerivCount:
+      return "deriv-count";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 12;
+
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(protocols::PathVectorProgram());
+  if (!prog.ok()) {
+    std::fprintf(stderr, "%s\n", prog.status().ToString().c_str());
+    return 1;
+  }
+  net::Simulator sim;
+  Rng rng(4242);
+  net::Topology topo = net::MakeRandomConnected(n, 0.12, &rng, 5);
+  auto engines = protocols::MakeEngines(&sim, topo, *prog);
+  query::ProvenanceQuerier querier(&sim, protocols::EnginePtrs(engines));
+  if (!protocols::InstallLinks(topo, &engines, &sim).ok()) return 1;
+
+  // Pick the path tuple with the longest hop count at node 0.
+  Tuple target;
+  size_t longest = 0;
+  for (const Tuple& t : engines[0]->TableContents("path")) {
+    size_t hops = t.field(3).as_list().size();
+    if (hops > longest) {
+      longest = hops;
+      target = t;
+    }
+  }
+  if (longest == 0) return 1;
+  std::printf("query target: %s\n\n", target.ToString().c_str());
+
+  // --- the three query types ---
+  std::printf("%-12s %10s %9s %12s  result\n", "type", "messages", "bytes",
+              "latency(us)");
+  for (query::QueryType type :
+       {query::QueryType::kLineage, query::QueryType::kNodeSet,
+        query::QueryType::kDerivCount}) {
+    query::QueryOptions opts;
+    opts.type = type;
+    opts.use_cache = false;
+    Result<query::QueryResult> r = querier.Query(target, opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::string result;
+    if (type == query::QueryType::kLineage) {
+      result = std::to_string(r->leaf_tuples.size()) + " base tuples";
+    } else if (type == query::QueryType::kNodeSet) {
+      result = std::to_string(r->nodes.size()) + " nodes";
+    } else {
+      result = std::to_string(r->count) + " derivations";
+    }
+    std::printf("%-12s %10llu %9llu %12llu  %s\n", TypeName(type),
+                (unsigned long long)r->messages,
+                (unsigned long long)r->bytes,
+                (unsigned long long)r->latency, result.c_str());
+  }
+
+  // --- caching ---
+  std::printf("\ncaching (lineage, repeated 3x):\n");
+  for (bool cached : {false, true}) {
+    querier.ClearCaches();
+    uint64_t msgs[3];
+    for (int i = 0; i < 3; ++i) {
+      query::QueryOptions opts;
+      opts.type = query::QueryType::kLineage;
+      opts.use_cache = cached;
+      Result<query::QueryResult> r = querier.Query(target, opts);
+      msgs[i] = r.ok() ? r->messages : 0;
+    }
+    std::printf("  cache %-3s: %llu, %llu, %llu messages\n",
+                cached ? "on" : "off", (unsigned long long)msgs[0],
+                (unsigned long long)msgs[1], (unsigned long long)msgs[2]);
+  }
+
+  // --- traversal orders ---
+  std::printf("\ntraversal order (deriv-count, cache off):\n");
+  for (query::Traversal trav :
+       {query::Traversal::kSequential, query::Traversal::kParallel}) {
+    query::QueryOptions opts;
+    opts.type = query::QueryType::kDerivCount;
+    opts.traversal = trav;
+    opts.use_cache = false;
+    Result<query::QueryResult> r = querier.Query(target, opts);
+    if (!r.ok()) continue;
+    std::printf("  %-10s: %llu messages, latency %llu us, count %lld\n",
+                trav == query::Traversal::kSequential ? "sequential"
+                                                      : "parallel",
+                (unsigned long long)r->messages,
+                (unsigned long long)r->latency, (long long)r->count);
+  }
+
+  // --- the textual query language (distributed ProQL-flavored frontend) ---
+  std::printf("\ntextual queries:\n");
+  for (std::string text : {
+           "LINEAGE OF " + target.ToString(),
+           "NODES OF " + target.ToString() + " NOCACHE",
+           "COUNT OF " + target.ToString() + " SEQUENTIAL THRESHOLD 2",
+       }) {
+    Result<query::ParsedQuery> parsed = query::ParseQuery(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "  parse error: %s\n",
+                   parsed.status().ToString().c_str());
+      continue;
+    }
+    Result<query::QueryResult> r =
+        querier.Query(parsed->target, parsed->options);
+    if (!r.ok()) continue;
+    std::printf("  %s\n    -> count=%lld, %zu leaves, %zu nodes, %llu msgs\n",
+                query::FormatQuery(*parsed).c_str(), (long long)r->count,
+                r->leaf_tuples.size(), r->nodes.size(),
+                (unsigned long long)r->messages);
+  }
+
+  // --- threshold-based pruning ---
+  std::printf("\nthreshold pruning (deriv-count, sequential, cache off):\n");
+  for (int64_t threshold : {0, 1, 2, 4, 8}) {
+    query::QueryOptions opts;
+    opts.type = query::QueryType::kDerivCount;
+    opts.traversal = query::Traversal::kSequential;
+    opts.count_threshold = threshold;
+    opts.use_cache = false;
+    Result<query::QueryResult> r = querier.Query(target, opts);
+    if (!r.ok()) continue;
+    std::printf("  threshold %2lld: %llu messages, count >= %lld%s\n",
+                (long long)threshold, (unsigned long long)r->messages,
+                (long long)r->count, r->truncated ? " (pruned)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "src/bgp/policy.h"
+
+namespace nettrails {
+namespace bgp {
+
+const char* RelationName(Relation rel) {
+  switch (rel) {
+    case Relation::kCustomer:
+      return "customer";
+    case Relation::kPeer:
+      return "peer";
+    case Relation::kProvider:
+      return "provider";
+  }
+  return "?";
+}
+
+int LocalPref(Relation learned_from) {
+  switch (learned_from) {
+    case Relation::kCustomer:
+      return 2;
+    case Relation::kPeer:
+      return 1;
+    case Relation::kProvider:
+      return 0;
+  }
+  return 0;
+}
+
+bool ShouldExport(Relation learned_from, Relation export_to) {
+  // Customer routes go everywhere; peer/provider routes only to customers.
+  if (learned_from == Relation::kCustomer) return true;
+  return export_to == Relation::kCustomer;
+}
+
+Relation Reverse(Relation rel) {
+  switch (rel) {
+    case Relation::kCustomer:
+      return Relation::kProvider;
+    case Relation::kPeer:
+      return Relation::kPeer;
+    case Relation::kProvider:
+      return Relation::kCustomer;
+  }
+  return Relation::kPeer;
+}
+
+}  // namespace bgp
+}  // namespace nettrails

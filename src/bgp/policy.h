@@ -1,0 +1,36 @@
+// Interdomain routing policy: business relationships and the Gao-Rexford
+// export rules used by the demonstration's "topology of ASes that consists
+// of several large and small ISPs connected by a mix of customer/provider/
+// peer relationships".
+#ifndef NETTRAILS_BGP_POLICY_H_
+#define NETTRAILS_BGP_POLICY_H_
+
+namespace nettrails {
+namespace bgp {
+
+/// Relationship of a neighbor AS, from this AS's point of view.
+enum class Relation {
+  kCustomer,  // the neighbor pays us
+  kPeer,      // settlement-free peering
+  kProvider,  // we pay the neighbor
+};
+
+const char* RelationName(Relation rel);
+
+/// Local preference by learning relation: customer > peer > provider
+/// (prefer revenue-generating routes).
+int LocalPref(Relation learned_from);
+
+/// Gao-Rexford export rule: a route learned from `learned_from` may be
+/// exported to a neighbor with relation `export_to` iff the route came from
+/// a customer (or is locally originated, handled by the caller) or the
+/// target is a customer.
+bool ShouldExport(Relation learned_from, Relation export_to);
+
+/// The relation the neighbor sees on its side of the session.
+Relation Reverse(Relation rel);
+
+}  // namespace bgp
+}  // namespace nettrails
+
+#endif  // NETTRAILS_BGP_POLICY_H_

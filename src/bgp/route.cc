@@ -1,0 +1,17 @@
+#include "src/bgp/route.h"
+
+namespace nettrails {
+namespace bgp {
+
+std::string Route::ToString() const {
+  std::string out = "P" + std::to_string(prefix) + " via [";
+  for (size_t i = 0; i < as_path.size(); ++i) {
+    if (i) out += " ";
+    out += std::to_string(as_path[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace bgp
+}  // namespace nettrails

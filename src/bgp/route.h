@@ -1,0 +1,46 @@
+// BGP route representation for the mini-Quagga substrate.
+#ifndef NETTRAILS_BGP_ROUTE_H_
+#define NETTRAILS_BGP_ROUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace nettrails {
+namespace bgp {
+
+/// Prefixes are opaque integer identifiers (e.g. one per stub AS).
+using Prefix = int64_t;
+
+/// An AS-path route to a prefix. `as_path.front()` is the most recent hop
+/// (the advertising AS); the origin is at the back.
+struct Route {
+  Prefix prefix = 0;
+  std::vector<NodeId> as_path;
+
+  bool ContainsAs(NodeId as) const {
+    for (NodeId hop : as_path) {
+      if (hop == as) return true;
+    }
+    return false;
+  }
+
+  /// The route after `as` prepends itself (what a BGP speaker exports).
+  Route Extend(NodeId as) const {
+    Route out;
+    out.prefix = prefix;
+    out.as_path.reserve(as_path.size() + 1);
+    out.as_path.push_back(as);
+    out.as_path.insert(out.as_path.end(), as_path.begin(), as_path.end());
+    return out;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace bgp
+}  // namespace nettrails
+
+#endif  // NETTRAILS_BGP_ROUTE_H_

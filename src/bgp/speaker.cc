@@ -1,0 +1,210 @@
+#include "src/bgp/speaker.h"
+
+namespace nettrails {
+namespace bgp {
+
+namespace {
+
+constexpr char kUpdateTuple[] = "bgpUpd";
+constexpr char kWithdrawTuple[] = "bgpWdr";
+
+ValueList PathToValues(const std::vector<NodeId>& path) {
+  ValueList out;
+  out.reserve(path.size());
+  for (NodeId hop : path) out.push_back(Value::Address(hop));
+  return out;
+}
+
+std::vector<NodeId> ValuesToPath(const Value& v) {
+  std::vector<NodeId> out;
+  if (v.is_list()) {
+    for (const Value& x : v.as_list()) {
+      if (x.is_address()) out.push_back(x.as_address());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Speaker::Speaker(net::Simulator* sim, NodeId as, proxy::Proxy* proxy)
+    : sim_(sim), as_(as), proxy_(proxy) {
+  sim_->RegisterHandler(as_, kBgpChannel,
+                        [this](const net::Message& msg) { OnMessage(msg); });
+}
+
+void Speaker::AddNeighbor(NodeId neighbor, Relation rel) {
+  neighbors_[neighbor] = rel;
+}
+
+void Speaker::Originate(Prefix prefix) {
+  originated_.insert(prefix);
+  RunDecision(prefix);
+}
+
+void Speaker::Withdraw(Prefix prefix) {
+  originated_.erase(prefix);
+  RunDecision(prefix);
+}
+
+std::optional<Route> Speaker::BestRoute(Prefix prefix) const {
+  auto it = loc_rib_.find(prefix);
+  if (it == loc_rib_.end()) return std::nullopt;
+  return it->second.route;
+}
+
+std::vector<Prefix> Speaker::ReachablePrefixes() const {
+  std::vector<Prefix> out;
+  out.reserve(loc_rib_.size());
+  for (const auto& [prefix, best] : loc_rib_) out.push_back(prefix);
+  return out;
+}
+
+void Speaker::OnMessage(const net::Message& msg) {
+  const Tuple& t = msg.payload;
+  if (t.name() == kUpdateTuple && t.arity() == 4) {
+    ++updates_received_;
+    NodeId from = t.field(1).as_address();
+    Route route;
+    route.prefix = t.field(2).as_int();
+    route.as_path = ValuesToPath(t.field(3));
+    if (proxy_ != nullptr) {
+      proxy_->OnIncoming({from, route.prefix, route.as_path, false});
+    }
+    HandleUpdate(from, route);
+  } else if (t.name() == kWithdrawTuple && t.arity() == 3) {
+    ++updates_received_;
+    NodeId from = t.field(1).as_address();
+    Prefix prefix = t.field(2).as_int();
+    if (proxy_ != nullptr) {
+      proxy_->OnIncoming({from, prefix, {}, true});
+    }
+    HandleWithdraw(from, prefix);
+  }
+}
+
+void Speaker::HandleUpdate(NodeId from, const Route& route) {
+  if (!neighbors_.count(from)) return;
+  if (route.ContainsAs(as_)) {
+    // Loop detected: drop, but also clear any previous route from this
+    // neighbor for the prefix (the new announcement replaces it).
+    rib_in_[route.prefix].erase(from);
+    RunDecision(route.prefix);
+    return;
+  }
+  rib_in_[route.prefix][from] = RibInEntry{route};
+  RunDecision(route.prefix);
+}
+
+void Speaker::HandleWithdraw(NodeId from, Prefix prefix) {
+  auto it = rib_in_.find(prefix);
+  if (it != rib_in_.end()) it->second.erase(from);
+  RunDecision(prefix);
+}
+
+void Speaker::RunDecision(Prefix prefix) {
+  std::optional<BestEntry> best;
+  if (originated_.count(prefix)) {
+    BestEntry local;
+    local.route.prefix = prefix;
+    local.local = true;
+    local.learned_from = Relation::kCustomer;  // best possible preference
+    best = local;
+  } else {
+    auto it = rib_in_.find(prefix);
+    if (it != rib_in_.end()) {
+      for (const auto& [neighbor, entry] : it->second) {
+        Relation rel = neighbors_.at(neighbor);
+        if (!best) {
+          best = BestEntry{entry.route, rel, false, neighbor};
+          continue;
+        }
+        // Rank: local-pref desc, path length asc, neighbor id asc.
+        int lp_new = LocalPref(rel), lp_old = LocalPref(best->learned_from);
+        bool better = false;
+        if (lp_new != lp_old) {
+          better = lp_new > lp_old;
+        } else if (entry.route.as_path.size() !=
+                   best->route.as_path.size()) {
+          better = entry.route.as_path.size() < best->route.as_path.size();
+        } else {
+          better = neighbor < best->from_neighbor;
+        }
+        if (better) best = BestEntry{entry.route, rel, false, neighbor};
+      }
+    }
+  }
+
+  auto old = loc_rib_.find(prefix);
+  bool changed;
+  if (!best) {
+    changed = old != loc_rib_.end();
+    if (changed) loc_rib_.erase(old);
+  } else {
+    changed = old == loc_rib_.end() ||
+              !(old->second.route.as_path == best->route.as_path &&
+                old->second.local == best->local &&
+                old->second.from_neighbor == best->from_neighbor);
+    loc_rib_[prefix] = *best;
+  }
+  if (changed) ExportBest(prefix);
+}
+
+void Speaker::ExportBest(Prefix prefix) {
+  auto bit = loc_rib_.find(prefix);
+  std::set<NodeId> desired;
+  Route exported;
+  if (bit != loc_rib_.end()) {
+    const BestEntry& best = bit->second;
+    exported = best.route.Extend(as_);
+    for (const auto& [neighbor, rel] : neighbors_) {
+      if (!best.local && neighbor == best.from_neighbor) continue;
+      if (best.local || ShouldExport(best.learned_from, rel)) {
+        desired.insert(neighbor);
+      }
+    }
+  }
+  std::set<NodeId>& current = exported_to_[prefix];
+  for (NodeId n : current) {
+    if (!desired.count(n)) SendWithdraw(n, prefix);
+  }
+  for (NodeId n : desired) {
+    // Re-sending after a best change carries the new path; BGP updates are
+    // implicit replacements.
+    SendUpdate(n, exported);
+  }
+  current = std::move(desired);
+}
+
+void Speaker::SendUpdate(NodeId to, const Route& route) {
+  if (proxy_ != nullptr) {
+    proxy_->OnOutgoing({to, route.prefix, route.as_path, false});
+  }
+  ++updates_sent_;
+  net::Message msg;
+  msg.src = as_;
+  msg.dst = to;
+  msg.channel = kBgpChannel;
+  msg.payload =
+      Tuple(kUpdateTuple, {Value::Address(to), Value::Address(as_),
+                           Value::Int(route.prefix),
+                           Value::List(PathToValues(route.as_path))});
+  sim_->Send(std::move(msg));
+}
+
+void Speaker::SendWithdraw(NodeId to, Prefix prefix) {
+  if (proxy_ != nullptr) {
+    proxy_->OnOutgoing({to, prefix, {}, true});
+  }
+  ++updates_sent_;
+  net::Message msg;
+  msg.src = as_;
+  msg.dst = to;
+  msg.channel = kBgpChannel;
+  msg.payload = Tuple(kWithdrawTuple, {Value::Address(to), Value::Address(as_),
+                                       Value::Int(prefix)});
+  sim_->Send(std::move(msg));
+}
+
+}  // namespace bgp
+}  // namespace nettrails

@@ -1,0 +1,92 @@
+// A miniature BGP daemon (the Quagga substitute): per-neighbor RIB-in, the
+// standard decision process (local-pref by business relation, then shortest
+// AS path, then lowest neighbor id), Gao-Rexford export policies, and
+// UPDATE / WITHDRAW messages over the simulator. An attached proxy::Proxy
+// observes every message entering and leaving the speaker, exactly as the
+// demonstration intercepts Quagga's BGP sessions.
+#ifndef NETTRAILS_BGP_SPEAKER_H_
+#define NETTRAILS_BGP_SPEAKER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/bgp/policy.h"
+#include "src/bgp/route.h"
+#include "src/common/status.h"
+#include "src/net/simulator.h"
+#include "src/proxy/proxy.h"
+
+namespace nettrails {
+namespace bgp {
+
+/// Message channel for BGP sessions.
+inline constexpr char kBgpChannel[] = "bgp";
+
+class Speaker {
+ public:
+  /// `proxy` may be null (untracked speaker).
+  Speaker(net::Simulator* sim, NodeId as, proxy::Proxy* proxy = nullptr);
+
+  NodeId as() const { return as_; }
+
+  /// Declares a neighbor with its relation (from this AS's viewpoint). A
+  /// simulator link between the ASes must exist for sessions to work.
+  void AddNeighbor(NodeId neighbor, Relation rel);
+
+  /// Originates / withdraws a locally owned prefix.
+  void Originate(Prefix prefix);
+  void Withdraw(Prefix prefix);
+
+  /// Best route currently selected for `prefix` (nullopt if none).
+  std::optional<Route> BestRoute(Prefix prefix) const;
+
+  /// All prefixes with a selected route.
+  std::vector<Prefix> ReachablePrefixes() const;
+
+  /// Neighbors and their relations.
+  const std::map<NodeId, Relation>& neighbors() const { return neighbors_; }
+
+  uint64_t updates_sent() const { return updates_sent_; }
+  uint64_t updates_received() const { return updates_received_; }
+
+ private:
+  struct RibInEntry {
+    Route route;
+  };
+  struct BestEntry {
+    Route route;
+    // kCustomer beats kPeer beats kProvider; locally originated routes are
+    // modelled as learned from a virtual best-possible source.
+    Relation learned_from = Relation::kCustomer;
+    bool local = false;
+    NodeId from_neighbor = 0;
+  };
+
+  void OnMessage(const net::Message& msg);
+  void HandleUpdate(NodeId from, const Route& route);
+  void HandleWithdraw(NodeId from, Prefix prefix);
+  void RunDecision(Prefix prefix);
+  void ExportBest(Prefix prefix);
+  void SendUpdate(NodeId to, const Route& route);
+  void SendWithdraw(NodeId to, Prefix prefix);
+
+  net::Simulator* sim_;
+  NodeId as_;
+  proxy::Proxy* proxy_;
+  std::map<NodeId, Relation> neighbors_;
+  std::set<Prefix> originated_;
+  // rib_in_[prefix][neighbor] = route as received (before self-prepend).
+  std::map<Prefix, std::map<NodeId, RibInEntry>> rib_in_;
+  std::map<Prefix, BestEntry> loc_rib_;
+  // Neighbors we have currently exported each prefix to.
+  std::map<Prefix, std::set<NodeId>> exported_to_;
+  uint64_t updates_sent_ = 0;
+  uint64_t updates_received_ = 0;
+};
+
+}  // namespace bgp
+}  // namespace nettrails
+
+#endif  // NETTRAILS_BGP_SPEAKER_H_

@@ -1,0 +1,51 @@
+#include "src/bgp/trace_parser.h"
+
+#include <sstream>
+
+namespace nettrails {
+namespace bgp {
+
+Result<std::vector<TraceEvent>> ParseTrace(const std::string& text) {
+  std::vector<TraceEvent> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::istringstream ls(line);
+    uint64_t time = 0;
+    std::string kind;
+    uint64_t origin = 0;
+    int64_t prefix = 0;
+    if (!(ls >> time >> kind >> origin >> prefix) ||
+        (kind != "A" && kind != "W")) {
+      return Status::ParseError("malformed trace record at line " +
+                                std::to_string(lineno) + ": " + line);
+    }
+    std::string extra;
+    if (ls >> extra) {
+      return Status::ParseError("trailing fields at line " +
+                                std::to_string(lineno) + ": " + line);
+    }
+    out.push_back({time, kind == "W", static_cast<NodeId>(origin), prefix});
+  }
+  return out;
+}
+
+std::string SerializeTrace(const std::vector<TraceEvent>& trace) {
+  std::string out =
+      "# NetTrails BGP trace: <time_us> A|W <origin_as> <prefix>\n";
+  for (const TraceEvent& ev : trace) {
+    out += ev.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bgp
+}  // namespace nettrails

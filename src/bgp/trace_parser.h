@@ -1,0 +1,26 @@
+// Text trace format (RouteViews-dump substitute):
+//   <time_us> A <origin_as> <prefix>
+//   <time_us> W <origin_as> <prefix>
+// one record per line; '#' starts a comment.
+#ifndef NETTRAILS_BGP_TRACE_PARSER_H_
+#define NETTRAILS_BGP_TRACE_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/bgp/tracegen.h"
+#include "src/common/status.h"
+
+namespace nettrails {
+namespace bgp {
+
+/// Parses a trace from text. Malformed lines are errors (with line number).
+Result<std::vector<TraceEvent>> ParseTrace(const std::string& text);
+
+/// Serializes a trace to the text format (round-trips with ParseTrace).
+std::string SerializeTrace(const std::vector<TraceEvent>& trace);
+
+}  // namespace bgp
+}  // namespace nettrails
+
+#endif  // NETTRAILS_BGP_TRACE_PARSER_H_

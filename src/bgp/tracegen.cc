@@ -1,0 +1,99 @@
+#include "src/bgp/tracegen.h"
+
+#include <set>
+
+namespace nettrails {
+namespace bgp {
+
+void AsTopology::Install(net::Simulator* sim, net::Time latency) const {
+  while (sim->node_count() < num_ases) sim->AddNode();
+  for (const AsLink& l : links) sim->AddLink(l.a, l.b, latency);
+}
+
+AsTopology MakeAsTopology(size_t n_tier1, size_t n_mid, size_t n_stub,
+                          Rng* rng) {
+  AsTopology topo;
+  topo.num_ases = n_tier1 + n_mid + n_stub;
+  NodeId next = 0;
+  for (size_t i = 0; i < n_tier1; ++i) topo.tier1.push_back(next++);
+  for (size_t i = 0; i < n_mid; ++i) topo.mid.push_back(next++);
+  for (size_t i = 0; i < n_stub; ++i) topo.stubs.push_back(next++);
+
+  std::set<std::pair<NodeId, NodeId>> seen;
+  auto add = [&](NodeId a, NodeId b, Relation rel_of_b_for_a) {
+    auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    if (!seen.insert(key).second) return;
+    topo.links.push_back({a, b, rel_of_b_for_a});
+  };
+
+  // Tier-1 peering clique.
+  for (size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      add(topo.tier1[i], topo.tier1[j], Relation::kPeer);
+    }
+  }
+  // Mid-tier ASes buy transit from 1-2 tier-1s.
+  for (NodeId m : topo.mid) {
+    size_t n_providers = topo.tier1.empty() ? 0 : 1 + rng->NextBelow(2);
+    std::vector<NodeId> providers = topo.tier1;
+    rng->Shuffle(&providers);
+    for (size_t i = 0; i < std::min(n_providers, providers.size()); ++i) {
+      // The provider (tier-1) sees the mid as a customer.
+      add(providers[i], m, Relation::kCustomer);
+    }
+  }
+  // Occasional mid-mid peering.
+  for (size_t i = 0; i < topo.mid.size(); ++i) {
+    for (size_t j = i + 1; j < topo.mid.size(); ++j) {
+      if (rng->NextBool(0.25)) {
+        add(topo.mid[i], topo.mid[j], Relation::kPeer);
+      }
+    }
+  }
+  // Stubs buy transit from 1-2 mid-tier ASes (or a tier-1 if no mids).
+  const std::vector<NodeId>& upstreams =
+      topo.mid.empty() ? topo.tier1 : topo.mid;
+  for (NodeId s : topo.stubs) {
+    if (upstreams.empty()) break;
+    size_t n_providers = 1 + rng->NextBelow(2);
+    std::vector<NodeId> providers = upstreams;
+    rng->Shuffle(&providers);
+    for (size_t i = 0; i < std::min(n_providers, providers.size()); ++i) {
+      add(providers[i], s, Relation::kCustomer);
+    }
+  }
+  return topo;
+}
+
+std::string TraceEvent::ToString() const {
+  return std::to_string(time) + (withdraw ? " W " : " A ") +
+         std::to_string(origin) + " " + std::to_string(prefix);
+}
+
+std::vector<TraceEvent> GenerateTrace(const AsTopology& topo,
+                                      size_t n_churn_events, Rng* rng,
+                                      net::Time spacing) {
+  std::vector<TraceEvent> trace;
+  net::Time t = spacing;
+  // Initial table transfer: every stub originates one prefix.
+  for (size_t i = 0; i < topo.stubs.size(); ++i) {
+    trace.push_back(
+        {t, false, topo.stubs[i], static_cast<Prefix>(i + 100)});
+    t += spacing;
+  }
+  // Churn: Zipf-selected prefixes flap (withdraw while announced, announce
+  // while withdrawn).
+  std::vector<bool> announced(topo.stubs.size(), true);
+  for (size_t e = 0; e < n_churn_events; ++e) {
+    if (topo.stubs.empty()) break;
+    size_t idx = rng->NextZipf(topo.stubs.size(), 1.1);
+    announced[idx] = !announced[idx];
+    trace.push_back({t, announced[idx] ? false : true, topo.stubs[idx],
+                     static_cast<Prefix>(idx + 100)});
+    t += spacing;
+  }
+  return trace;
+}
+
+}  // namespace bgp
+}  // namespace nettrails

@@ -1,0 +1,68 @@
+// Synthetic RouteViews-style workload: realistic AS topologies (tier-1
+// clique, mid-tier ISPs, stubs, with customer/provider/peer edges) and
+// announce/withdraw event traces. Substitutes for the real RouteViews BGP
+// traces used in the demonstration (external data we do not have); the
+// replay pipeline — trace -> speakers -> proxy -> maybe rules -> provenance
+// — is identical.
+#ifndef NETTRAILS_BGP_TRACEGEN_H_
+#define NETTRAILS_BGP_TRACEGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bgp/policy.h"
+#include "src/bgp/route.h"
+#include "src/common/rand.h"
+#include "src/net/simulator.h"
+
+namespace nettrails {
+namespace bgp {
+
+/// One inter-AS adjacency. `relation` is `a`'s view of `b` (kCustomer means
+/// b is a's customer).
+struct AsLink {
+  NodeId a = 0;
+  NodeId b = 0;
+  Relation relation = Relation::kPeer;
+};
+
+/// Generated AS-level topology.
+struct AsTopology {
+  size_t num_ases = 0;
+  std::vector<AsLink> links;
+  std::vector<NodeId> tier1;
+  std::vector<NodeId> mid;
+  std::vector<NodeId> stubs;
+
+  /// Registers nodes and links with the simulator.
+  void Install(net::Simulator* sim, net::Time latency = net::kMillisecond) const;
+};
+
+/// Tier-1s form a peering clique; each mid-tier AS buys transit from 1-2
+/// tier-1s (and occasionally peers with another mid); each stub buys
+/// transit from 1-2 mid-tier ASes.
+AsTopology MakeAsTopology(size_t n_tier1, size_t n_mid, size_t n_stub,
+                          Rng* rng);
+
+/// One trace record.
+struct TraceEvent {
+  net::Time time = 0;
+  bool withdraw = false;
+  NodeId origin = 0;  // originating AS
+  Prefix prefix = 0;
+
+  std::string ToString() const;
+};
+
+/// A replayable trace: initial announcements (one prefix per stub), then
+/// `n_churn_events` announce/withdraw flaps on Zipf-selected prefixes.
+std::vector<TraceEvent> GenerateTrace(const AsTopology& topo,
+                                      size_t n_churn_events, Rng* rng,
+                                      net::Time spacing = net::kMillisecond *
+                                                          50);
+
+}  // namespace bgp
+}  // namespace nettrails
+
+#endif  // NETTRAILS_BGP_TRACEGEN_H_

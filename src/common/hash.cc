@@ -1,0 +1,41 @@
+#include "src/common/hash.h"
+
+namespace nettrails {
+
+void Hasher::AddBytes(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state_ ^= p[i];
+    state_ *= kFnvPrime;
+  }
+}
+
+void Hasher::AddU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    state_ ^= (v >> (i * 8)) & 0xff;
+    state_ *= kFnvPrime;
+  }
+}
+
+void Hasher::AddString(const std::string& s) {
+  AddU64(s.size());
+  AddBytes(s.data(), s.size());
+}
+
+uint64_t Hasher::Digest() const {
+  uint64_t h = state_;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t HashBytes(const void* data, size_t len) {
+  Hasher h;
+  h.AddBytes(data, len);
+  return h.Digest();
+}
+
+}  // namespace nettrails

@@ -1,0 +1,37 @@
+// Stable hashing used for vertex IDs (VIDs) in the provenance graph. The
+// paper's ExSPAN rewrite uses SHA-1; any collision-resistant-enough stable
+// digest preserves the behaviour, so we use 64-bit FNV-1a with mixing.
+#ifndef NETTRAILS_COMMON_HASH_H_
+#define NETTRAILS_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace nettrails {
+
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+inline constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/// Incremental FNV-1a hasher with a finalization mix.
+class Hasher {
+ public:
+  Hasher() : state_(kFnvOffset) {}
+
+  void AddBytes(const void* data, size_t len);
+  void AddU64(uint64_t v);
+  void AddString(const std::string& s);
+
+  /// Finalized digest (fmix64 from MurmurHash3 for avalanche).
+  uint64_t Digest() const;
+
+ private:
+  uint64_t state_;
+};
+
+/// One-shot hash of a byte buffer.
+uint64_t HashBytes(const void* data, size_t len);
+
+}  // namespace nettrails
+
+#endif  // NETTRAILS_COMMON_HASH_H_

@@ -1,0 +1,53 @@
+// Deterministic PRNG used across workload generators and benchmarks so that
+// every experiment is reproducible from a seed.
+#ifndef NETTRAILS_COMMON_RAND_H_
+#define NETTRAILS_COMMON_RAND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nettrails {
+
+/// SplitMix64-seeded xorshift128+ generator. Not thread-safe; one per
+/// workload.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (selects popular query
+  /// targets, matching skewed provenance-query workloads).
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* xs) {
+    for (size_t i = xs->size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap((*xs)[i - 1], (*xs)[j]);
+    }
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace nettrails
+
+#endif  // NETTRAILS_COMMON_RAND_H_

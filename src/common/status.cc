@@ -1,0 +1,43 @@
+#include "src/common/status.h"
+
+namespace nettrails {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kParseError:
+      return "ParseError";
+    case Status::Code::kTypeError:
+      return "TypeError";
+    case Status::Code::kPlanError:
+      return "PlanError";
+    case Status::Code::kRuntimeError:
+      return "RuntimeError";
+    case Status::Code::kUnsupported:
+      return "Unsupported";
+    case Status::Code::kIoError:
+      return "IoError";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace nettrails

@@ -1,0 +1,133 @@
+// Status / Result error model for NetTrails (RocksDB/Arrow idiom: fallible
+// operations return a Status or Result<T>; exceptions are not used).
+#ifndef NETTRAILS_COMMON_STATUS_H_
+#define NETTRAILS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace nettrails {
+
+/// Outcome of a fallible operation. Cheap to copy when OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kParseError,
+    kTypeError,
+    kPlanError,
+    kRuntimeError,
+    kUnsupported,
+    kIoError,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(Code::kTypeError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(Code::kPlanError, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(Code::kRuntimeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` /
+  // `return Status::...;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace nettrails
+
+/// Propagate a non-OK Status from the current function.
+#define NT_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::nettrails::Status _nt_st = (expr);    \
+    if (!_nt_st.ok()) return _nt_st;        \
+  } while (0)
+
+/// Assign the value of a Result to `lhs`, or propagate its error Status.
+#define NT_ASSIGN_OR_RETURN(lhs, expr)          \
+  NT_ASSIGN_OR_RETURN_IMPL_(                    \
+      NT_STATUS_CONCAT_(_nt_res, __LINE__), lhs, expr)
+
+#define NT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#define NT_STATUS_CONCAT_(a, b) NT_STATUS_CONCAT_IMPL_(a, b)
+#define NT_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // NETTRAILS_COMMON_STATUS_H_

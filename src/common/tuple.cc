@@ -1,0 +1,90 @@
+#include "src/common/tuple.h"
+
+#include <cctype>
+
+#include "src/common/hash.h"
+
+namespace nettrails {
+
+bool Tuple::operator<(const Tuple& other) const {
+  if (name_ != other.name_) return name_ < other.name_;
+  size_t n = std::min(fields_.size(), other.fields_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = fields_[i].Compare(other.fields_[i]);
+    if (c != 0) return c < 0;
+  }
+  return fields_.size() < other.fields_.size();
+}
+
+Vid Tuple::Hash() const {
+  Hasher h;
+  h.AddString(name_);
+  h.AddU64(fields_.size());
+  for (const Value& v : fields_) h.AddU64(v.Hash());
+  return h.Digest();
+}
+
+std::string Tuple::ToString() const {
+  std::string out = name_;
+  out += '(';
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ',';
+    out += fields_[i].ToString();
+  }
+  out += ')';
+  return out;
+}
+
+size_t Tuple::SerializedSize() const {
+  size_t n = 4 + name_.size() + 4;
+  for (const Value& v : fields_) n += v.SerializedSize();
+  return n;
+}
+
+Result<Tuple> Tuple::Parse(const std::string& text) {
+  size_t open = text.find('(');
+  if (open == std::string::npos || text.empty() || text.back() != ')') {
+    return Status::ParseError("malformed tuple: " + text);
+  }
+  std::string name = text.substr(0, open);
+  if (name.empty()) return Status::ParseError("tuple missing name: " + text);
+  std::string body = text.substr(open + 1, text.size() - open - 2);
+  ValueList fields;
+  // Split on commas at depth 0 (lists and strings may contain commas).
+  size_t start = 0;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i <= body.size(); ++i) {
+    if (i == body.size() || (body[i] == ',' && depth == 0 && !in_string)) {
+      std::string part = body.substr(start, i - start);
+      // Trim whitespace.
+      size_t a = part.find_first_not_of(" \t");
+      if (a == std::string::npos) {
+        if (!body.empty()) {
+          return Status::ParseError("empty field in tuple: " + text);
+        }
+        break;
+      }
+      size_t b = part.find_last_not_of(" \t");
+      NT_ASSIGN_OR_RETURN(Value v, Value::Parse(part.substr(a, b - a + 1)));
+      fields.push_back(std::move(v));
+      start = i + 1;
+      continue;
+    }
+    char c = body[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+  }
+  return Tuple(std::move(name), std::move(fields));
+}
+
+}  // namespace nettrails

@@ -1,0 +1,64 @@
+// Tuples: the unit of network state and of provenance vertices.
+#ifndef NETTRAILS_COMMON_TUPLE_H_
+#define NETTRAILS_COMMON_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace nettrails {
+
+/// Vertex identifier in the provenance graph: stable digest of a tuple
+/// (tuple vertices) or of a rule execution (rule-execution vertices).
+using Vid = uint64_t;
+
+/// A named tuple, e.g. `link(@1, 2, 10)`. By NDlog convention the first
+/// field is the location attribute (a Value::Address) identifying the node
+/// that stores the tuple.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::string name, ValueList fields)
+      : name_(std::move(name)), fields_(std::move(fields)) {}
+
+  const std::string& name() const { return name_; }
+  const ValueList& fields() const { return fields_; }
+  ValueList& mutable_fields() { return fields_; }
+  size_t arity() const { return fields_.size(); }
+  const Value& field(size_t i) const { return fields_[i]; }
+
+  /// True if field 0 exists and is an address.
+  bool HasLocation() const {
+    return !fields_.empty() && fields_[0].is_address();
+  }
+  /// Location attribute (field 0). Requires HasLocation().
+  NodeId Location() const { return fields_[0].as_address(); }
+
+  bool operator==(const Tuple& other) const {
+    return name_ == other.name_ && fields_ == other.fields_;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const;
+
+  /// Stable content digest; this is the tuple's VID in the provenance graph.
+  Vid Hash() const;
+
+  /// E.g. `link(@1,2,10)`.
+  std::string ToString() const;
+
+  /// Bytes on the wire when shipped between nodes.
+  size_t SerializedSize() const;
+
+  /// Parse the ToString() rendering back into a tuple.
+  static Result<Tuple> Parse(const std::string& text);
+
+ private:
+  std::string name_;
+  ValueList fields_;
+};
+
+}  // namespace nettrails
+
+#endif  // NETTRAILS_COMMON_TUPLE_H_

@@ -1,0 +1,305 @@
+#include "src/common/value.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/hash.h"
+
+namespace nettrails {
+
+const char* KindName(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kNull:
+      return "null";
+    case Value::Kind::kInt:
+      return "int";
+    case Value::Kind::kDouble:
+      return "double";
+    case Value::Kind::kString:
+      return "string";
+    case Value::Kind::kAddress:
+      return "address";
+    case Value::Kind::kList:
+      return "list";
+  }
+  return "unknown";
+}
+
+bool Value::Truthy() const {
+  switch (kind()) {
+    case Kind::kInt:
+      return as_int() != 0;
+    case Kind::kDouble:
+      return as_double() != 0.0;
+    default:
+      return false;
+  }
+}
+
+bool Value::operator==(const Value& other) const { return Compare(other) == 0; }
+
+int Value::Compare(const Value& other) const {
+  // Numeric kinds compare against each other by value.
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = as_int(), b = other.as_int();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = NumericAsDouble(), b = other.NumericAsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (kind() != other.kind()) {
+    return static_cast<int>(kind()) < static_cast<int>(other.kind()) ? -1 : 1;
+  }
+  switch (kind()) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kString: {
+      int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case Kind::kAddress: {
+      NodeId a = as_address(), b = other.as_address();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case Kind::kList: {
+      const ValueList& a = as_list();
+      const ValueList& b = other.as_list();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() == b.size()) return 0;
+      return a.size() < b.size() ? -1 : 1;
+    }
+    default:
+      return 0;  // unreachable: numeric handled above
+  }
+}
+
+uint64_t Value::Hash() const {
+  Hasher h;
+  // Hash ints and doubles that hold integral values identically so that
+  // Compare()==0 implies Hash() equality across the numeric kinds.
+  switch (kind()) {
+    case Kind::kNull:
+      h.AddU64(0x6e756c6c);
+      break;
+    case Kind::kInt:
+      h.AddU64(1);
+      h.AddU64(static_cast<uint64_t>(as_int()));
+      break;
+    case Kind::kDouble: {
+      double d = as_double();
+      double r = std::floor(d);
+      if (r == d && d >= -9.2e18 && d <= 9.2e18) {
+        h.AddU64(1);
+        h.AddU64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      } else {
+        h.AddU64(2);
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        h.AddU64(bits);
+      }
+      break;
+    }
+    case Kind::kString:
+      h.AddU64(3);
+      h.AddString(as_string());
+      break;
+    case Kind::kAddress:
+      h.AddU64(4);
+      h.AddU64(as_address());
+      break;
+    case Kind::kList: {
+      h.AddU64(5);
+      const ValueList& xs = as_list();
+      h.AddU64(xs.size());
+      for (const Value& x : xs) h.AddU64(x.Hash());
+      break;
+    }
+  }
+  return h.Digest();
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInt:
+      return std::to_string(as_int());
+    case Kind::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      // Ensure doubles render distinguishably from ints.
+      std::string s(buf);
+      if (s.find_first_of(".eEn") == std::string::npos) s += ".0";
+      return s;
+    }
+    case Kind::kString: {
+      std::string out = "\"";
+      for (char c : as_string()) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+    case Kind::kAddress:
+      return "@" + std::to_string(as_address());
+    case Kind::kList: {
+      std::string out = "[";
+      const ValueList& xs = as_list();
+      for (size_t i = 0; i < xs.size(); ++i) {
+        if (i) out += ",";
+        out += xs[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t Value::SerializedSize() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return 1;
+    case Kind::kInt:
+      return 1 + 8;
+    case Kind::kDouble:
+      return 1 + 8;
+    case Kind::kString:
+      return 1 + 4 + as_string().size();
+    case Kind::kAddress:
+      return 1 + 4;
+    case Kind::kList: {
+      size_t n = 1 + 4;
+      for (const Value& x : as_list()) n += x.SerializedSize();
+      return n;
+    }
+  }
+  return 1;
+}
+
+namespace {
+
+// Recursive-descent parser over the ToString() grammar.
+class ValueParser {
+ public:
+  explicit ValueParser(const std::string& text) : s_(text) {}
+
+  Result<Value> Parse() {
+    NT_ASSIGN_OR_RETURN(Value v, ParseValue());
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::ParseError("trailing characters in value: " + s_);
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  Result<Value> ParseValue() {
+    SkipWs();
+    if (pos_ >= s_.size()) return Status::ParseError("empty value");
+    char c = s_[pos_];
+    if (c == '"') return ParseString();
+    if (c == '[') return ParseList();
+    if (c == '@') return ParseAddress();
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Value::Null();
+    }
+    return ParseNumber();
+  }
+
+  Result<Value> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+      out += s_[pos_++];
+    }
+    if (pos_ >= s_.size()) return Status::ParseError("unterminated string");
+    ++pos_;  // closing quote
+    return Value::Str(std::move(out));
+  }
+
+  Result<Value> ParseList() {
+    ++pos_;  // '['
+    ValueList xs;
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return Value::List(std::move(xs));
+    }
+    while (true) {
+      NT_ASSIGN_OR_RETURN(Value v, ParseValue());
+      xs.push_back(std::move(v));
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return Value::List(std::move(xs));
+      }
+      return Status::ParseError("malformed list");
+    }
+  }
+
+  Result<Value> ParseAddress() {
+    ++pos_;  // '@'
+    size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    if (pos_ == start) return Status::ParseError("malformed address");
+    return Value::Address(
+        static_cast<NodeId>(std::stoul(s_.substr(start, pos_ - start))));
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool is_double = false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' ||
+                 ((c == '-' || c == '+') && pos_ > start &&
+                  (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E'))) {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Status::ParseError("malformed number");
+    std::string num = s_.substr(start, pos_ - start);
+    try {
+      if (is_double) return Value::Double(std::stod(num));
+      return Value::Int(std::stoll(num));
+    } catch (...) {
+      return Status::ParseError("malformed number: " + num);
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Value::Parse(const std::string& text) {
+  return ValueParser(text).Parse();
+}
+
+}  // namespace nettrails

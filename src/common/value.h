@@ -1,0 +1,110 @@
+// Runtime value system for NDlog tuples (RapidNet value layer equivalent).
+#ifndef NETTRAILS_COMMON_VALUE_H_
+#define NETTRAILS_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace nettrails {
+
+/// Identifier of a simulated node; doubles as the NDlog address type.
+using NodeId = uint32_t;
+
+class Value;
+using ValueList = std::vector<Value>;
+
+/// A dynamically-typed NDlog value: null, int64, double, string, node
+/// address, or list of values. Lists are immutable and shared (cheap copies
+/// of path vectors, VID lists, etc.).
+class Value {
+ public:
+  enum class Kind { kNull = 0, kInt, kDouble, kString, kAddress, kList };
+
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(std::in_place_index<1>, v)); }
+  static Value Double(double v) {
+    return Value(Rep(std::in_place_index<2>, v));
+  }
+  static Value Str(std::string v) {
+    return Value(Rep(std::in_place_index<3>, std::move(v)));
+  }
+  static Value Address(NodeId v) {
+    return Value(Rep(std::in_place_index<4>, v));
+  }
+  static Value List(ValueList v) {
+    return Value(Rep(std::in_place_index<5>,
+                     std::make_shared<const ValueList>(std::move(v))));
+  }
+  static Value Bool(bool v) { return Int(v ? 1 : 0); }
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_address() const { return kind() == Kind::kAddress; }
+  bool is_list() const { return kind() == Kind::kList; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t as_int() const { return std::get<1>(rep_); }
+  double as_double() const { return std::get<2>(rep_); }
+  const std::string& as_string() const { return std::get<3>(rep_); }
+  NodeId as_address() const { return std::get<4>(rep_); }
+  const ValueList& as_list() const { return *std::get<5>(rep_); }
+
+  /// Numeric promotion: int or double as double. Asserts numeric.
+  double NumericAsDouble() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  /// Truthiness: nonzero numeric. Null, strings, lists are falsy except
+  /// non-empty is NOT considered; NDlog predicates yield 0/1 ints.
+  bool Truthy() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order: by kind rank, then value (ints and doubles compare
+  /// numerically against each other).
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Three-way comparison: negative / zero / positive.
+  int Compare(const Value& other) const;
+
+  /// Stable 64-bit hash (FNV-1a over kind + canonical bytes). Used for VIDs.
+  uint64_t Hash() const;
+
+  /// Render for logs and the visualizer, e.g. `"abc"`, `@3`, `[1,2]`.
+  std::string ToString() const;
+
+  /// Size in bytes when serialized into a network message (for the traffic
+  /// accounting the optimization experiments report).
+  size_t SerializedSize() const;
+
+  /// Parse from the ToString() rendering.
+  static Result<Value> Parse(const std::string& text);
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string,
+                           NodeId, std::shared_ptr<const ValueList>>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// Human-readable kind name ("int", "list", ...).
+const char* KindName(Value::Kind kind);
+
+}  // namespace nettrails
+
+#endif  // NETTRAILS_COMMON_VALUE_H_

@@ -1,0 +1,243 @@
+#include "src/ndlog/analysis.h"
+
+#include <set>
+
+namespace nettrails {
+namespace ndlog {
+
+namespace {
+
+Status RuleError(const Rule& rule, const std::string& msg) {
+  return Status::PlanError("rule " + rule.name + ": " + msg);
+}
+
+/// Normalizes the location argument of an atom: position 0, '@' optional but
+/// rejected elsewhere; must be a variable or an address constant.
+Status NormalizeAtom(const Rule& rule, Atom* atom) {
+  if (atom->args.empty()) {
+    return RuleError(rule, "atom " + atom->predicate + " has no arguments");
+  }
+  for (size_t i = 1; i < atom->args.size(); ++i) {
+    if (atom->args[i].is_location) {
+      return RuleError(rule, "atom " + atom->predicate +
+                                 ": '@' only allowed on the first argument");
+    }
+  }
+  AtomArg& loc = atom->args[0];
+  loc.is_location = true;
+  if (loc.agg) {
+    return RuleError(rule, "atom " + atom->predicate +
+                               ": location argument cannot be an aggregate");
+  }
+  if (!loc.expr->is_var() &&
+      !(loc.expr->is_const() && loc.expr->const_value().is_address())) {
+    return RuleError(
+        rule, "atom " + atom->predicate +
+                  ": location argument must be a variable or @n constant");
+  }
+  return Status::OK();
+}
+
+Status CheckArgIsVarOrConst(const Rule& rule, const Atom& atom,
+                            const AtomArg& arg) {
+  if (arg.agg) return Status::OK();
+  if (!arg.expr->is_var() && !arg.expr->is_const()) {
+    return RuleError(rule, "atom " + atom.predicate +
+                               ": arguments must be variables or constants, "
+                               "got " +
+                               arg.expr->ToString());
+  }
+  return Status::OK();
+}
+
+Status CheckVarsBound(const Rule& rule, const ExprPtr& expr,
+                      const std::set<std::string>& bound,
+                      const std::string& context) {
+  std::vector<std::string> vars;
+  expr->CollectVars(&vars);
+  for (const std::string& v : vars) {
+    if (!bound.count(v)) {
+      return RuleError(rule, "unbound variable " + v + " in " + context);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AnalyzedProgram> Analyze(Program prog) {
+  AnalyzedProgram out;
+
+  // Catalog: materialize declarations first.
+  for (const MaterializeDecl& decl : prog.materializations) {
+    TableInfo& info = out.tables[decl.table];
+    if (info.materialized) {
+      return Status::PlanError("duplicate materialize(" + decl.table + ")");
+    }
+    info.name = decl.table;
+    info.materialized = true;
+    info.keys = decl.keys;
+    info.lifetime_secs = decl.lifetime_secs;
+    info.max_size = decl.max_size;
+  }
+
+  // Arity discovery and per-rule checks.
+  auto record_arity = [&](const Rule& rule, const Atom& atom) -> Status {
+    TableInfo& info = out.tables[atom.predicate];
+    if (info.name.empty()) info.name = atom.predicate;
+    if (info.arity == 0) {
+      info.arity = atom.args.size();
+    } else if (info.arity != atom.args.size()) {
+      return RuleError(rule, "predicate " + atom.predicate +
+                                 " used with arity " +
+                                 std::to_string(atom.args.size()) +
+                                 " but previously " +
+                                 std::to_string(info.arity));
+    }
+    return Status::OK();
+  };
+
+  for (Rule& rule : prog.rules) {
+    NT_RETURN_IF_ERROR(NormalizeAtom(rule, &rule.head));
+    NT_RETURN_IF_ERROR(record_arity(rule, rule.head));
+
+    // Head argument shape.
+    size_t agg_count = 0;
+    for (const AtomArg& arg : rule.head.args) {
+      if (arg.agg) {
+        ++agg_count;
+        if (rule.is_maybe) {
+          return RuleError(rule, "maybe rules cannot aggregate");
+        }
+      } else {
+        NT_RETURN_IF_ERROR(CheckArgIsVarOrConst(rule, rule.head, arg));
+      }
+    }
+    if (agg_count > 1) {
+      return RuleError(rule, "at most one aggregate per head");
+    }
+
+    std::set<std::string> bound;
+    if (rule.is_maybe) {
+      // The head tuple of a maybe rule arrives externally: its variables are
+      // bound by matching against the existing head tuple.
+      for (const AtomArg& arg : rule.head.args) {
+        if (arg.expr->is_var()) bound.insert(arg.expr->var_name());
+      }
+    }
+
+    size_t event_atoms = 0;
+    for (BodyTerm& term : rule.body) {
+      if (Atom* atom = std::get_if<Atom>(&term)) {
+        NT_RETURN_IF_ERROR(NormalizeAtom(rule, atom));
+        NT_RETURN_IF_ERROR(record_arity(rule, *atom));
+        for (const AtomArg& arg : atom->args) {
+          if (arg.agg) {
+            return RuleError(rule, "aggregates not allowed in rule bodies");
+          }
+          NT_RETURN_IF_ERROR(CheckArgIsVarOrConst(rule, *atom, arg));
+          if (arg.expr->is_var()) bound.insert(arg.expr->var_name());
+        }
+        (void)event_atoms;
+      } else if (Assign* assign = std::get_if<Assign>(&term)) {
+        NT_RETURN_IF_ERROR(
+            CheckVarsBound(rule, assign->expr, bound,
+                           "assignment of " + assign->var));
+        if (bound.count(assign->var)) {
+          return RuleError(rule,
+                           "variable " + assign->var + " assigned twice");
+        }
+        bound.insert(assign->var);
+      } else {
+        const Select& sel = std::get<Select>(term);
+        NT_RETURN_IF_ERROR(CheckVarsBound(rule, sel.expr, bound, "selection"));
+      }
+    }
+
+    // All head variables bound.
+    for (const AtomArg& arg : rule.head.args) {
+      if (!arg.expr) continue;  // a_count<*>
+      NT_RETURN_IF_ERROR(
+          CheckVarsBound(rule, arg.expr, bound, "head of " + rule.name));
+    }
+  }
+
+  // Event / base classification and event-related restrictions.
+  for (const Rule& rule : prog.rules) {
+    if (!rule.is_maybe) {
+      out.tables[rule.head.predicate].is_base = false;
+    } else {
+      out.tables[rule.head.predicate].is_maybe_head = true;
+    }
+  }
+  for (const Rule& rule : prog.rules) {
+    size_t events_in_body = 0;
+    for (const Atom* atom : rule.BodyAtoms()) {
+      if (!out.tables[atom->predicate].materialized) ++events_in_body;
+    }
+    if (events_in_body > 1) {
+      return RuleError(rule,
+                       "at most one event (non-materialized) predicate per "
+                       "rule body");
+    }
+    if (rule.is_maybe) {
+      if (!out.tables[rule.head.predicate].materialized) {
+        return RuleError(rule, "maybe rule head must be materialized");
+      }
+      for (const Atom* atom : rule.BodyAtoms()) {
+        if (!out.tables[atom->predicate].materialized) {
+          return RuleError(rule, "maybe rule body must be materialized");
+        }
+      }
+      // Maybe rules are evaluated locally by the proxy.
+      if (!rule.head.args[0].expr->is_var()) {
+        return RuleError(rule, "maybe rule head location must be a variable");
+      }
+      const std::string& head_loc = rule.head.LocationVar();
+      for (const Atom* atom : rule.BodyAtoms()) {
+        if (!atom->args[0].expr->is_var() ||
+            atom->args[0].expr->var_name() != head_loc) {
+          return RuleError(rule,
+                           "maybe rule body location must equal the head "
+                           "location (local inference)");
+        }
+      }
+    }
+    // Aggregate rules: head location variable must be the (single) body
+    // location variable. Rules still needing localization are re-checked
+    // after the localization rewrite.
+    if (rule.head.HasAggregate()) {
+      std::set<std::string> body_locs;
+      for (const Atom* atom : rule.BodyAtoms()) {
+        if (atom->args[0].expr->is_var()) {
+          body_locs.insert(atom->args[0].expr->var_name());
+        }
+      }
+      if (body_locs.size() == 1 && rule.head.args[0].expr->is_var() &&
+          !body_locs.count(rule.head.LocationVar())) {
+        return RuleError(rule,
+                         "aggregate rule head location must equal the body "
+                         "location");
+      }
+    }
+  }
+
+  // Key positions within arity (only checkable once arity is known).
+  for (auto& [name, info] : out.tables) {
+    if (info.arity == 0) continue;
+    for (int k : info.keys) {
+      if (k < 0 || static_cast<size_t>(k) >= info.arity) {
+        return Status::PlanError("table " + name + ": key position " +
+                                 std::to_string(k + 1) + " out of range for "
+                                 "arity " +
+                                 std::to_string(info.arity));
+      }
+    }
+  }
+
+  out.program = std::move(prog);
+  return out;
+}
+
+}  // namespace ndlog
+}  // namespace nettrails

@@ -1,0 +1,74 @@
+// Semantic analysis for NDlog programs: table catalog construction, arity
+// and key checks, location normalization, variable safety, and aggregate
+// restrictions.
+#ifndef NETTRAILS_NDLOG_ANALYSIS_H_
+#define NETTRAILS_NDLOG_ANALYSIS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ndlog/ast.h"
+
+namespace nettrails {
+namespace ndlog {
+
+/// Catalog entry for one predicate.
+struct TableInfo {
+  std::string name;
+  size_t arity = 0;
+  /// Primary-key field positions (0-based). Empty means "all fields":
+  /// set/bag semantics with derivation counting. A proper subset means
+  /// key-replacement semantics (latest tuple per key wins, the previous one
+  /// is retracted with cascade).
+  std::vector<int> keys;
+  /// Declared via materialize(); undeclared predicates are transient events.
+  bool materialized = false;
+  /// Soft-state lifetime in seconds (-1 = infinity): tuples expire and are
+  /// retracted (with cascade) this long after their last insertion.
+  int64_t lifetime_secs = -1;
+  /// Maximum visible tuples (-1 = infinity): FIFO eviction beyond this.
+  int64_t max_size = -1;
+  /// Not derived by any regular rule: populated externally (or by a proxy).
+  bool is_base = true;
+  /// Head of at least one maybe rule (legacy-app state whose derivations are
+  /// inferred, not computed).
+  bool is_maybe_head = false;
+
+  /// True if keys is empty or covers every field.
+  bool KeysCoverAllFields() const {
+    return keys.empty() || keys.size() == arity;
+  }
+};
+
+/// A semantically validated program plus its catalog. Atoms are normalized:
+/// args[0].is_location is set on every atom and is a variable or address
+/// constant.
+struct AnalyzedProgram {
+  Program program;
+  std::map<std::string, TableInfo> tables;
+
+  const TableInfo* FindTable(const std::string& name) const {
+    auto it = tables.find(name);
+    return it == tables.end() ? nullptr : &it->second;
+  }
+};
+
+/// Validates `prog` and builds the catalog. Checks:
+///  - consistent arity per predicate; key positions within arity;
+///  - atom location normalization (first argument, '@' elsewhere rejected);
+///  - variable safety (head and selection variables bound by body atoms or
+///    assignments, in order);
+///  - at most one aggregate per head; aggregates not in maybe rules; the
+///    aggregate rule's head location equals its body location;
+///  - at most one event (non-materialized) predicate per body; event
+///    predicates cannot be materialized rule outputs' inputs requirements;
+///  - maybe rules: head and body predicates materialized, single body
+///    location equal to the head location (the proxy infers locally).
+Result<AnalyzedProgram> Analyze(Program prog);
+
+}  // namespace ndlog
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NDLOG_ANALYSIS_H_

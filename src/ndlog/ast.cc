@@ -1,0 +1,189 @@
+#include "src/ndlog/ast.h"
+
+namespace nettrails {
+namespace ndlog {
+
+namespace {
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+}  // namespace
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kMin: return "a_min";
+    case AggFn::kMax: return "a_max";
+    case AggFn::kCount: return "a_count";
+    case AggFn::kSum: return "a_sum";
+  }
+  return "a_?";
+}
+
+void Expr::CollectVars(std::vector<std::string>* out) const {
+  struct Visitor {
+    std::vector<std::string>* out;
+    void operator()(const Const&) {}
+    void operator()(const Var& v) { out->push_back(v.name); }
+    void operator()(const Call& c) {
+      for (const ExprPtr& a : c.args) a->CollectVars(out);
+    }
+    void operator()(const Binary& b) {
+      b.lhs->CollectVars(out);
+      b.rhs->CollectVars(out);
+    }
+    void operator()(const Unary& u) { u.operand->CollectVars(out); }
+    void operator()(const ListLit& l) {
+      for (const ExprPtr& e : l.elements) e->CollectVars(out);
+    }
+  };
+  std::visit(Visitor{out}, rep_);
+}
+
+std::string Expr::ToString() const {
+  struct Visitor {
+    std::string operator()(const Const& c) { return c.value.ToString(); }
+    std::string operator()(const Var& v) { return v.name; }
+    std::string operator()(const Call& c) {
+      std::string out = c.fn + "(";
+      for (size_t i = 0; i < c.args.size(); ++i) {
+        if (i) out += ", ";
+        out += c.args[i]->ToString();
+      }
+      return out + ")";
+    }
+    std::string operator()(const Binary& b) {
+      return "(" + b.lhs->ToString() + " " + BinOpName(b.op) + " " +
+             b.rhs->ToString() + ")";
+    }
+    std::string operator()(const Unary& u) {
+      return std::string(u.op == UnOp::kNeg ? "-" : "!") +
+             u.operand->ToString();
+    }
+    std::string operator()(const ListLit& l) {
+      std::string out = "[";
+      for (size_t i = 0; i < l.elements.size(); ++i) {
+        if (i) out += ", ";
+        out += l.elements[i]->ToString();
+      }
+      return out + "]";
+    }
+  };
+  return std::visit(Visitor{}, rep_);
+}
+
+std::string AtomArg::ToString() const {
+  std::string out;
+  if (agg) {
+    out += AggFnName(*agg);
+    out += '<';
+    out += expr ? expr->ToString() : "*";
+    out += '>';
+    return out;
+  }
+  if (is_location) out += '@';
+  out += expr->ToString();
+  return out;
+}
+
+bool Atom::HasAggregate() const {
+  for (const AtomArg& a : args) {
+    if (a.agg) return true;
+  }
+  return false;
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ", ";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string Assign::ToString() const { return var + " := " + expr->ToString(); }
+
+std::string Select::ToString() const { return expr->ToString(); }
+
+std::string BodyTermToString(const BodyTerm& term) {
+  struct Visitor {
+    std::string operator()(const Atom& a) { return a.ToString(); }
+    std::string operator()(const Assign& a) { return a.ToString(); }
+    std::string operator()(const Select& s) { return s.ToString(); }
+  };
+  return std::visit(Visitor{}, term);
+}
+
+std::vector<const Atom*> Rule::BodyAtoms() const {
+  std::vector<const Atom*> out;
+  for (const BodyTerm& t : body) {
+    if (const Atom* a = std::get_if<Atom>(&t)) out.push_back(a);
+  }
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::string out = name + " " + head.ToString();
+  out += is_maybe ? " ?- " : " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) out += ", ";
+    out += BodyTermToString(body[i]);
+  }
+  return out + ".";
+}
+
+std::string MaterializeDecl::ToString() const {
+  auto life = [&]() -> std::string {
+    return lifetime_secs < 0 ? "infinity" : std::to_string(lifetime_secs);
+  };
+  auto size = [&]() -> std::string {
+    return max_size < 0 ? "infinity" : std::to_string(max_size);
+  };
+  std::string out = "materialize(" + table + ", " + life() + ", " + size() +
+                    ", keys(";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(keys[i] + 1);  // render 1-based
+  }
+  return out + ")).";
+}
+
+const MaterializeDecl* Program::FindMaterialization(
+    const std::string& table) const {
+  for (const MaterializeDecl& m : materializations) {
+    if (m.table == table) return &m;
+  }
+  return nullptr;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const MaterializeDecl& m : materializations) {
+    out += m.ToString();
+    out += '\n';
+  }
+  if (!materializations.empty()) out += '\n';
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ndlog
+}  // namespace nettrails

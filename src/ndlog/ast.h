@@ -1,0 +1,190 @@
+// Abstract syntax tree for NDlog programs.
+//
+// Grammar sketch (see parser.cc):
+//   program     := { materialize | rule }
+//   materialize := "materialize" "(" name "," life "," size "," "keys" "(" ints ")" ")" "."
+//   rule        := name head (":-" | "?-") body "."
+//   head        := atom (args may include one aggregate a_min<V> etc.)
+//   body        := term { "," term }
+//   term        := atom | Var ":=" expr | expr
+//   atom        := name "(" arg { "," arg } ")", args are @Var / Var / const
+#ifndef NETTRAILS_NDLOG_AST_H_
+#define NETTRAILS_NDLOG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/value.h"
+
+namespace nettrails {
+namespace ndlog {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNeg, kNot };
+
+/// Expression tree node. Immutable; shared across rewritten rules.
+class Expr {
+ public:
+  struct Const {
+    Value value;
+  };
+  struct Var {
+    std::string name;
+  };
+  struct Call {
+    std::string fn;  // builtin name, e.g. "f_append"
+    std::vector<ExprPtr> args;
+  };
+  struct Binary {
+    BinOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+  };
+  struct Unary {
+    UnOp op;
+    ExprPtr operand;
+  };
+  /// List literal [e1, e2, ...].
+  struct ListLit {
+    std::vector<ExprPtr> elements;
+  };
+
+  using Rep = std::variant<Const, Var, Call, Binary, Unary, ListLit>;
+
+  explicit Expr(Rep rep) : rep_(std::move(rep)) {}
+
+  static ExprPtr MakeConst(Value v) {
+    return std::make_shared<Expr>(Rep(Const{std::move(v)}));
+  }
+  static ExprPtr MakeVar(std::string name) {
+    return std::make_shared<Expr>(Rep(Var{std::move(name)}));
+  }
+  static ExprPtr MakeCall(std::string fn, std::vector<ExprPtr> args) {
+    return std::make_shared<Expr>(Rep(Call{std::move(fn), std::move(args)}));
+  }
+  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+    return std::make_shared<Expr>(
+        Rep(Binary{op, std::move(lhs), std::move(rhs)}));
+  }
+  static ExprPtr MakeUnary(UnOp op, ExprPtr operand) {
+    return std::make_shared<Expr>(Rep(Unary{op, std::move(operand)}));
+  }
+  static ExprPtr MakeList(std::vector<ExprPtr> elements) {
+    return std::make_shared<Expr>(Rep(ListLit{std::move(elements)}));
+  }
+
+  const Rep& rep() const { return rep_; }
+
+  bool is_var() const { return std::holds_alternative<Var>(rep_); }
+  bool is_const() const { return std::holds_alternative<Const>(rep_); }
+  const std::string& var_name() const { return std::get<Var>(rep_).name; }
+  const Value& const_value() const { return std::get<Const>(rep_).value; }
+
+  /// Appends the names of all variables in this expression to `out`.
+  void CollectVars(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+
+ private:
+  Rep rep_;
+};
+
+/// Aggregate function in a rule head argument, e.g. a_min<C>.
+enum class AggFn { kMin, kMax, kCount, kSum };
+
+const char* AggFnName(AggFn fn);
+
+/// One argument of an atom.
+struct AtomArg {
+  /// Marked with '@' — the location attribute. Only valid at position 0.
+  bool is_location = false;
+  /// Set when the head argument is an aggregate, e.g. a_min<C>.
+  std::optional<AggFn> agg;
+  /// a_count<*> has no variable; otherwise the expression (Var/Const for
+  /// atoms; aggregates always wrap a Var or '*').
+  ExprPtr expr;
+
+  std::string ToString() const;
+};
+
+/// A predicate atom, e.g. link(@X, Y, C).
+struct Atom {
+  std::string predicate;
+  std::vector<AtomArg> args;
+
+  /// Location variable name (args[0] must be @Var after analysis).
+  const std::string& LocationVar() const { return args[0].expr->var_name(); }
+  bool HasAggregate() const;
+  std::string ToString() const;
+};
+
+/// Var := expr.
+struct Assign {
+  std::string var;
+  ExprPtr expr;
+
+  std::string ToString() const;
+};
+
+/// A boolean selection predicate over bound variables.
+struct Select {
+  ExprPtr expr;
+
+  std::string ToString() const;
+};
+
+using BodyTerm = std::variant<Atom, Assign, Select>;
+
+std::string BodyTermToString(const BodyTerm& term);
+
+/// One NDlog rule. `is_maybe` marks "maybe" rules (`?-`), which describe
+/// possible causal relationships for legacy (black-box) applications rather
+/// than hard derivations.
+struct Rule {
+  std::string name;
+  Atom head;
+  std::vector<BodyTerm> body;
+  bool is_maybe = false;
+
+  /// Atoms of the body, in order.
+  std::vector<const Atom*> BodyAtoms() const;
+  std::string ToString() const;
+};
+
+/// materialize(name, lifetime, maxsize, keys(...)). Lifetime/size of -1
+/// mean "infinity". Key positions are 1-based in the source (matching the
+/// original NDlog syntax) and stored 0-based here.
+struct MaterializeDecl {
+  std::string table;
+  int64_t lifetime_secs = -1;
+  int64_t max_size = -1;
+  std::vector<int> keys;  // 0-based field positions
+
+  std::string ToString() const;
+};
+
+/// A parsed NDlog program.
+struct Program {
+  std::vector<MaterializeDecl> materializations;
+  std::vector<Rule> rules;
+
+  const MaterializeDecl* FindMaterialization(const std::string& table) const;
+  std::string ToString() const;
+};
+
+}  // namespace ndlog
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NDLOG_AST_H_

@@ -1,0 +1,254 @@
+#include "src/ndlog/lexer.h"
+
+#include <cctype>
+
+namespace nettrails {
+namespace ndlog {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      NT_RETURN_IF_ERROR(SkipWsAndComments());
+      Token tok;
+      tok.line = line_;
+      tok.column = column_;
+      if (pos_ >= src_.size()) {
+        tok.kind = TokenKind::kEof;
+        out.push_back(tok);
+        return out;
+      }
+      char c = src_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexWord(&tok);
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        NT_RETURN_IF_ERROR(LexNumber(&tok));
+      } else if (c == '"') {
+        NT_RETURN_IF_ERROR(LexString(&tok));
+      } else {
+        NT_RETURN_IF_ERROR(LexPunct(&tok));
+      }
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ":" + std::to_string(column_));
+  }
+
+  void Advance() {
+    if (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++pos_;
+    }
+  }
+
+  char Peek(size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+
+  Status SkipWsAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (pos_ < src_.size() && !(Peek() == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (pos_ >= src_.size()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  void LexWord(Token* tok) {
+    size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_')) {
+      Advance();
+    }
+    tok->text = src_.substr(start, pos_ - start);
+    tok->kind = std::isupper(static_cast<unsigned char>(tok->text[0]))
+                    ? TokenKind::kVariable
+                    : TokenKind::kIdent;
+  }
+
+  Status LexNumber(Token* tok) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      Advance();
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      Advance();
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = pos_;
+      int save_line = line_, save_col = column_;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_double = true;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          Advance();
+        }
+      } else {
+        pos_ = save;
+        line_ = save_line;
+        column_ = save_col;
+      }
+    }
+    std::string text = src_.substr(start, pos_ - start);
+    try {
+      if (is_double) {
+        tok->kind = TokenKind::kDoubleLit;
+        tok->double_value = std::stod(text);
+      } else {
+        tok->kind = TokenKind::kIntLit;
+        tok->int_value = std::stoll(text);
+      }
+    } catch (...) {
+      return Error("malformed numeric literal '" + text + "'");
+    }
+    return Status::OK();
+  }
+
+  Status LexString(Token* tok) {
+    Advance();  // opening quote
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        Advance();
+        char e = src_[pos_];
+        if (e == 'n') {
+          text += '\n';
+        } else if (e == 't') {
+          text += '\t';
+        } else {
+          text += e;
+        }
+        Advance();
+        continue;
+      }
+      text += src_[pos_];
+      Advance();
+    }
+    if (pos_ >= src_.size()) return Error("unterminated string literal");
+    Advance();  // closing quote
+    tok->kind = TokenKind::kStringLit;
+    tok->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexPunct(Token* tok) {
+    char c = Peek();
+    char c1 = Peek(1);
+    auto two = [&](TokenKind k) {
+      tok->kind = k;
+      Advance();
+      Advance();
+      return Status::OK();
+    };
+    auto one = [&](TokenKind k) {
+      tok->kind = k;
+      Advance();
+      return Status::OK();
+    };
+    switch (c) {
+      case ':':
+        if (c1 == '-') return two(TokenKind::kDerives);
+        if (c1 == '=') return two(TokenKind::kAssign);
+        return Error("unexpected ':'");
+      case '?':
+        if (c1 == '-') return two(TokenKind::kMaybeDerives);
+        return Error("unexpected '?'");
+      case '=':
+        if (c1 == '=') return two(TokenKind::kEq);
+        return Error("unexpected '=' (use '==' or ':=')");
+      case '!':
+        if (c1 == '=') return two(TokenKind::kNe);
+        return one(TokenKind::kBang);
+      case '<':
+        if (c1 == '=') return two(TokenKind::kLe);
+        return one(TokenKind::kLAngle);
+      case '>':
+        if (c1 == '=') return two(TokenKind::kGe);
+        return one(TokenKind::kRAngle);
+      case '&':
+        if (c1 == '&') return two(TokenKind::kAndAnd);
+        return Error("unexpected '&'");
+      case '|':
+        if (c1 == '|') return two(TokenKind::kOrOr);
+        return Error("unexpected '|'");
+      case '@':
+        return one(TokenKind::kAt);
+      case '(':
+        return one(TokenKind::kLParen);
+      case ')':
+        return one(TokenKind::kRParen);
+      case '[':
+        return one(TokenKind::kLBracket);
+      case ']':
+        return one(TokenKind::kRBracket);
+      case ',':
+        return one(TokenKind::kComma);
+      case '.':
+        return one(TokenKind::kPeriod);
+      case '+':
+        return one(TokenKind::kPlus);
+      case '-':
+        return one(TokenKind::kMinus);
+      case '*':
+        return one(TokenKind::kStar);
+      case '/':
+        return one(TokenKind::kSlash);
+      case '%':
+        return one(TokenKind::kPercent);
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace ndlog
+}  // namespace nettrails

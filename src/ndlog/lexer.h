@@ -1,0 +1,21 @@
+// NDlog lexer. Comments: `//` to end of line and `/* ... */`.
+#ifndef NETTRAILS_NDLOG_LEXER_H_
+#define NETTRAILS_NDLOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ndlog/token.h"
+
+namespace nettrails {
+namespace ndlog {
+
+/// Tokenizes NDlog source. Returns the token stream terminated by kEof, or a
+/// ParseError with line/column info.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace ndlog
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NDLOG_LEXER_H_

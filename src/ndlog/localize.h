@@ -1,0 +1,38 @@
+// Localization rewrite (Loo et al., "Declarative Networking"): turns rules
+// whose bodies span two nodes connected by a link-shaped predicate into
+// rules whose bodies execute at a single node, with results shipped to the
+// head's node. Example:
+//
+//   sp2 path(@X,Z,C,P) :- link(@X,Y,C1), path(@Y,Z,C2,P2), ...
+//
+// becomes
+//
+//   sp2a link_d(@Y,X,C) :- link(@X,Y,C).
+//   sp2  path(@X,Z,C,P) :- link_d(@Y,X,C1), path(@Y,Z,C2,P2), ...
+//
+// where link_d is the automatically generated "reversed link" table stored
+// at the link's destination.
+#ifndef NETTRAILS_NDLOG_LOCALIZE_H_
+#define NETTRAILS_NDLOG_LOCALIZE_H_
+
+#include "src/common/status.h"
+#include "src/ndlog/analysis.h"
+
+namespace nettrails {
+namespace ndlog {
+
+/// Suffix appended to a predicate name for its reversed-link table.
+inline constexpr char kReversedSuffix[] = "_d";
+
+/// Rewrites every rule of `prog` to have a single body location. Rules
+/// already local pass through. A two-location rule is rewritten when one
+/// location is introduced solely by a link-shaped atom l(@X, Y, ...) whose
+/// second argument is the other location; anything else is a PlanError.
+/// Generated reversed-link tables and their deriving rules are appended
+/// (deduplicated per predicate).
+Result<Program> Localize(const AnalyzedProgram& prog);
+
+}  // namespace ndlog
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NDLOG_LOCALIZE_H_

@@ -1,0 +1,425 @@
+#include "src/ndlog/parser.h"
+
+#include "src/ndlog/lexer.h"
+
+namespace nettrails {
+namespace ndlog {
+
+namespace {
+
+bool IsAggName(const std::string& s, AggFn* fn) {
+  if (s == "a_min") {
+    *fn = AggFn::kMin;
+    return true;
+  }
+  if (s == "a_max") {
+    *fn = AggFn::kMax;
+    return true;
+  }
+  if (s == "a_count") {
+    *fn = AggFn::kCount;
+    return true;
+  }
+  if (s == "a_sum") {
+    *fn = AggFn::kSum;
+    return true;
+  }
+  return false;
+}
+
+bool IsFunctionName(const std::string& s) {
+  return s.rfind("f_", 0) == 0;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Run() {
+    Program prog;
+    while (!At(TokenKind::kEof)) {
+      if (At(TokenKind::kIdent) && Cur().text == "materialize") {
+        NT_ASSIGN_OR_RETURN(MaterializeDecl decl, ParseMaterialize());
+        prog.materializations.push_back(std::move(decl));
+      } else {
+        NT_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+        prog.rules.push_back(std::move(rule));
+      }
+    }
+    return prog;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Next() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at line " + std::to_string(Cur().line) +
+                              ":" + std::to_string(Cur().column) + " (got " +
+                              Cur().ToString() + ")");
+  }
+
+  Status Expect(TokenKind k, const char* what) {
+    if (!At(k)) {
+      return Error(std::string("expected ") + TokenKindName(k) + " in " +
+                   what);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // materialize(name, lifetime, maxsize, keys(1,2)).
+  Result<MaterializeDecl> ParseMaterialize() {
+    Advance();  // "materialize"
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "materialize"));
+    if (!At(TokenKind::kIdent)) return Error("expected table name");
+    MaterializeDecl decl;
+    decl.table = Cur().text;
+    Advance();
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kComma, "materialize"));
+    NT_ASSIGN_OR_RETURN(decl.lifetime_secs, ParseLifetimeOrSize());
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kComma, "materialize"));
+    NT_ASSIGN_OR_RETURN(decl.max_size, ParseLifetimeOrSize());
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kComma, "materialize"));
+    if (!At(TokenKind::kIdent) || Cur().text != "keys") {
+      return Error("expected keys(...)");
+    }
+    Advance();
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "keys"));
+    while (At(TokenKind::kIntLit)) {
+      int64_t pos = Cur().int_value;
+      if (pos < 1) return Error("key positions are 1-based");
+      decl.keys.push_back(static_cast<int>(pos - 1));
+      Advance();
+      if (At(TokenKind::kComma)) {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "keys"));
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "materialize"));
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "materialize"));
+    return decl;
+  }
+
+  Result<int64_t> ParseLifetimeOrSize() {
+    if (At(TokenKind::kIdent) && Cur().text == "infinity") {
+      Advance();
+      return static_cast<int64_t>(-1);
+    }
+    if (At(TokenKind::kIntLit)) {
+      int64_t v = Cur().int_value;
+      Advance();
+      return v;
+    }
+    return Error("expected integer or 'infinity'");
+  }
+
+  // name head :- body.  |  name head ?- body.
+  Result<Rule> ParseRule() {
+    Rule rule;
+    if (!At(TokenKind::kIdent)) return Error("expected rule name");
+    rule.name = Cur().text;
+    Advance();
+    NT_ASSIGN_OR_RETURN(rule.head, ParseAtom(/*allow_agg=*/true));
+    if (At(TokenKind::kDerives)) {
+      rule.is_maybe = false;
+    } else if (At(TokenKind::kMaybeDerives)) {
+      rule.is_maybe = true;
+    } else {
+      return Error("expected ':-' or '?-'");
+    }
+    Advance();
+    while (true) {
+      NT_ASSIGN_OR_RETURN(BodyTerm term, ParseBodyTerm());
+      rule.body.push_back(std::move(term));
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "rule"));
+    return rule;
+  }
+
+  Result<BodyTerm> ParseBodyTerm() {
+    // Var := expr
+    if (At(TokenKind::kVariable) && Next().kind == TokenKind::kAssign) {
+      Assign assign;
+      assign.var = Cur().text;
+      Advance();
+      Advance();  // ':='
+      NT_ASSIGN_OR_RETURN(assign.expr, ParseExpr());
+      return BodyTerm(std::move(assign));
+    }
+    // Atom: ident '(' where ident is not an f_ function.
+    if (At(TokenKind::kIdent) && !IsFunctionName(Cur().text) &&
+        Next().kind == TokenKind::kLParen) {
+      NT_ASSIGN_OR_RETURN(Atom atom, ParseAtom(/*allow_agg=*/false));
+      return BodyTerm(std::move(atom));
+    }
+    // Otherwise a selection expression.
+    NT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    return BodyTerm(Select{std::move(e)});
+  }
+
+  Result<Atom> ParseAtom(bool allow_agg) {
+    Atom atom;
+    if (!At(TokenKind::kIdent)) return Error("expected predicate name");
+    atom.predicate = Cur().text;
+    Advance();
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "atom"));
+    if (At(TokenKind::kRParen)) {
+      return Error("atoms must have at least one argument (the location)");
+    }
+    while (true) {
+      NT_ASSIGN_OR_RETURN(AtomArg arg, ParseAtomArg(allow_agg));
+      atom.args.push_back(std::move(arg));
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    NT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "atom"));
+    return atom;
+  }
+
+  Result<AtomArg> ParseAtomArg(bool allow_agg) {
+    AtomArg arg;
+    if (At(TokenKind::kAt)) {
+      arg.is_location = true;
+      Advance();
+      if (!At(TokenKind::kVariable) && !At(TokenKind::kIntLit)) {
+        return Error("expected variable or node id after '@'");
+      }
+      if (At(TokenKind::kIntLit)) {
+        arg.expr = Expr::MakeConst(
+            Value::Address(static_cast<NodeId>(Cur().int_value)));
+        Advance();
+      } else {
+        arg.expr = Expr::MakeVar(Cur().text);
+        Advance();
+      }
+      return arg;
+    }
+    AggFn fn;
+    if (allow_agg && At(TokenKind::kIdent) && IsAggName(Cur().text, &fn) &&
+        Next().kind == TokenKind::kLAngle) {
+      arg.agg = fn;
+      Advance();
+      Advance();  // '<'
+      if (At(TokenKind::kStar)) {
+        arg.expr = nullptr;  // a_count<*>
+        Advance();
+      } else if (At(TokenKind::kVariable)) {
+        arg.expr = Expr::MakeVar(Cur().text);
+        Advance();
+      } else {
+        return Error("expected variable or '*' in aggregate");
+      }
+      if (!At(TokenKind::kRAngle)) return Error("expected '>' after aggregate");
+      Advance();
+      return arg;
+    }
+    NT_ASSIGN_OR_RETURN(arg.expr, ParseExpr());
+    return arg;
+  }
+
+  // Precedence climbing: || < && < ==/!= < relational < +- < */% < unary.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    NT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (At(TokenKind::kOrOr)) {
+      Advance();
+      NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    NT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseEquality());
+    while (At(TokenKind::kAndAnd)) {
+      Advance();
+      NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseEquality());
+      lhs = Expr::MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseEquality() {
+    NT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseRelational());
+    while (At(TokenKind::kEq) || At(TokenKind::kNe)) {
+      BinOp op = At(TokenKind::kEq) ? BinOp::kEq : BinOp::kNe;
+      Advance();
+      NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRelational());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseRelational() {
+    NT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (At(TokenKind::kLAngle) || At(TokenKind::kRAngle) ||
+           At(TokenKind::kLe) || At(TokenKind::kGe)) {
+      BinOp op;
+      if (At(TokenKind::kLAngle)) {
+        op = BinOp::kLt;
+      } else if (At(TokenKind::kRAngle)) {
+        op = BinOp::kGt;
+      } else if (At(TokenKind::kLe)) {
+        op = BinOp::kLe;
+      } else {
+        op = BinOp::kGe;
+      }
+      Advance();
+      NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    NT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      BinOp op = At(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      Advance();
+      NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    NT_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash) ||
+           At(TokenKind::kPercent)) {
+      BinOp op = At(TokenKind::kStar)
+                     ? BinOp::kMul
+                     : (At(TokenKind::kSlash) ? BinOp::kDiv : BinOp::kMod);
+      Advance();
+      NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (At(TokenKind::kMinus)) {
+      Advance();
+      NT_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::MakeUnary(UnOp::kNeg, std::move(e));
+    }
+    if (At(TokenKind::kBang)) {
+      Advance();
+      NT_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return Expr::MakeUnary(UnOp::kNot, std::move(e));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    switch (Cur().kind) {
+      case TokenKind::kIntLit: {
+        ExprPtr e = Expr::MakeConst(Value::Int(Cur().int_value));
+        Advance();
+        return e;
+      }
+      case TokenKind::kDoubleLit: {
+        ExprPtr e = Expr::MakeConst(Value::Double(Cur().double_value));
+        Advance();
+        return e;
+      }
+      case TokenKind::kStringLit: {
+        ExprPtr e = Expr::MakeConst(Value::Str(Cur().text));
+        Advance();
+        return e;
+      }
+      case TokenKind::kVariable: {
+        ExprPtr e = Expr::MakeVar(Cur().text);
+        Advance();
+        return e;
+      }
+      case TokenKind::kAt: {
+        // Address literal @N.
+        Advance();
+        if (!At(TokenKind::kIntLit)) return Error("expected node id after '@'");
+        ExprPtr e = Expr::MakeConst(
+            Value::Address(static_cast<NodeId>(Cur().int_value)));
+        Advance();
+        return e;
+      }
+      case TokenKind::kIdent: {
+        if (!IsFunctionName(Cur().text)) {
+          return Error("unexpected identifier '" + Cur().text +
+                       "' (functions are f_*)");
+        }
+        std::string fn = Cur().text;
+        Advance();
+        NT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "function call"));
+        std::vector<ExprPtr> args;
+        if (!At(TokenKind::kRParen)) {
+          while (true) {
+            NT_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            args.push_back(std::move(a));
+            if (At(TokenKind::kComma)) {
+              Advance();
+              continue;
+            }
+            break;
+          }
+        }
+        NT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "function call"));
+        return Expr::MakeCall(std::move(fn), std::move(args));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        NT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        NT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "parenthesized expr"));
+        return e;
+      }
+      case TokenKind::kLBracket: {
+        Advance();
+        std::vector<ExprPtr> elems;
+        if (!At(TokenKind::kRBracket)) {
+          while (true) {
+            NT_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            elems.push_back(std::move(e));
+            if (At(TokenKind::kComma)) {
+              Advance();
+              continue;
+            }
+            break;
+          }
+        }
+        NT_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "list literal"));
+        return Expr::MakeList(std::move(elems));
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(const std::string& source) {
+  NT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace ndlog
+}  // namespace nettrails

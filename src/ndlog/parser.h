@@ -1,0 +1,21 @@
+// Recursive-descent parser for NDlog.
+#ifndef NETTRAILS_NDLOG_PARSER_H_
+#define NETTRAILS_NDLOG_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/ndlog/ast.h"
+
+namespace nettrails {
+namespace ndlog {
+
+/// Parses NDlog source into a Program. Syntactic checks only; semantic
+/// validation (safety, location consistency, catalog) happens in
+/// analysis.h.
+Result<Program> Parse(const std::string& source);
+
+}  // namespace ndlog
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NDLOG_PARSER_H_

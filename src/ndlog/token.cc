@@ -1,0 +1,59 @@
+#include "src/ndlog/token.h"
+
+namespace nettrails {
+namespace ndlog {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end-of-input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kIntLit: return "integer";
+    case TokenKind::kDoubleLit: return "double";
+    case TokenKind::kStringLit: return "string";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLAngle: return "'<'";
+    case TokenKind::kRAngle: return "'>'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kDerives: return "':-'";
+    case TokenKind::kMaybeDerives: return "'?-'";
+    case TokenKind::kAssign: return "':='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kBang: return "'!'";
+  }
+  return "unknown";
+}
+
+std::string Token::ToString() const {
+  switch (kind) {
+    case TokenKind::kIdent:
+    case TokenKind::kVariable:
+      return text;
+    case TokenKind::kIntLit:
+      return std::to_string(int_value);
+    case TokenKind::kDoubleLit:
+      return std::to_string(double_value);
+    case TokenKind::kStringLit:
+      return "\"" + text + "\"";
+    default:
+      return TokenKindName(kind);
+  }
+}
+
+}  // namespace ndlog
+}  // namespace nettrails

@@ -1,0 +1,61 @@
+// Token definitions for the NDlog lexer.
+#ifndef NETTRAILS_NDLOG_TOKEN_H_
+#define NETTRAILS_NDLOG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nettrails {
+namespace ndlog {
+
+enum class TokenKind {
+  kEof,
+  kIdent,       // lowercase-initial: predicates, functions, keywords
+  kVariable,    // uppercase-initial: rule variables
+  kIntLit,
+  kDoubleLit,
+  kStringLit,
+  kAt,          // @
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLAngle,      // <
+  kRAngle,      // >
+  kComma,       // ,
+  kPeriod,      // .
+  kDerives,     // :-
+  kMaybeDerives,// ?-
+  kAssign,      // :=
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kEq,          // ==
+  kNe,          // !=
+  kLe,          // <=
+  kGe,          // >=
+  kAndAnd,      // &&
+  kOrOr,        // ||
+  kBang,        // !
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifier / variable / string contents
+  int64_t int_value = 0;
+  double double_value = 0;
+  int line = 0;
+  int column = 0;
+
+  std::string ToString() const;
+};
+
+/// Name of a token kind for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace ndlog
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NDLOG_TOKEN_H_

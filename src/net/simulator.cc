@@ -1,0 +1,154 @@
+#include "src/net/simulator.h"
+
+#include <cassert>
+
+namespace nettrails {
+namespace net {
+
+NodeId Simulator::AddNode() {
+  NodeId id = static_cast<NodeId>(node_count_);
+  ++node_count_;
+  return id;
+}
+
+void Simulator::AddLink(NodeId a, NodeId b, Time latency) {
+  assert(a != b);
+  LinkState& ls = links_[Key(a, b)];
+  ls.latency = latency;
+  ls.up = true;
+}
+
+Status Simulator::SetLinkUp(NodeId a, NodeId b, bool up) {
+  auto it = links_.find(Key(a, b));
+  if (it == links_.end()) {
+    return Status::NotFound("no link between " + std::to_string(a) + " and " +
+                            std::to_string(b));
+  }
+  if (it->second.up == up) return Status::OK();
+  it->second.up = up;
+  for (const LinkObserver& obs : link_observers_) obs(a, b, up);
+  return Status::OK();
+}
+
+bool Simulator::HasLink(NodeId a, NodeId b) const {
+  return links_.count(Key(a, b)) > 0;
+}
+
+bool Simulator::LinkUp(NodeId a, NodeId b) const {
+  auto it = links_.find(Key(a, b));
+  return it != links_.end() && it->second.up;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Simulator::Links() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(links_.size());
+  for (const auto& [key, ls] : links_) out.push_back(key);
+  return out;
+}
+
+std::vector<NodeId> Simulator::UpNeighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, ls] : links_) {
+    if (!ls.up) continue;
+    if (key.first == n) out.push_back(key.second);
+    if (key.second == n) out.push_back(key.first);
+  }
+  return out;
+}
+
+void Simulator::RegisterHandler(NodeId node, const std::string& channel,
+                                MessageHandler handler) {
+  handlers_[node][channel] = std::move(handler);
+}
+
+void Simulator::MarkOverlayChannel(const std::string& channel, Time latency) {
+  overlay_channels_[channel] = latency;
+}
+
+bool Simulator::Send(Message msg) {
+  size_t nbytes = msg.SerializedSize();
+  Time delay = 1;  // local hop: 1us
+  if (msg.src != msg.dst) {
+    auto oit = overlay_channels_.find(msg.channel);
+    if (oit != overlay_channels_.end()) {
+      channel_traffic_[msg.channel].Add(nbytes);
+      delay = oit->second;
+    } else {
+      auto it = links_.find(Key(msg.src, msg.dst));
+      if (it == links_.end() || !it->second.up) {
+        ++dropped_messages_;
+        return false;
+      }
+      it->second.traffic.Add(nbytes);
+      channel_traffic_[msg.channel].Add(nbytes);
+      delay = it->second.latency;
+    }
+  }
+  ScheduleAfter(delay,
+                [this, m = std::move(msg)]() { Deliver(m); });
+  return true;
+}
+
+void Simulator::Deliver(const Message& msg) {
+  auto nit = handlers_.find(msg.dst);
+  if (nit == handlers_.end()) return;
+  auto hit = nit->second.find(msg.channel);
+  if (hit == nit->second.end()) return;
+  hit->second(msg);
+}
+
+void Simulator::ScheduleAt(Time t, std::function<void()> fn) {
+  assert(t >= now_);
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleAfter(Time delay, std::function<void()> fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // Copy out: fn may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+TrafficStats Simulator::total_traffic() const {
+  TrafficStats total;
+  for (const auto& [ch, ts] : channel_traffic_) {
+    total.messages += ts.messages;
+    total.bytes += ts.bytes;
+  }
+  return total;
+}
+
+const LinkState* Simulator::link(NodeId a, NodeId b) const {
+  auto it = links_.find(Key(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void Simulator::ResetTrafficStats() {
+  channel_traffic_.clear();
+  for (auto& [key, ls] : links_) ls.traffic = TrafficStats{};
+  dropped_messages_ = 0;
+}
+
+}  // namespace net
+}  // namespace nettrails

@@ -1,0 +1,196 @@
+// Discrete-event network simulator: the ns-3 substitute NetTrails executes
+// on. Provides a virtual clock, latency-modelled message delivery between
+// nodes, topology dynamics (links up/down), and the per-link / per-channel
+// traffic accounting that the query-optimization experiments report.
+#ifndef NETTRAILS_NET_SIMULATOR_H_
+#define NETTRAILS_NET_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/common/value.h"
+
+namespace nettrails {
+namespace net {
+
+/// Virtual time in microseconds.
+using Time = uint64_t;
+
+inline constexpr Time kMillisecond = 1000;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// A message in flight between two nodes. The payload is a tuple; every
+/// NetTrails subsystem (rule deltas, provenance queries, BGP updates)
+/// serializes into tuples, so one message type covers the whole platform.
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Dispatch key at the receiver, e.g. "tuple", "provq", "bgp".
+  std::string channel;
+  Tuple payload;
+  /// True for a retraction (delete delta) on the "tuple" channel.
+  bool is_delete = false;
+  /// Derivation-count delta carried by a "tuple" message (bag semantics).
+  int64_t multiplicity = 1;
+
+  /// Wire size used by the traffic accounting.
+  size_t SerializedSize() const {
+    return 16 + channel.size() + payload.SerializedSize() + 1;
+  }
+};
+
+/// Cumulative traffic counters.
+struct TrafficStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+
+  void Add(size_t nbytes) {
+    ++messages;
+    bytes += nbytes;
+  }
+};
+
+/// State of one undirected link.
+struct LinkState {
+  Time latency = kMillisecond;
+  bool up = true;
+  TrafficStats traffic;
+};
+
+/// Handler invoked when a message is delivered to a node on a channel.
+using MessageHandler = std::function<void(const Message&)>;
+
+/// Observer of link up/down events: (a, b, up).
+using LinkObserver = std::function<void(NodeId, NodeId, bool)>;
+
+/// Single-threaded discrete-event simulator. Owns virtual time; all
+/// scheduling happens through it, so runs are deterministic.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Adds a node and returns its id (ids are dense, starting at 0).
+  NodeId AddNode();
+
+  size_t node_count() const { return node_count_; }
+
+  /// Adds an undirected link. No-op (latency update) if it already exists.
+  void AddLink(NodeId a, NodeId b, Time latency = kMillisecond);
+
+  /// Marks a link up or down and notifies observers. Messages in flight on
+  /// a link that goes down are still delivered (they already left the NIC);
+  /// subsequent sends are dropped.
+  Status SetLinkUp(NodeId a, NodeId b, bool up);
+
+  bool HasLink(NodeId a, NodeId b) const;
+  bool LinkUp(NodeId a, NodeId b) const;
+
+  /// All links as (a, b) with a < b.
+  std::vector<std::pair<NodeId, NodeId>> Links() const;
+
+  /// Neighbors of `n` over up links.
+  std::vector<NodeId> UpNeighbors(NodeId n) const;
+
+  void AddLinkObserver(LinkObserver obs) {
+    link_observers_.push_back(std::move(obs));
+  }
+
+  /// Registers the handler for (node, channel). Overwrites any previous.
+  void RegisterHandler(NodeId node, const std::string& channel,
+                       MessageHandler handler);
+
+  /// Declares a channel as an overlay channel: messages on it may travel
+  /// between any two nodes (as over IP routing in a deployment) with
+  /// `latency`, independent of the simulated link topology. Used by the
+  /// distributed provenance query engine, whose requests and replies hop
+  /// between arbitrary rule-execution locations.
+  void MarkOverlayChannel(const std::string& channel,
+                          Time latency = kMillisecond);
+
+  /// Sends a message. Local delivery (src == dst) is immediate-at-now+1us and
+  /// does not require a link; remote delivery requires an up link between
+  /// src and dst (or an overlay channel) and takes the link (or overlay)
+  /// latency. Returns false if dropped.
+  bool Send(Message msg);
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now).
+  void ScheduleAt(Time t, std::function<void()> fn);
+  /// Schedules `fn` after `delay`.
+  void ScheduleAfter(Time delay, std::function<void()> fn);
+
+  /// Runs until the event queue drains or `Stop()` is called.
+  void Run();
+  /// Runs until virtual time `t` (events at exactly t are executed).
+  void RunUntil(Time t);
+  /// Runs for `dt` more virtual time.
+  void RunFor(Time dt) { RunUntil(now_ + dt); }
+  void Stop() { stopped_ = true; }
+
+  Time now() const { return now_; }
+
+  /// Traffic aggregated over all links, per channel.
+  const std::map<std::string, TrafficStats>& channel_traffic() const {
+    return channel_traffic_;
+  }
+  /// Total over all channels.
+  TrafficStats total_traffic() const;
+  /// Messages dropped for lack of an up link.
+  uint64_t dropped_messages() const { return dropped_messages_; }
+  /// Per-link traffic. Key has a < b.
+  const LinkState* link(NodeId a, NodeId b) const;
+
+  /// Zeroes all traffic counters (links and channels). Used to isolate the
+  /// traffic of a query phase from setup traffic.
+  void ResetTrafficStats();
+
+  /// Number of events executed so far (debug/bench metric).
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    uint64_t seq;  // FIFO tie-break for same-time events
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  static std::pair<NodeId, NodeId> Key(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  void Deliver(const Message& msg);
+
+  Time now_ = 0;
+  uint64_t seq_ = 0;
+  bool stopped_ = false;
+  size_t node_count_ = 0;
+  uint64_t events_executed_ = 0;
+  uint64_t dropped_messages_ = 0;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::map<std::pair<NodeId, NodeId>, LinkState> links_;
+  std::unordered_map<NodeId, std::unordered_map<std::string, MessageHandler>>
+      handlers_;
+  std::map<std::string, TrafficStats> channel_traffic_;
+  std::map<std::string, Time> overlay_channels_;
+  std::vector<LinkObserver> link_observers_;
+};
+
+}  // namespace net
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NET_SIMULATOR_H_

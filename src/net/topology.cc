@@ -1,0 +1,90 @@
+#include "src/net/topology.h"
+
+namespace nettrails {
+namespace net {
+
+void Topology::Install(Simulator* sim, Time latency) const {
+  while (sim->node_count() < num_nodes) sim->AddNode();
+  for (const CostedLink& l : links) sim->AddLink(l.a, l.b, latency);
+}
+
+Topology MakeLine(size_t n, int64_t cost) {
+  Topology t;
+  t.num_nodes = n;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    t.links.push_back({static_cast<NodeId>(i), static_cast<NodeId>(i + 1), cost});
+  }
+  return t;
+}
+
+Topology MakeRing(size_t n, int64_t cost) {
+  Topology t = MakeLine(n, cost);
+  if (n > 2) {
+    t.links.push_back({static_cast<NodeId>(n - 1), 0, cost});
+  }
+  return t;
+}
+
+Topology MakeRingWithChords(size_t n, int64_t ring_cost, int64_t chord_cost) {
+  Topology t = MakeRing(n, ring_cost);
+  for (size_t i = 0; i < n / 2; i += 2) {
+    NodeId a = static_cast<NodeId>(i);
+    NodeId b = static_cast<NodeId>((i + n / 2) % n);
+    if (a != b) t.links.push_back({a, b, chord_cost});
+  }
+  return t;
+}
+
+Topology MakeStar(size_t n, int64_t cost) {
+  Topology t;
+  t.num_nodes = n;
+  for (size_t i = 1; i < n; ++i) {
+    t.links.push_back({0, static_cast<NodeId>(i), cost});
+  }
+  return t;
+}
+
+Topology MakeGrid(size_t rows, size_t cols, int64_t cost) {
+  Topology t;
+  t.num_nodes = rows * cols;
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.links.push_back({id(r, c), id(r, c + 1), cost});
+      if (r + 1 < rows) t.links.push_back({id(r, c), id(r + 1, c), cost});
+    }
+  }
+  return t;
+}
+
+Topology MakeRandomConnected(size_t n, double p, Rng* rng, int64_t max_cost) {
+  Topology t;
+  t.num_nodes = n;
+  auto cost = [&]() { return rng->NextInRange(1, max_cost); };
+  // Random spanning tree: attach node i to a random earlier node.
+  for (size_t i = 1; i < n; ++i) {
+    NodeId parent = static_cast<NodeId>(rng->NextBelow(i));
+    t.links.push_back({parent, static_cast<NodeId>(i), cost()});
+  }
+  // Extra edges.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool in_tree = false;
+      for (const CostedLink& l : t.links) {
+        if ((l.a == i && l.b == j) || (l.a == j && l.b == i)) {
+          in_tree = true;
+          break;
+        }
+      }
+      if (!in_tree && rng->NextBool(p)) {
+        t.links.push_back({static_cast<NodeId>(i), static_cast<NodeId>(j), cost()});
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace net
+}  // namespace nettrails

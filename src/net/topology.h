@@ -1,0 +1,57 @@
+// Topology generators for the experiment workloads: lines, rings, grids,
+// random connected graphs, and the ring+chord topology used in the Figure 2
+// walkthrough. Costs are protocol-level link costs (the C in link(@X,Y,C)).
+#ifndef NETTRAILS_NET_TOPOLOGY_H_
+#define NETTRAILS_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rand.h"
+#include "src/common/value.h"
+#include "src/net/simulator.h"
+
+namespace nettrails {
+namespace net {
+
+/// One undirected edge with a protocol cost.
+struct CostedLink {
+  NodeId a = 0;
+  NodeId b = 0;
+  int64_t cost = 1;
+};
+
+/// A generated topology: node count plus costed edges.
+struct Topology {
+  size_t num_nodes = 0;
+  std::vector<CostedLink> links;
+
+  /// Registers all nodes and links with the simulator.
+  void Install(Simulator* sim, Time latency = kMillisecond) const;
+};
+
+/// 0-1-2-...-(n-1) chain, all costs `cost`.
+Topology MakeLine(size_t n, int64_t cost = 1);
+
+/// Ring over n nodes.
+Topology MakeRing(size_t n, int64_t cost = 1);
+
+/// Ring plus chords i -> (i + n/2) for the hypertree exploration demo.
+Topology MakeRingWithChords(size_t n, int64_t ring_cost = 1,
+                            int64_t chord_cost = 3);
+
+/// Node 0 is the hub.
+Topology MakeStar(size_t n, int64_t cost = 1);
+
+/// rows x cols grid.
+Topology MakeGrid(size_t rows, size_t cols, int64_t cost = 1);
+
+/// Connected G(n, p): random spanning tree first, then extra edges with
+/// probability p. Costs uniform in [1, max_cost].
+Topology MakeRandomConnected(size_t n, double p, Rng* rng,
+                             int64_t max_cost = 10);
+
+}  // namespace net
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NET_TOPOLOGY_H_

@@ -1,0 +1,142 @@
+#include "src/protocols/programs.h"
+
+namespace nettrails {
+namespace protocols {
+
+const char* MincostProgram() {
+  return R"(
+    // MINCOST: pair-wise minimal path costs (Figures 2 and 3 of the paper).
+    // The C < 255 bound is the distance-vector "infinity" (RIP counts to
+    // 16): it bounds the count-to-infinity transient when link failures
+    // partition the network. Topologies must keep true path costs below it.
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(cost, infinity, infinity, keys(1,2,3)).
+    materialize(mincost, infinity, infinity, keys(1,2)).
+
+    mc1 cost(@X,Y,C) :- link(@X,Y,C).
+    mc2 cost(@X,Z,C) :- link(@X,Y,C1), mincost(@Y,Z,C2), X != Z,
+                        C := C1 + C2, C < 255.
+    mc3 mincost(@X,Z,a_min<C>) :- cost(@X,Z,C).
+  )";
+}
+
+const char* PathVectorProgram() {
+  return R"(
+    // Path-vector protocol with loop avoidance and best-path selection.
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(path, infinity, infinity, keys(1,2,3,4)).
+    materialize(bestcost, infinity, infinity, keys(1,2)).
+    materialize(bestpath, infinity, infinity, keys(1,2,3,4)).
+
+    pv1 path(@X,Y,C,P) :- link(@X,Y,C), P := f_list(X,Y).
+    pv2 path(@X,Z,C,P) :- link(@X,Y,C1), path(@Y,Z,C2,P2),
+                          f_member(P2,X) == 0, C := C1 + C2,
+                          P := f_prepend(X,P2).
+    pv3 bestcost(@X,Z,a_min<C>) :- path(@X,Z,C,P).
+    pv4 bestpath(@X,Z,C,P) :- bestcost(@X,Z,C), path(@X,Z,C,P).
+  )";
+}
+
+const char* DsrProgram() {
+  return R"(
+    // Dynamic source routing: on-demand route discovery. Route requests
+    // (rreq) flood outward accumulating the traversed path; when a node
+    // adjacent to the destination completes the path, a route reply (rrep)
+    // relays back hop-by-hop along the reverse source route (as in DSR:
+    // replies follow the accumulated route, not a direct channel).
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(route, infinity, infinity, keys(1,2)).
+
+    dr1 rreq(@Y,S,D,P2) :- rreq(@X,S,D,P), link(@X,Y,C),
+                           Y != D, f_member(P,Y) == 0,
+                           P2 := f_append(P,Y).
+    dr2 rrep(@X,S,D,P2) :- rreq(@X,S,D,P), link(@X,D,C),
+                           f_member(P,D) == 0, P2 := f_append(P,D).
+    dr3 rrep(@Prev,S,D,P) :- rrep(@X,S,D,P), X != S,
+                             I := f_indexof(P,X), Prev := f_nth(P,I-1).
+    dr4 route(@S,D,P) :- rrep(@S,S,D,P).
+  )";
+}
+
+const char* BgpMaybeProgram() {
+  return R"(
+    // Legacy-application support (Section 2.2): the proxy extracts
+    // inputRoute / outputRoute tuples from intercepted BGP messages; the
+    // maybe rule br1 captures the likely causal relationship between them.
+    materialize(inputRoute, infinity, infinity, keys(1,2,3)).
+    materialize(outputRoute, infinity, infinity, keys(1,2,3)).
+
+    br1 outputRoute(@AS,R2,Prefix,Route2) ?-
+        inputRoute(@AS,R1,Prefix,Route1),
+        f_isExtend(Route2,Route1,AS) == 1.
+  )";
+}
+
+std::vector<std::unique_ptr<runtime::Engine>> MakeEngines(
+    net::Simulator* sim, const net::Topology& topo,
+    runtime::CompiledProgramPtr program, const runtime::EngineOptions& opts) {
+  topo.Install(sim);
+  std::vector<std::unique_ptr<runtime::Engine>> engines;
+  engines.reserve(topo.num_nodes);
+  for (size_t i = 0; i < topo.num_nodes; ++i) {
+    engines.push_back(std::make_unique<runtime::Engine>(
+        sim, static_cast<NodeId>(i), program, opts));
+  }
+  return engines;
+}
+
+std::vector<runtime::Engine*> EnginePtrs(
+    const std::vector<std::unique_ptr<runtime::Engine>>& engines) {
+  std::vector<runtime::Engine*> out;
+  out.reserve(engines.size());
+  for (const auto& e : engines) out.push_back(e.get());
+  return out;
+}
+
+namespace {
+
+Tuple LinkTuple(NodeId a, NodeId b, int64_t cost) {
+  return Tuple("link",
+               {Value::Address(a), Value::Address(b), Value::Int(cost)});
+}
+
+}  // namespace
+
+Status InstallLinks(const net::Topology& topo,
+                    std::vector<std::unique_ptr<runtime::Engine>>* engines,
+                    net::Simulator* sim, bool run_to_quiescence) {
+  for (const net::CostedLink& l : topo.links) {
+    NT_RETURN_IF_ERROR((*engines)[l.a]->Insert(LinkTuple(l.a, l.b, l.cost)));
+    NT_RETURN_IF_ERROR((*engines)[l.b]->Insert(LinkTuple(l.b, l.a, l.cost)));
+  }
+  if (run_to_quiescence) sim->Run();
+  return Status::OK();
+}
+
+Status FailLink(NodeId a, NodeId b, int64_t cost,
+                std::vector<std::unique_ptr<runtime::Engine>>* engines,
+                net::Simulator* sim, bool run_to_quiescence) {
+  NT_RETURN_IF_ERROR((*engines)[a]->Delete(LinkTuple(a, b, cost)));
+  NT_RETURN_IF_ERROR((*engines)[b]->Delete(LinkTuple(b, a, cost)));
+  if (run_to_quiescence) sim->Run();
+  return Status::OK();
+}
+
+Status RecoverLink(NodeId a, NodeId b, int64_t cost,
+                   std::vector<std::unique_ptr<runtime::Engine>>* engines,
+                   net::Simulator* sim, bool run_to_quiescence) {
+  NT_RETURN_IF_ERROR((*engines)[a]->Insert(LinkTuple(a, b, cost)));
+  NT_RETURN_IF_ERROR((*engines)[b]->Insert(LinkTuple(b, a, cost)));
+  if (run_to_quiescence) sim->Run();
+  return Status::OK();
+}
+
+Status StartDsrDiscovery(runtime::Engine* engine, NodeId src, NodeId dst) {
+  return engine->InsertEvent(
+      Tuple("rreq", {Value::Address(src), Value::Address(src),
+                     Value::Address(dst),
+                     Value::List({Value::Address(src)})}));
+}
+
+}  // namespace protocols
+}  // namespace nettrails

@@ -1,0 +1,64 @@
+// Centralized assembly of the distributed provenance graph, as the
+// visualization node does from propagated snapshots (Section 2.3). The
+// graph is the paper's model: an acyclic graph G(V,E) whose vertices are
+// tuple vertices and rule-execution vertices, with edges representing
+// dataflow between them.
+#ifndef NETTRAILS_PROVENANCE_GRAPH_H_
+#define NETTRAILS_PROVENANCE_GRAPH_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/tuple.h"
+#include "src/provenance/store.h"
+
+namespace nettrails {
+namespace provenance {
+
+enum class VertexKind { kTuple, kRuleExec };
+
+struct Vertex {
+  Vid id = 0;
+  VertexKind kind = VertexKind::kTuple;
+  NodeId location = 0;
+  /// Tuple rendering, or rule name for executions.
+  std::string label;
+  bool is_base = false;  // tuple vertex with a self-edge (or no derivation)
+};
+
+/// Directed edge cause -> effect is stored effect-first for traversal:
+/// from = effect vertex, to = cause vertex.
+struct GraphEdge {
+  Vid from = 0;
+  Vid to = 0;
+  bool maybe = false;
+};
+
+struct Graph {
+  Vid root = 0;
+  std::map<Vid, Vertex> vertices;
+  std::vector<GraphEdge> edges;
+
+  /// Children (causes) of a vertex, in insertion order.
+  std::vector<Vid> ChildrenOf(Vid v) const;
+  size_t tuple_vertices() const;
+  size_t exec_vertices() const;
+};
+
+/// Renders a VID into a human-readable label (typically backed by the
+/// engines' VID indexes).
+using VidLabeler = std::function<std::string(Vid)>;
+
+/// Assembles the provenance graph rooted at tuple `root` (homed at
+/// `root_home`) by following prov/ruleExec across all node stores.
+/// `stores[i]` must belong to node i. Depth-limited; cycles are broken.
+Graph BuildGraph(const std::vector<const ProvStore*>& stores, NodeId root_home,
+                 Vid root, const VidLabeler& labeler, size_t max_depth = 64,
+                 bool include_maybe = true);
+
+}  // namespace provenance
+}  // namespace nettrails
+
+#endif  // NETTRAILS_PROVENANCE_GRAPH_H_

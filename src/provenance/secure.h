@@ -1,0 +1,106 @@
+// Authenticated provenance — the lightweight core of the paper's second
+// "ongoing work" item (Section 3): "enhancing the current system to
+// securely utilize network provenance information in untrusted
+// environments" (Zhou et al., Secure Network Provenance, TR MS-CIS-10-28).
+//
+// Each node holds a MAC key; every provenance edge and rule execution it
+// stores is authenticated with a keyed digest binding the vertex ids, the
+// location, and the edge kind. A verifier holding the key table can then
+// check a provenance graph assembled from (possibly compromised) nodes:
+// fabricated edges, re-homed vertices, and tampered input lists are
+// detected. This models SNP's evidence checking over our simulator
+// substrate; the full SNP protocol additionally signs update commitments,
+// which is out of scope here.
+#ifndef NETTRAILS_PROVENANCE_SECURE_H_
+#define NETTRAILS_PROVENANCE_SECURE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/provenance/graph.h"
+#include "src/provenance/store.h"
+
+namespace nettrails {
+namespace provenance {
+
+/// Per-node MAC key (simulation-grade: a 64-bit secret fed into the keyed
+/// digest; a deployment would use HMAC-SHA256).
+using MacKey = uint64_t;
+
+/// An authenticated provenance edge: tuple `vid` at `loc` derivable via
+/// execution `rid` at `rloc`.
+struct SignedEdge {
+  Vid vid = 0;
+  NodeId loc = 0;
+  Vid rid = 0;
+  NodeId rloc = 0;
+  bool maybe = false;
+  uint64_t mac = 0;
+};
+
+/// An authenticated rule execution: rule name and ordered input VIDs.
+struct SignedExec {
+  Vid rid = 0;
+  NodeId rloc = 0;
+  std::string rule;
+  std::vector<Vid> inputs;
+  uint64_t mac = 0;
+};
+
+/// Evidence for one provenance graph: every edge and execution, signed by
+/// the node that stores it.
+struct Evidence {
+  std::vector<SignedEdge> edges;
+  std::vector<SignedExec> execs;
+};
+
+/// Key authority: issues per-node keys deterministically from a master
+/// seed and verifies MACs. In SNP terms this stands in for the PKI.
+class KeyAuthority {
+ public:
+  explicit KeyAuthority(uint64_t master_seed);
+
+  MacKey KeyFor(NodeId node) const;
+
+  uint64_t MacEdge(const SignedEdge& edge) const;
+  uint64_t MacExec(const SignedExec& exec) const;
+
+ private:
+  uint64_t master_seed_;
+};
+
+/// Collects signed evidence for the provenance subgraph rooted at `root`
+/// (homed at `root_home`) from the per-node stores. `stores[i]` must
+/// belong to node i.
+Evidence CollectEvidence(const std::vector<const ProvStore*>& stores,
+                         const KeyAuthority& authority, NodeId root_home,
+                         Vid root, size_t max_depth = 64);
+
+/// Verification outcome.
+struct VerifyResult {
+  bool ok = true;
+  std::vector<std::string> problems;
+
+  void Fail(std::string problem) {
+    ok = false;
+    problems.push_back(std::move(problem));
+  }
+};
+
+/// Verifies evidence integrity and structure:
+///  * every MAC is valid under the signer's key;
+///  * every non-self edge's execution is present in the evidence;
+///  * executions' input VIDs are covered (each input either has an edge in
+///    the evidence or is an explicit leaf);
+///  * edge RLoc matches the execution's signing location.
+VerifyResult VerifyEvidence(const Evidence& evidence,
+                            const KeyAuthority& authority, Vid root);
+
+}  // namespace provenance
+}  // namespace nettrails
+
+#endif  // NETTRAILS_PROVENANCE_SECURE_H_

@@ -1,0 +1,108 @@
+#include "src/provenance/store.h"
+
+#include "src/provenance/rewrite.h"
+#include "src/runtime/builtins.h"
+
+namespace nettrails {
+namespace provenance {
+
+using runtime::TableAction;
+using runtime::ValueToVid;
+
+ProvStore::ProvStore(runtime::Engine* engine) : engine_(engine) {
+  // Bootstrap from state that existed before this store attached.
+  for (const char* table : {kProvTable, kRuleExecTable}) {
+    const runtime::Table* t = engine_->GetTable(table);
+    if (t == nullptr) continue;
+    for (const auto& [key, row] : t->rows()) {
+      OnAction(table, {row.fields, row.count, /*is_delete=*/false});
+    }
+  }
+  engine_->AddActionObserver(
+      [this](const std::string& table, const TableAction& action) {
+        OnAction(table, action);
+      });
+}
+
+void ProvStore::OnAction(const std::string& table, const TableAction& action) {
+  if (table == kProvTable) {
+    // prov(@Loc, VID, RID, RLoc, Maybe)
+    if (action.fields.size() != kProvArity) return;
+    Vid vid = ValueToVid(action.fields[1]);
+    Vid rid = ValueToVid(action.fields[2]);
+    NodeId rloc = action.fields[3].is_address() ? action.fields[3].as_address()
+                                                : engine_->id();
+    bool maybe = action.fields[4].Truthy();
+    ++version_;
+    std::vector<ProvEdge>& edges = edges_[vid];
+    for (size_t i = 0; i < edges.size(); ++i) {
+      ProvEdge& e = edges[i];
+      if (e.rid == rid && e.rloc == rloc && e.maybe == maybe) {
+        e.count += action.is_delete ? -action.mult : action.mult;
+        if (e.count <= 0) {
+          edges.erase(edges.begin() + static_cast<long>(i));
+          if (edges.empty()) edges_.erase(vid);
+        }
+        return;
+      }
+    }
+    if (!action.is_delete) {
+      edges.push_back(ProvEdge{rid, rloc, maybe, action.mult});
+    } else if (edges.empty()) {
+      edges_.erase(vid);
+    }
+    return;
+  }
+  if (table == kRuleExecTable) {
+    // ruleExec(@RLoc, RID, RuleName, VidList)
+    if (action.fields.size() != kRuleExecArity) return;
+    Vid rid = ValueToVid(action.fields[1]);
+    ++version_;
+    if (action.is_delete) {
+      auto it = execs_.find(rid);
+      if (it != execs_.end()) {
+        it->second.count -= action.mult;
+        if (it->second.count <= 0) execs_.erase(it);
+      }
+      return;
+    }
+    ExecEntry& entry = execs_[rid];
+    if (entry.count == 0) {
+      entry.rule =
+          action.fields[2].is_string() ? action.fields[2].as_string() : "?";
+      entry.inputs.clear();
+      if (action.fields[3].is_list()) {
+        for (const Value& v : action.fields[3].as_list()) {
+          entry.inputs.push_back(ValueToVid(v));
+        }
+      }
+    }
+    entry.count += action.mult;
+  }
+}
+
+const std::vector<ProvEdge>* ProvStore::EdgesFor(Vid vid) const {
+  auto it = edges_.find(vid);
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+const ExecEntry* ProvStore::ExecFor(Vid rid) const {
+  auto it = execs_.find(rid);
+  return it == execs_.end() ? nullptr : &it->second;
+}
+
+std::vector<Vid> ProvStore::AllVids() const {
+  std::vector<Vid> out;
+  out.reserve(edges_.size());
+  for (const auto& [vid, edges] : edges_) out.push_back(vid);
+  return out;
+}
+
+size_t ProvStore::edge_count() const {
+  size_t n = 0;
+  for (const auto& [vid, edges] : edges_) n += edges.size();
+  return n;
+}
+
+}  // namespace provenance
+}  // namespace nettrails

@@ -1,0 +1,74 @@
+// Per-node indexed view over the distributed provenance relations. The
+// engine maintains prov / ruleExec as ordinary NDlog views; ProvStore
+// observes their deltas and keeps the adjacency indexes the distributed
+// query engine and the visualizer traverse.
+#ifndef NETTRAILS_PROVENANCE_STORE_H_
+#define NETTRAILS_PROVENANCE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/tuple.h"
+#include "src/runtime/engine.h"
+
+namespace nettrails {
+namespace provenance {
+
+/// One provenance edge: the local tuple VID is derivable via rule execution
+/// `rid` stored at node `rloc`. A self-edge (rid == vid) marks a base tuple.
+struct ProvEdge {
+  Vid rid = 0;
+  NodeId rloc = 0;
+  bool maybe = false;
+  int64_t count = 0;  // derivation count of the edge itself
+
+  bool IsSelf(Vid vid) const { return rid == vid; }
+};
+
+/// One rule-execution vertex: rule name plus ordered input tuple VIDs.
+struct ExecEntry {
+  std::string rule;
+  std::vector<Vid> inputs;
+  int64_t count = 0;
+};
+
+class ProvStore {
+ public:
+  /// Attaches to the engine's action stream. The engine must outlive the
+  /// store.
+  explicit ProvStore(runtime::Engine* engine);
+
+  NodeId node() const { return engine_->id(); }
+  const runtime::Engine* engine() const { return engine_; }
+
+  /// Edges for a locally stored tuple VID (nullptr if none).
+  const std::vector<ProvEdge>* EdgesFor(Vid vid) const;
+
+  /// Rule execution stored at this node (nullptr if unknown).
+  const ExecEntry* ExecFor(Vid rid) const;
+
+  /// All tuple VIDs with at least one edge (for graph export).
+  std::vector<Vid> AllVids() const;
+
+  /// Monotone version counter, bumped on every provenance change. Query
+  /// caches validate their entries against it.
+  uint64_t version() const { return version_; }
+
+  size_t edge_count() const;
+  size_t exec_count() const { return execs_.size(); }
+
+ private:
+  void OnAction(const std::string& table, const runtime::TableAction& action);
+
+  runtime::Engine* engine_;
+  std::unordered_map<Vid, std::vector<ProvEdge>> edges_;
+  std::unordered_map<Vid, ExecEntry> execs_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace provenance
+}  // namespace nettrails
+
+#endif  // NETTRAILS_PROVENANCE_STORE_H_

@@ -1,0 +1,33 @@
+#include "src/proxy/maybe_matcher.h"
+
+namespace nettrails {
+namespace proxy {
+
+bool IsExtend(NodeId self, const RouteMessage& input,
+              const RouteMessage& output) {
+  if (input.withdraw || output.withdraw) return false;
+  if (input.prefix != output.prefix) return false;
+  if (output.path.size() != input.path.size() + 1) return false;
+  if (output.path.empty() || output.path.front() != self) return false;
+  for (size_t i = 0; i < input.path.size(); ++i) {
+    if (output.path[i + 1] != input.path[i]) return false;
+  }
+  return true;
+}
+
+std::vector<MaybeMatch> MatchMaybe(NodeId self,
+                                   const std::vector<RouteMessage>& inputs,
+                                   const std::vector<RouteMessage>& outputs) {
+  std::vector<MaybeMatch> out;
+  for (size_t o = 0; o < outputs.size(); ++o) {
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (IsExtend(self, inputs[i], outputs[o])) {
+        out.push_back({i, o});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace proxy
+}  // namespace nettrails

@@ -1,0 +1,38 @@
+// Reference (offline) matcher for maybe-rule semantics: given the observed
+// inputRoute / outputRoute state, computes the causal pairs the paper's
+// br1 rule should infer. Used to cross-validate the engine's declarative
+// maybe-edge inference in tests, and by diagnostics that want match
+// statistics without a running engine.
+#ifndef NETTRAILS_PROXY_MAYBE_MATCHER_H_
+#define NETTRAILS_PROXY_MAYBE_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/proxy/proxy.h"
+
+namespace nettrails {
+namespace proxy {
+
+/// One inferred causal pair: output message likely caused by input message.
+struct MaybeMatch {
+  size_t input_index = 0;
+  size_t output_index = 0;
+};
+
+/// True if `output.path` equals `input.path` with `self` prepended and the
+/// prefixes agree — the f_isExtend relation of rule br1.
+bool IsExtend(NodeId self, const RouteMessage& input,
+              const RouteMessage& output);
+
+/// All (input, output) pairs related by IsExtend. Quadratic reference
+/// implementation (per prefix), intentionally simple.
+std::vector<MaybeMatch> MatchMaybe(NodeId self,
+                                   const std::vector<RouteMessage>& inputs,
+                                   const std::vector<RouteMessage>& outputs);
+
+}  // namespace proxy
+}  // namespace nettrails
+
+#endif  // NETTRAILS_PROXY_MAYBE_MATCHER_H_

@@ -1,0 +1,45 @@
+#include "src/proxy/proxy.h"
+
+namespace nettrails {
+namespace proxy {
+
+Proxy::Proxy(runtime::Engine* engine) : engine_(engine) {}
+
+Tuple Proxy::ToTuple(const char* table, const RouteMessage& msg) const {
+  ValueList path;
+  path.reserve(msg.path.size());
+  for (NodeId hop : msg.path) path.push_back(Value::Address(hop));
+  return Tuple(table, {Value::Address(engine_->id()), Value::Address(msg.peer),
+                       Value::Int(msg.prefix), Value::List(std::move(path))});
+}
+
+Status Proxy::Apply(const char* table,
+                    std::map<std::pair<NodeId, int64_t>, Tuple>* current,
+                    const RouteMessage& msg) {
+  std::pair<NodeId, int64_t> key{msg.peer, msg.prefix};
+  if (msg.withdraw) {
+    auto it = current->find(key);
+    if (it == current->end()) return Status::OK();  // unknown: ignore
+    Status st = engine_->Delete(it->second);
+    current->erase(it);
+    return st;
+  }
+  Tuple tuple = ToTuple(table, msg);
+  // An announcement for a (peer, prefix) implicitly replaces the previous
+  // one; the engine's key-replacement semantics retract it with cascade.
+  (*current)[key] = tuple;
+  return engine_->Insert(tuple);
+}
+
+Status Proxy::OnIncoming(const RouteMessage& msg) {
+  ++incoming_seen_;
+  return Apply("inputRoute", &current_in_, msg);
+}
+
+Status Proxy::OnOutgoing(const RouteMessage& msg) {
+  ++outgoing_seen_;
+  return Apply("outputRoute", &current_out_, msg);
+}
+
+}  // namespace proxy
+}  // namespace nettrails

@@ -1,0 +1,63 @@
+// Legacy-application proxy (Figure 1): intercepts the messages of an
+// unmodified ("black box") application, extracts state changes, and feeds
+// them into the node's NDlog engine as inputRoute / outputRoute tuples.
+// The maybe rules of the loaded program then infer the likely causal
+// dependencies between them (Section 2.2).
+#ifndef NETTRAILS_PROXY_PROXY_H_
+#define NETTRAILS_PROXY_PROXY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/runtime/engine.h"
+
+namespace nettrails {
+namespace proxy {
+
+/// An intercepted routing message, direction-agnostic. `path` is the
+/// AS-path (front = most recent hop).
+struct RouteMessage {
+  NodeId peer = 0;  // neighbor the message came from / goes to
+  int64_t prefix = 0;
+  std::vector<NodeId> path;
+  bool withdraw = false;
+};
+
+/// Per-node proxy. The engine must be running a program with inputRoute /
+/// outputRoute tables (see protocols::BgpMaybeProgram).
+class Proxy {
+ public:
+  explicit Proxy(runtime::Engine* engine);
+
+  /// A message from `peer` entering the legacy application.
+  Status OnIncoming(const RouteMessage& msg);
+
+  /// A message leaving the legacy application towards `peer`.
+  Status OnOutgoing(const RouteMessage& msg);
+
+  uint64_t incoming_seen() const { return incoming_seen_; }
+  uint64_t outgoing_seen() const { return outgoing_seen_; }
+
+  /// Builds the tuple a message maps to (exposed for tests).
+  Tuple ToTuple(const char* table, const RouteMessage& msg) const;
+
+ private:
+  Status Apply(const char* table,
+               std::map<std::pair<NodeId, int64_t>, Tuple>* current,
+               const RouteMessage& msg);
+
+  runtime::Engine* engine_;
+  // Current announcement per (peer, prefix), for explicit withdrawals.
+  std::map<std::pair<NodeId, int64_t>, Tuple> current_in_;
+  std::map<std::pair<NodeId, int64_t>, Tuple> current_out_;
+  uint64_t incoming_seen_ = 0;
+  uint64_t outgoing_seen_ = 0;
+};
+
+}  // namespace proxy
+}  // namespace nettrails
+
+#endif  // NETTRAILS_PROXY_PROXY_H_

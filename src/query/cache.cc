@@ -1,0 +1,24 @@
+#include "src/query/cache.h"
+
+namespace nettrails {
+namespace query {
+
+const PartialResult* ResultCache::Lookup(const CacheKey& key,
+                                         uint64_t current_version) {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.version != current_version) {
+    ++misses_;
+    if (it != entries_.end()) entries_.erase(it);  // stale
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second.result;
+}
+
+void ResultCache::Store(const CacheKey& key, uint64_t version,
+                        PartialResult result) {
+  entries_[key] = Entry{version, std::move(result)};
+}
+
+}  // namespace query
+}  // namespace nettrails

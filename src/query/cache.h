@@ -1,0 +1,88 @@
+// Per-node provenance query result cache (one of the ExSPAN query
+// optimizations: "caching previously queried results"). Entries are
+// validated against the provenance store's version counter, so any
+// provenance change invalidates stale results without eager flushing.
+#ifndef NETTRAILS_QUERY_CACHE_H_
+#define NETTRAILS_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/tuple.h"
+#include "src/common/value.h"
+
+namespace nettrails {
+namespace query {
+
+/// Query flavors (Section 2.2: "users can query for a tuple's lineage, the
+/// set of all nodes that have been involved in the derivation ... and/or
+/// the total number of alternative derivations").
+enum class QueryType { kLineage = 0, kNodeSet = 1, kDerivCount = 2 };
+
+/// Child-resolution strategy ("leveraging alternative tree traversal
+/// orders"): sequential depth-first (enables early pruning) or parallel
+/// breadth-first (lower latency, more concurrent traffic).
+enum class Traversal { kSequential = 0, kParallel = 1 };
+
+/// Partial result of resolving one provenance subtree.
+struct PartialResult {
+  int64_t count = 0;
+  /// Leaf (base/event) tuples as (vid, home node).
+  std::set<std::pair<Vid, NodeId>> leaves;
+  std::set<NodeId> nodes;
+  bool truncated = false;  // depth limit or pruning applied underneath
+
+  void Union(const PartialResult& other) {
+    leaves.insert(other.leaves.begin(), other.leaves.end());
+    nodes.insert(other.nodes.begin(), other.nodes.end());
+    truncated = truncated || other.truncated;
+  }
+};
+
+/// Cache key: target vertex plus the parameters that affect the result.
+struct CacheKey {
+  Vid vid = 0;
+  QueryType type = QueryType::kLineage;
+  bool include_maybe = true;
+  int64_t threshold = 0;
+
+  bool operator<(const CacheKey& other) const {
+    if (vid != other.vid) return vid < other.vid;
+    if (type != other.type) return type < other.type;
+    if (include_maybe != other.include_maybe)
+      return include_maybe < other.include_maybe;
+    return threshold < other.threshold;
+  }
+};
+
+class ResultCache {
+ public:
+  /// Returns the cached result if present and its stored version matches
+  /// `current_version`.
+  const PartialResult* Lookup(const CacheKey& key, uint64_t current_version);
+
+  void Store(const CacheKey& key, uint64_t version, PartialResult result);
+
+  void Clear() { entries_.clear(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    PartialResult result;
+  };
+  std::map<CacheKey, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace query
+}  // namespace nettrails
+
+#endif  // NETTRAILS_QUERY_CACHE_H_

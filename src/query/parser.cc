@@ -1,0 +1,151 @@
+#include "src/query/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace nettrails {
+namespace query {
+
+namespace {
+
+std::string Upper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Splits into words, keeping a parenthesized tuple (which may contain
+/// spaces inside lists/strings) as a single token.
+Result<std::vector<std::string>> Split(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      cur += c;
+      if (c == '\\' && i + 1 < text.size()) {
+        cur += text[++i];
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      cur += c;
+      continue;
+    }
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (std::isspace(static_cast<unsigned char>(c)) && depth == 0) {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (in_string) return Status::ParseError("unterminated string in query");
+  if (depth != 0) return Status::ParseError("unbalanced brackets in query");
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+Result<int64_t> ParseInt(const std::vector<std::string>& words, size_t* i,
+                         const char* opt) {
+  if (*i + 1 >= words.size()) {
+    return Status::ParseError(std::string(opt) + " requires a number");
+  }
+  const std::string& w = words[++*i];
+  try {
+    size_t pos = 0;
+    int64_t v = std::stoll(w, &pos);
+    if (pos != w.size()) throw std::invalid_argument(w);
+    return v;
+  } catch (...) {
+    return Status::ParseError(std::string(opt) + ": bad number '" + w + "'");
+  }
+}
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  NT_ASSIGN_OR_RETURN(std::vector<std::string> words, Split(text));
+  if (words.size() < 3) {
+    return Status::ParseError(
+        "query must be LINEAGE|NODES|COUNT OF <tuple> [options]");
+  }
+  ParsedQuery query;
+  std::string kind = Upper(words[0]);
+  if (kind == "LINEAGE") {
+    query.options.type = QueryType::kLineage;
+  } else if (kind == "NODES") {
+    query.options.type = QueryType::kNodeSet;
+  } else if (kind == "COUNT") {
+    query.options.type = QueryType::kDerivCount;
+  } else {
+    return Status::ParseError("unknown query type " + words[0]);
+  }
+  if (Upper(words[1]) != "OF") {
+    return Status::ParseError("expected OF after the query type");
+  }
+  NT_ASSIGN_OR_RETURN(query.target, Tuple::Parse(words[2]));
+  if (!query.target.HasLocation()) {
+    return Status::ParseError("query target must have an @node location");
+  }
+
+  for (size_t i = 3; i < words.size(); ++i) {
+    std::string opt = Upper(words[i]);
+    if (opt == "SEQUENTIAL") {
+      query.options.traversal = Traversal::kSequential;
+    } else if (opt == "PARALLEL") {
+      query.options.traversal = Traversal::kParallel;
+    } else if (opt == "NOCACHE") {
+      query.options.use_cache = false;
+    } else if (opt == "NOMAYBE") {
+      query.options.include_maybe = false;
+    } else if (opt == "THRESHOLD") {
+      NT_ASSIGN_OR_RETURN(int64_t v, ParseInt(words, &i, "THRESHOLD"));
+      if (v < 0) return Status::ParseError("THRESHOLD must be >= 0");
+      query.options.count_threshold = v;
+    } else if (opt == "DEPTH") {
+      NT_ASSIGN_OR_RETURN(int64_t v, ParseInt(words, &i, "DEPTH"));
+      if (v <= 0) return Status::ParseError("DEPTH must be positive");
+      query.options.max_depth = static_cast<uint32_t>(v);
+    } else {
+      return Status::ParseError("unknown query option " + words[i]);
+    }
+  }
+  return query;
+}
+
+std::string FormatQuery(const ParsedQuery& query) {
+  std::string out;
+  switch (query.options.type) {
+    case QueryType::kLineage:
+      out = "LINEAGE";
+      break;
+    case QueryType::kNodeSet:
+      out = "NODES";
+      break;
+    case QueryType::kDerivCount:
+      out = "COUNT";
+      break;
+  }
+  out += " OF " + query.target.ToString();
+  QueryOptions defaults;
+  if (query.options.traversal == Traversal::kSequential) out += " SEQUENTIAL";
+  if (!query.options.use_cache) out += " NOCACHE";
+  if (!query.options.include_maybe) out += " NOMAYBE";
+  if (query.options.count_threshold != defaults.count_threshold) {
+    out += " THRESHOLD " + std::to_string(query.options.count_threshold);
+  }
+  if (query.options.max_depth != defaults.max_depth) {
+    out += " DEPTH " + std::to_string(query.options.max_depth);
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace nettrails

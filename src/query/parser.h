@@ -1,0 +1,43 @@
+// A small declarative query language for network provenance — the
+// distributed ProQL-flavored frontend sketched as ongoing work in the
+// paper's Section 3. Queries are text:
+//
+//   LINEAGE OF mincost(@0,@3,6)
+//   NODES   OF path(@0,@3,3,[@0,@1,@2,@3])
+//   COUNT   OF cost(@1,@2,5) THRESHOLD 4 SEQUENTIAL
+//
+// Options (any order, after the tuple):
+//   SEQUENTIAL | PARALLEL    traversal order
+//   NOCACHE                  disable result caching
+//   NOMAYBE                  ignore maybe (inferred) edges
+//   THRESHOLD <n>            count-pruning threshold
+//   DEPTH <n>                traversal depth limit
+#ifndef NETTRAILS_QUERY_PARSER_H_
+#define NETTRAILS_QUERY_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/query/query_engine.h"
+
+namespace nettrails {
+namespace query {
+
+/// A parsed query: the target tuple plus execution options.
+struct ParsedQuery {
+  Tuple target;
+  QueryOptions options;
+};
+
+/// Parses the query text. Keywords are case-insensitive; the tuple uses
+/// the standard rendering syntax (Tuple::Parse).
+Result<ParsedQuery> ParseQuery(const std::string& text);
+
+/// Renders a query back to canonical text (round-trips with ParseQuery).
+std::string FormatQuery(const ParsedQuery& query);
+
+}  // namespace query
+}  // namespace nettrails
+
+#endif  // NETTRAILS_QUERY_PARSER_H_

@@ -1,0 +1,73 @@
+#include "src/runtime/aggregates.h"
+
+namespace nettrails {
+namespace runtime {
+
+void AggGroup::Adjust(const Value& value, const Value& vids, int64_t mult) {
+  ContribKey key{value, vids};
+  int64_t& count = contribs_[key];
+  count += mult;
+  if (count <= 0) contribs_.erase(key);
+}
+
+std::optional<Value> AggGroup::Output(ndlog::AggFn fn) const {
+  if (contribs_.empty()) return std::nullopt;
+  switch (fn) {
+    case ndlog::AggFn::kMin:
+      return contribs_.begin()->first.value;
+    case ndlog::AggFn::kMax:
+      return contribs_.rbegin()->first.value;
+    case ndlog::AggFn::kCount: {
+      int64_t total = 0;
+      for (const auto& [key, mult] : contribs_) total += mult;
+      return Value::Int(total);
+    }
+    case ndlog::AggFn::kSum: {
+      bool any_double = false;
+      int64_t isum = 0;
+      double dsum = 0;
+      for (const auto& [key, mult] : contribs_) {
+        if (key.value.is_int()) {
+          isum += key.value.as_int() * mult;
+          dsum += static_cast<double>(key.value.as_int()) * mult;
+        } else if (key.value.is_double()) {
+          any_double = true;
+          dsum += key.value.as_double() * mult;
+        }
+      }
+      return any_double ? Value::Double(dsum) : Value::Int(isum);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<AggGroup::ContribKey> AggGroup::Winners(ndlog::AggFn fn) const {
+  std::vector<ContribKey> out;
+  if (contribs_.empty()) return out;
+  switch (fn) {
+    case ndlog::AggFn::kMin: {
+      const Value& best = contribs_.begin()->first.value;
+      for (const auto& [key, mult] : contribs_) {
+        if (key.value != best) break;  // map is ordered by value first
+        out.push_back(key);
+      }
+      break;
+    }
+    case ndlog::AggFn::kMax: {
+      const Value& best = contribs_.rbegin()->first.value;
+      for (auto it = contribs_.rbegin(); it != contribs_.rend(); ++it) {
+        if (it->first.value != best) break;
+        out.push_back(it->first);
+      }
+      break;
+    }
+    case ndlog::AggFn::kCount:
+    case ndlog::AggFn::kSum:
+      for (const auto& [key, mult] : contribs_) out.push_back(key);
+      break;
+  }
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace nettrails

@@ -1,0 +1,62 @@
+// Incrementally maintained aggregate groups (a_min / a_max / a_count /
+// a_sum). Each group holds a multiset of contributions; insertion and
+// deletion of contributions recompute the output value and the set of
+// "winning" contributions whose rule executions constitute the aggregate
+// tuple's provenance (ExSPAN records the contributions that achieve the
+// aggregate).
+#ifndef NETTRAILS_RUNTIME_AGGREGATES_H_
+#define NETTRAILS_RUNTIME_AGGREGATES_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/ndlog/ast.h"
+#include "src/runtime/table.h"
+
+namespace nettrails {
+namespace runtime {
+
+/// The multiset of contributions to one aggregate group.
+class AggGroup {
+ public:
+  /// A contribution is (aggregated value, input VID list). The VID list
+  /// disambiguates distinct rule executions that contribute equal values.
+  struct ContribKey {
+    Value value;
+    Value vids;  // Value::List of VIDs; Null when provenance is off
+
+    bool operator<(const ContribKey& other) const {
+      int c = value.Compare(other.value);
+      if (c != 0) return c < 0;
+      return vids.Compare(other.vids) < 0;
+    }
+  };
+
+  /// Adds (mult > 0) or removes (mult < 0) derivations of a contribution.
+  void Adjust(const Value& value, const Value& vids, int64_t mult);
+
+  bool empty() const { return contribs_.empty(); }
+
+  /// Current output of the aggregate, or nullopt if the group is empty.
+  /// a_count returns the total derivation count; a_sum the
+  /// multiplicity-weighted sum (numeric contributions only).
+  std::optional<Value> Output(ndlog::AggFn fn) const;
+
+  /// Contributions whose rule executions form the provenance of the current
+  /// output: for min/max, those achieving the extremum; for count/sum, all.
+  std::vector<ContribKey> Winners(ndlog::AggFn fn) const;
+
+  /// Total number of distinct contributions (for tests).
+  size_t distinct_contributions() const { return contribs_.size(); }
+
+ private:
+  std::map<ContribKey, int64_t> contribs_;
+};
+
+}  // namespace runtime
+}  // namespace nettrails
+
+#endif  // NETTRAILS_RUNTIME_AGGREGATES_H_

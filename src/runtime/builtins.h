@@ -1,0 +1,47 @@
+// Builtin NDlog functions (the f_* library). Includes the list/path helpers
+// used by the routing protocols, the BGP route matcher f_isExtend from the
+// paper's maybe rule, and the VID/RID digest functions the ExSPAN
+// provenance rewrite emits.
+#ifndef NETTRAILS_RUNTIME_BUILTINS_H_
+#define NETTRAILS_RUNTIME_BUILTINS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/common/value.h"
+
+namespace nettrails {
+namespace runtime {
+
+using BuiltinFn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+/// Looks up a builtin by name ("f_append", ...). Returns nullptr if unknown.
+const BuiltinFn* FindBuiltin(const std::string& name);
+
+/// True if `name` is a registered builtin.
+bool IsBuiltin(const std::string& name);
+
+/// All registered builtin names (for diagnostics and docs).
+std::vector<std::string> BuiltinNames();
+
+/// VID of tuple `name(fields...)` as the engine computes it. The f_mkvid
+/// builtin and the aggregate provenance path both call this, so declarative
+/// and engine-computed VIDs agree bit-for-bit.
+Vid TupleVid(const std::string& name, const ValueList& fields);
+
+/// RID of a rule execution: digest of (rule name, executing node, input VID
+/// list). Mirrors the f_mkrid builtin.
+Vid RuleExecRid(const std::string& rule_name, NodeId loc,
+                const std::vector<Vid>& vids);
+
+/// Vids encode into Value as Int (bit-cast); these convert losslessly.
+Value VidToValue(Vid vid);
+Vid ValueToVid(const Value& v);
+
+}  // namespace runtime
+}  // namespace nettrails
+
+#endif  // NETTRAILS_RUNTIME_BUILTINS_H_

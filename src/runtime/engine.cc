@@ -1,0 +1,532 @@
+#include "src/runtime/engine.h"
+
+#include <cassert>
+
+#include "src/common/hash.h"
+#include "src/provenance/rewrite.h"
+#include "src/runtime/builtins.h"
+
+namespace nettrails {
+namespace runtime {
+
+namespace {
+
+using ndlog::Atom;
+
+/// Evaluates all fields of an atom under full bindings (used to compute the
+/// concrete tuple an atom matched, e.g. for aggregate provenance VIDs).
+Result<ValueList> AtomFields(const Atom& atom, const Bindings& bindings) {
+  ValueList out;
+  out.reserve(atom.args.size());
+  for (const ndlog::AtomArg& arg : atom.args) {
+    NT_ASSIGN_OR_RETURN(Value v, Eval(*arg.expr, bindings));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(net::Simulator* sim, NodeId id, CompiledProgramPtr prog,
+               EngineOptions opts)
+    : sim_(sim), id_(id), prog_(std::move(prog)), opts_(opts) {
+  if (prog_->provenance) opts_.track_vid_index = true;
+  for (const auto& [name, info] : prog_->tables) {
+    if (info.materialized) tables_.emplace(name, Table(info));
+  }
+  sim_->RegisterHandler(id_, kTupleChannel,
+                        [this](const net::Message& msg) { OnTupleMessage(msg); });
+  SchedulePeriodics();
+}
+
+void Engine::SchedulePeriodics() {
+  for (const PeriodicStream& stream : prog_->periodic_streams) {
+    sim_->ScheduleAfter(
+        static_cast<net::Time>(stream.period_secs) * net::kSecond,
+        [this, stream]() { FirePeriodic(stream, 1); });
+  }
+}
+
+void Engine::FirePeriodic(PeriodicStream stream, int64_t iteration) {
+  ++stats_.periodic_firings;
+  // Fresh event id per firing, stable across runs (no wall clock).
+  Hasher h;
+  h.AddU64(id_);
+  h.AddU64(static_cast<uint64_t>(stream.period_secs));
+  h.AddU64(static_cast<uint64_t>(iteration));
+  Value eid = Value::Int(static_cast<int64_t>(h.Digest() >> 1));
+  EnqueueLocal({kPeriodicPredicate,
+                {Value::Address(id_), eid, Value::Int(stream.period_secs),
+                 Value::Int(stream.count)},
+                1,
+                /*is_delete=*/false});
+  DrainQueue();
+  if (iteration < stream.count) {
+    sim_->ScheduleAfter(
+        static_cast<net::Time>(stream.period_secs) * net::kSecond,
+        [this, stream, iteration]() { FirePeriodic(stream, iteration + 1); });
+  }
+}
+
+Status Engine::Insert(const Tuple& tuple) {
+  if (!tuple.HasLocation() || tuple.Location() != id_) {
+    return Status::InvalidArgument("tuple " + tuple.ToString() +
+                                   " is not located at node " +
+                                   std::to_string(id_));
+  }
+  auto it = tables_.find(tuple.name());
+  if (it == tables_.end()) {
+    return Status::NotFound("no materialized table " + tuple.name());
+  }
+  EnqueueLocal({tuple.name(), tuple.fields(), 1, /*is_delete=*/false});
+  DrainQueue();
+  return Status::OK();
+}
+
+Status Engine::Delete(const Tuple& tuple) {
+  if (!tuple.HasLocation() || tuple.Location() != id_) {
+    return Status::InvalidArgument("tuple " + tuple.ToString() +
+                                   " is not located at node " +
+                                   std::to_string(id_));
+  }
+  auto it = tables_.find(tuple.name());
+  if (it == tables_.end()) {
+    return Status::NotFound("no materialized table " + tuple.name());
+  }
+  // External deletion retracts the tuple entirely (all external
+  // derivations); base tuples normally have count 1.
+  int64_t count = it->second.CountOf(tuple.fields());
+  if (count == 0) {
+    return Status::NotFound("tuple " + tuple.ToString() + " not present");
+  }
+  EnqueueLocal({tuple.name(), tuple.fields(), count, /*is_delete=*/true});
+  DrainQueue();
+  return Status::OK();
+}
+
+Status Engine::InsertEvent(const Tuple& tuple) {
+  if (!tuple.HasLocation() || tuple.Location() != id_) {
+    return Status::InvalidArgument("event " + tuple.ToString() +
+                                   " is not located at node " +
+                                   std::to_string(id_));
+  }
+  if (tables_.count(tuple.name())) {
+    return Status::InvalidArgument("table " + tuple.name() +
+                                   " is materialized; use Insert");
+  }
+  EnqueueLocal({tuple.name(), tuple.fields(), 1, /*is_delete=*/false});
+  DrainQueue();
+  return Status::OK();
+}
+
+void Engine::OnTupleMessage(const net::Message& msg) {
+  EnqueueLocal({msg.payload.name(), msg.payload.fields(), msg.multiplicity,
+                msg.is_delete});
+  DrainQueue();
+}
+
+void Engine::EnqueueLocal(Delta delta) {
+  ++stats_.deltas_enqueued;
+  queue_.push_back(std::move(delta));
+}
+
+void Engine::DrainQueue() {
+  if (draining_) return;
+  draining_ = true;
+  actions_this_trigger_ = 0;
+  while (!queue_.empty()) {
+    Delta delta = std::move(queue_.front());
+    queue_.pop_front();
+    ProcessDelta(delta);
+    if (overflowed_) {
+      queue_.clear();
+      break;
+    }
+  }
+  draining_ = false;
+}
+
+void Engine::ProcessDelta(const Delta& delta) {
+  auto it = tables_.find(delta.table);
+  if (it == tables_.end()) {
+    // Event: fire triggers, register the VID, never store.
+    if (delta.is_delete) return;  // events have no retraction
+    if (opts_.track_vid_index) {
+      RegisterVid(Tuple(delta.table, delta.fields));
+    }
+    TableAction action{delta.fields, delta.mult, /*is_delete=*/false};
+    FireTriggers(delta.table, action);
+    return;
+  }
+
+  Table& table = it->second;
+  if (delta.is_eviction) --pending_evictions_[delta.table];
+  std::vector<TableAction> actions =
+      delta.is_delete ? table.PlanDelete(delta.fields, delta.mult)
+                      : table.PlanInsert(delta.fields, delta.mult);
+  for (const TableAction& action : actions) {
+    // Rules see the pre-action store; atoms positioned before the delta
+    // atom adjust by the action's effect (exact semi-naive maintenance).
+    FireTriggers(delta.table, action);
+    table.Apply(action);
+    if (opts_.track_vid_index && !action.is_delete) {
+      RegisterVid(Tuple(delta.table, action.fields));
+    }
+    for (const ActionObserver& obs : observers_) obs(delta.table, action);
+    if (!action.is_delete) HandleSoftState(table, action);
+  }
+}
+
+void Engine::HandleSoftState(const Table& table, const TableAction& action) {
+  const ndlog::TableInfo& info = table.info();
+  if (info.lifetime_secs < 0 && info.max_size < 0) return;
+  const std::string& name = table.name();
+  ValueList key = table.KeyOf(action.fields);
+  uint64_t gen = ++soft_gen_[{name, key}];
+
+  if (info.lifetime_secs >= 0) {
+    sim_->ScheduleAfter(
+        static_cast<net::Time>(info.lifetime_secs) * net::kSecond,
+        [this, name, key, gen]() {
+          auto git = soft_gen_.find({name, key});
+          if (git == soft_gen_.end() || git->second != gen) return;
+          const Table* t = GetTable(name);
+          if (t == nullptr) return;
+          const Table::Row* row = t->FindByKey(key);
+          if (row == nullptr) return;
+          ++stats_.expirations;
+          EnqueueLocal({name, row->fields, row->count, /*is_delete=*/true});
+          DrainQueue();
+        });
+  }
+
+  if (info.max_size >= 0) {
+    std::deque<std::pair<ValueList, uint64_t>>& order = fifo_[name];
+    order.push_back({key, gen});
+    int64_t& pending = pending_evictions_[name];
+    while (static_cast<int64_t>(table.size()) - pending > info.max_size &&
+           !order.empty()) {
+      auto [victim_key, victim_gen] = order.front();
+      order.pop_front();
+      auto git = soft_gen_.find({name, victim_key});
+      if (git == soft_gen_.end() || git->second != victim_gen) {
+        continue;  // refreshed or replaced since: a newer entry exists
+      }
+      const Table::Row* row = table.FindByKey(victim_key);
+      if (row == nullptr) continue;
+      ++stats_.evictions;
+      ++pending;
+      Delta evict{name, row->fields, row->count, /*is_delete=*/true};
+      evict.is_eviction = true;
+      EnqueueLocal(std::move(evict));
+    }
+  }
+}
+
+void Engine::FireTriggers(const std::string& pred, const TableAction& action) {
+  if (++actions_this_trigger_ > opts_.max_actions_per_trigger) {
+    overflowed_ = true;
+    last_error_ = "max_actions_per_trigger exceeded on " + pred;
+    return;
+  }
+  ++stats_.actions_processed;
+  auto it = prog_->triggers.find(pred);
+  if (it == prog_->triggers.end()) return;
+  for (const auto& [rule_idx, term_idx] : it->second) {
+    EvalRuleWithDelta(rule_idx, term_idx, action);
+  }
+}
+
+bool Engine::MatchAtom(const Atom& atom, const ValueList& fields,
+                       Bindings* bindings) const {
+  if (atom.args.size() != fields.size()) return false;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const ndlog::Expr& e = *atom.args[i].expr;
+    if (e.is_const()) {
+      if (e.const_value() != fields[i]) return false;
+    } else if (e.is_var()) {
+      auto [it, inserted] = bindings->emplace(e.var_name(), fields[i]);
+      if (!inserted && it->second != fields[i]) return false;
+    } else {
+      return false;  // analysis guarantees Var/Const only
+    }
+  }
+  return true;
+}
+
+void Engine::EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
+                               const TableAction& action) {
+  const CompiledRule& cr = prog_->rules[rule_idx];
+  const Atom& delta_atom = std::get<Atom>(cr.rule.body[delta_term]);
+  Bindings bindings;
+  if (!MatchAtom(delta_atom, action.fields, &bindings)) return;
+  JoinRec(cr, rule_idx, 0, delta_term, action, &bindings, action.mult);
+}
+
+void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
+                     size_t delta_term, const TableAction& action,
+                     Bindings* bindings, int64_t mult) {
+  if (overflowed_) return;
+  if (term_idx == cr.rule.body.size()) {
+    EmitHead(cr, rule_idx, *bindings, mult, action.is_delete);
+    return;
+  }
+  if (term_idx == delta_term) {
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings, mult);
+    return;
+  }
+  const ndlog::BodyTerm& term = cr.rule.body[term_idx];
+  if (const Atom* atom = std::get_if<Atom>(&term)) {
+    auto tit = tables_.find(atom->predicate);
+    if (tit == tables_.end()) return;  // event atom: only ever the delta
+    const Table& table = tit->second;
+    const std::string& delta_pred =
+        std::get<Atom>(cr.rule.body[delta_term]).predicate;
+    const bool same_pred = atom->predicate == delta_pred;
+    const bool before_delta = term_idx < delta_term;
+
+    // Atoms before the delta position see the post-action state; the store
+    // is pre-action during evaluation, so adjust matches of the action
+    // tuple itself (self-join correctness).
+    bool synthetic_needed = before_delta && same_pred && !action.is_delete &&
+                            table.CountOf(action.fields) == 0;
+    for (const auto& [key, row] : table.rows()) {
+      ++stats_.join_probes;
+      int64_t count = row.count;
+      if (before_delta && same_pred && row.fields == action.fields) {
+        count += action.is_delete ? -action.mult : action.mult;
+        if (count <= 0) continue;
+      }
+      Bindings saved = *bindings;
+      if (MatchAtom(*atom, row.fields, bindings)) {
+        JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings,
+                mult * count);
+      }
+      *bindings = std::move(saved);
+    }
+    if (synthetic_needed) {
+      Bindings saved = *bindings;
+      if (MatchAtom(*atom, action.fields, bindings)) {
+        JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings,
+                mult * action.mult);
+      }
+      *bindings = std::move(saved);
+    }
+    return;
+  }
+  if (const ndlog::Assign* assign = std::get_if<ndlog::Assign>(&term)) {
+    Result<Value> v = Eval(*assign->expr, *bindings);
+    if (!v.ok()) {
+      NoteEvalError(v.status());
+      return;
+    }
+    auto [it, inserted] = bindings->emplace(assign->var, std::move(v).value());
+    if (!inserted) return;  // rebinding conflict: prune
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings, mult);
+    bindings->erase(assign->var);
+    return;
+  }
+  const ndlog::Select& select = std::get<ndlog::Select>(term);
+  Result<Value> v = Eval(*select.expr, *bindings);
+  if (!v.ok()) {
+    NoteEvalError(v.status());
+    return;
+  }
+  if (v.value().Truthy()) {
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings, mult);
+  }
+}
+
+void Engine::EmitHead(const CompiledRule& cr, size_t rule_idx,
+                      const Bindings& bindings, int64_t mult, bool is_delete) {
+  if (cr.has_agg) {
+    HandleAggContribution(cr, rule_idx, bindings, mult, is_delete);
+    return;
+  }
+  if (cr.head_is_event && is_delete) return;  // no event retraction
+
+  Result<ValueList> fields = AtomFields(cr.rule.head, bindings);
+  if (!fields.ok()) {
+    NoteEvalError(fields.status());
+    return;
+  }
+  if (fields->empty() || !(*fields)[0].is_address()) {
+    NoteEvalError(Status::RuntimeError(
+        "rule " + cr.rule.name + ": head location is not an address"));
+    return;
+  }
+  ++stats_.rule_firings;
+  NodeId dst = (*fields)[0].as_address();
+  if (dst == id_) {
+    EnqueueLocal({cr.rule.head.predicate, std::move(fields).value(), mult,
+                  is_delete});
+    return;
+  }
+  net::Message msg;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.channel = kTupleChannel;
+  msg.payload = Tuple(cr.rule.head.predicate, std::move(fields).value());
+  msg.is_delete = is_delete;
+  msg.multiplicity = mult;
+  ++stats_.messages_sent;
+  if (!sim_->Send(std::move(msg))) ++stats_.send_failures;
+}
+
+void Engine::HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
+                                   const Bindings& bindings, int64_t mult,
+                                   bool is_delete) {
+  // Group key: head args except the aggregate, in order.
+  ValueList group;
+  for (size_t i = 0; i < cr.rule.head.args.size(); ++i) {
+    if (i == cr.agg_arg_index) continue;
+    Result<Value> v = Eval(*cr.rule.head.args[i].expr, bindings);
+    if (!v.ok()) {
+      NoteEvalError(v.status());
+      return;
+    }
+    group.push_back(std::move(v).value());
+  }
+  // Aggregated value (a_count<*> contributes 1).
+  Value agg_value = Value::Int(1);
+  if (cr.rule.head.args[cr.agg_arg_index].expr) {
+    Result<Value> v =
+        Eval(*cr.rule.head.args[cr.agg_arg_index].expr, bindings);
+    if (!v.ok()) {
+      NoteEvalError(v.status());
+      return;
+    }
+    agg_value = std::move(v).value();
+  }
+  // Input VIDs for provenance.
+  Value vids = Value::Null();
+  if (prog_->provenance) {
+    ValueList vid_list;
+    for (size_t pos : cr.atom_positions) {
+      const Atom& atom = std::get<Atom>(cr.rule.body[pos]);
+      Result<ValueList> fields = AtomFields(atom, bindings);
+      if (!fields.ok()) {
+        NoteEvalError(fields.status());
+        return;
+      }
+      vid_list.push_back(
+          VidToValue(TupleVid(atom.predicate, std::move(fields).value())));
+    }
+    vids = Value::List(std::move(vid_list));
+  }
+  ++stats_.rule_firings;
+  AggGroupState& state = agg_state_[{rule_idx, group}];
+  state.group.Adjust(agg_value, vids, is_delete ? -mult : mult);
+  RecomputeAggGroup(cr, rule_idx, group);
+}
+
+void Engine::RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
+                               const ValueList& group_key) {
+  AggGroupState& state = agg_state_[{rule_idx, group_key}];
+  std::optional<Value> output = state.group.Output(cr.agg_fn);
+
+  // Desired provenance tuples for the (new) output.
+  std::vector<Tuple> desired_prov;
+  ValueList new_fields;
+  if (output) {
+    new_fields = group_key;
+    new_fields.insert(new_fields.begin() + static_cast<long>(cr.agg_arg_index),
+                      *output);
+    if (prog_->provenance) {
+      Vid head_vid = TupleVid(cr.rule.head.predicate, new_fields);
+      for (const AggGroup::ContribKey& win : state.group.Winners(cr.agg_fn)) {
+        if (!win.vids.is_list()) continue;
+        std::vector<Vid> vids;
+        for (const Value& v : win.vids.as_list()) {
+          vids.push_back(ValueToVid(v));
+        }
+        Vid rid = RuleExecRid(cr.rule.name, id_, vids);
+        desired_prov.emplace_back(
+            provenance::kRuleExecTable,
+            ValueList{Value::Address(id_), VidToValue(rid),
+                      Value::Str(cr.rule.name), win.vids});
+        desired_prov.emplace_back(
+            provenance::kProvTable,
+            ValueList{Value::Address(id_), VidToValue(head_vid),
+                      VidToValue(rid), Value::Address(id_), Value::Int(0)});
+      }
+    }
+  }
+
+  // Retract stale provenance, emit fresh provenance (set difference).
+  auto contains = [](const std::vector<Tuple>& xs, const Tuple& t) {
+    for (const Tuple& x : xs) {
+      if (x == t) return true;
+    }
+    return false;
+  };
+  for (const Tuple& old : state.last_prov) {
+    if (!contains(desired_prov, old)) {
+      EnqueueLocal({old.name(), old.fields(), 1, /*is_delete=*/true});
+    }
+  }
+  for (const Tuple& fresh : desired_prov) {
+    if (!contains(state.last_prov, fresh)) {
+      EnqueueLocal({fresh.name(), fresh.fields(), 1, /*is_delete=*/false});
+    }
+  }
+  state.last_prov = std::move(desired_prov);
+
+  // Output maintenance via key replacement on the head table.
+  if (!output) {
+    if (state.has_output) {
+      EnqueueLocal({cr.rule.head.predicate, state.last_output, 1,
+                    /*is_delete=*/true});
+      state.has_output = false;
+      state.last_output.clear();
+    }
+    return;
+  }
+  if (state.has_output && state.last_output == new_fields) return;
+  EnqueueLocal({cr.rule.head.predicate, new_fields, 1, /*is_delete=*/false});
+  state.has_output = true;
+  state.last_output = std::move(new_fields);
+}
+
+void Engine::RegisterVid(const Tuple& tuple) {
+  vid_index_.emplace(tuple.Hash(), tuple);
+}
+
+void Engine::NoteEvalError(const Status& status) {
+  ++stats_.eval_errors;
+  last_error_ = status.ToString();
+}
+
+const Table* Engine::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<Tuple> Engine::TableContents(const std::string& name) const {
+  const Table* table = GetTable(name);
+  return table == nullptr ? std::vector<Tuple>{} : table->Contents();
+}
+
+bool Engine::HasTuple(const Tuple& tuple) const { return CountOf(tuple) > 0; }
+
+int64_t Engine::CountOf(const Tuple& tuple) const {
+  const Table* table = GetTable(tuple.name());
+  return table == nullptr ? 0 : table->CountOf(tuple.fields());
+}
+
+size_t Engine::TotalTuples(bool provenance_only) const {
+  size_t total = 0;
+  for (const auto& [name, table] : tables_) {
+    if (provenance_only && !provenance::IsProvenancePredicate(name)) continue;
+    total += table.size();
+  }
+  return total;
+}
+
+const Tuple* Engine::FindTupleByVid(Vid vid) const {
+  auto it = vid_index_.find(vid);
+  return it == vid_index_.end() ? nullptr : &it->second;
+}
+
+}  // namespace runtime
+}  // namespace nettrails

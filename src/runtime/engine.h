@@ -1,0 +1,190 @@
+// Per-node declarative networking engine (the RapidNet runtime equivalent):
+// executes a compiled NDlog program with semi-naive incremental evaluation
+// over insert/delete deltas, ships non-local derivations through the
+// network simulator, maintains aggregates incrementally, and — when the
+// program was compiled with provenance — keeps the node's slice of the
+// distributed provenance tables plus a VID -> tuple index for the query
+// engine and the visualizer.
+#ifndef NETTRAILS_RUNTIME_ENGINE_H_
+#define NETTRAILS_RUNTIME_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/tuple.h"
+#include "src/net/simulator.h"
+#include "src/runtime/aggregates.h"
+#include "src/runtime/expr_eval.h"
+#include "src/runtime/plan.h"
+#include "src/runtime/table.h"
+
+namespace nettrails {
+namespace runtime {
+
+struct EngineOptions {
+  /// Safety valve: abort (and flag overflowed()) if a single external
+  /// trigger cascades into more than this many actions.
+  uint64_t max_actions_per_trigger = 2'000'000;
+  /// Maintain the VID -> tuple index (needed by the provenance query
+  /// engine; forced on when the program has provenance).
+  bool track_vid_index = true;
+};
+
+struct EngineStats {
+  uint64_t deltas_enqueued = 0;
+  uint64_t actions_processed = 0;
+  uint64_t rule_firings = 0;
+  uint64_t join_probes = 0;
+  uint64_t messages_sent = 0;
+  uint64_t send_failures = 0;
+  uint64_t eval_errors = 0;
+  uint64_t expirations = 0;      // soft-state lifetime retractions
+  uint64_t evictions = 0;        // max-size FIFO evictions
+  uint64_t periodic_firings = 0; // timer events injected
+};
+
+/// The "tuple" message channel used for shipped deltas.
+inline constexpr char kTupleChannel[] = "tuple";
+
+class Engine {
+ public:
+  /// Observes every visible table change on this node, after application.
+  using ActionObserver =
+      std::function<void(const std::string& table, const TableAction&)>;
+
+  Engine(net::Simulator* sim, NodeId id, CompiledProgramPtr prog,
+         EngineOptions opts = {});
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  NodeId id() const { return id_; }
+  const CompiledProgram& program() const { return *prog_; }
+
+  /// Inserts / deletes an external (base) tuple. The tuple's location
+  /// attribute must be this node.
+  Status Insert(const Tuple& tuple);
+  Status Delete(const Tuple& tuple);
+  /// Injects a transient event tuple (located here).
+  Status InsertEvent(const Tuple& tuple);
+
+  /// Materialized table, or nullptr for events / unknown names.
+  const Table* GetTable(const std::string& name) const;
+  std::vector<Tuple> TableContents(const std::string& name) const;
+  bool HasTuple(const Tuple& tuple) const;
+  int64_t CountOf(const Tuple& tuple) const;
+
+  /// Total visible tuples across all materialized tables (storage metric;
+  /// `provenance_only` restricts to prov/ruleExec/eh_* tables).
+  size_t TotalTuples(bool provenance_only = false) const;
+
+  /// VID -> tuple for local state (and locally observed events). Entries
+  /// for deleted state are retained while provenance references them.
+  const Tuple* FindTupleByVid(Vid vid) const;
+
+  void AddActionObserver(ActionObserver obs) {
+    observers_.push_back(std::move(obs));
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  /// True if the max_actions safety valve tripped (runaway program).
+  bool overflowed() const { return overflowed_; }
+  /// Last evaluation error, for diagnostics ("" if none).
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  struct Delta {
+    std::string table;
+    ValueList fields;
+    int64_t mult = 1;
+    bool is_delete = false;
+    bool is_eviction = false;  // decrement the pending-eviction counter
+  };
+
+  void OnTupleMessage(const net::Message& msg);
+  void EnqueueLocal(Delta delta);
+  void DrainQueue();
+  void ProcessDelta(const Delta& delta);
+  void FireTriggers(const std::string& pred, const TableAction& action);
+  /// Joins the rule body around the delta atom; `action` is the visible
+  /// change that seeded the evaluation.
+  void EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
+                         const TableAction& action);
+  void JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
+               size_t delta_term, const TableAction& action,
+               Bindings* bindings, int64_t mult);
+  bool MatchAtom(const ndlog::Atom& atom, const ValueList& fields,
+                 Bindings* bindings) const;
+  void EmitHead(const CompiledRule& cr, size_t rule_idx,
+                const Bindings& bindings, int64_t mult, bool is_delete);
+  void HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
+                             const Bindings& bindings, int64_t mult,
+                             bool is_delete);
+  void RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
+                         const ValueList& group_key);
+  void RegisterVid(const Tuple& tuple);
+  void NoteEvalError(const Status& status);
+  /// Soft-state bookkeeping after a visible insert: refresh the expiry
+  /// timer and enforce FIFO max-size eviction.
+  void HandleSoftState(const Table& table, const TableAction& action);
+  /// Schedules the program's periodic(@X,E,T,C) timer streams.
+  void SchedulePeriodics();
+  void FirePeriodic(PeriodicStream stream, int64_t iteration);
+
+  net::Simulator* sim_;
+  NodeId id_;
+  CompiledProgramPtr prog_;
+  EngineOptions opts_;
+
+  std::map<std::string, Table> tables_;
+  std::deque<Delta> queue_;
+  bool draining_ = false;
+  uint64_t actions_this_trigger_ = 0;
+  bool overflowed_ = false;
+
+  std::unordered_map<Vid, Tuple> vid_index_;
+
+  struct AggGroupState {
+    AggGroup group;
+    bool has_output = false;
+    ValueList last_output;
+    std::vector<Tuple> last_prov;  // emitted prov + ruleExec tuples
+  };
+  struct AggKeyLess {
+    bool operator()(const std::pair<size_t, ValueList>& a,
+                    const std::pair<size_t, ValueList>& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return ValueListLess{}(a.second, b.second);
+    }
+  };
+  // (rule index, group key) -> state
+  std::map<std::pair<size_t, ValueList>, AggGroupState, AggKeyLess> agg_state_;
+
+  // Soft state: per-key insertion generation (a re-insertion refreshes the
+  // expiry timer and invalidates stale timers) and FIFO insertion order.
+  struct TableKeyLess {
+    bool operator()(const std::pair<std::string, ValueList>& a,
+                    const std::pair<std::string, ValueList>& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return ValueListLess{}(a.second, b.second);
+    }
+  };
+  std::map<std::pair<std::string, ValueList>, uint64_t, TableKeyLess>
+      soft_gen_;
+  std::map<std::string, std::deque<std::pair<ValueList, uint64_t>>> fifo_;
+  std::map<std::string, int64_t> pending_evictions_;
+
+  std::vector<ActionObserver> observers_;
+  EngineStats stats_;
+  std::string last_error_;
+};
+
+}  // namespace runtime
+}  // namespace nettrails
+
+#endif  // NETTRAILS_RUNTIME_ENGINE_H_

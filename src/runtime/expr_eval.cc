@@ -1,0 +1,138 @@
+#include "src/runtime/expr_eval.h"
+
+#include "src/runtime/builtins.h"
+
+namespace nettrails {
+namespace runtime {
+
+namespace {
+
+using ndlog::BinOp;
+using ndlog::Expr;
+using ndlog::UnOp;
+
+Result<Value> EvalArith(BinOp op, const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::TypeError("arithmetic on non-numeric values (" +
+                             a.ToString() + ", " + b.ToString() + ")");
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.as_int(), y = b.as_int();
+    switch (op) {
+      case BinOp::kAdd:
+        return Value::Int(x + y);
+      case BinOp::kSub:
+        return Value::Int(x - y);
+      case BinOp::kMul:
+        return Value::Int(x * y);
+      case BinOp::kDiv:
+        if (y == 0) return Status::RuntimeError("integer division by zero");
+        return Value::Int(x / y);
+      case BinOp::kMod:
+        if (y == 0) return Status::RuntimeError("modulo by zero");
+        return Value::Int(x % y);
+      default:
+        return Status::RuntimeError("not an arithmetic op");
+    }
+  }
+  double x = a.NumericAsDouble(), y = b.NumericAsDouble();
+  switch (op) {
+    case BinOp::kAdd:
+      return Value::Double(x + y);
+    case BinOp::kSub:
+      return Value::Double(x - y);
+    case BinOp::kMul:
+      return Value::Double(x * y);
+    case BinOp::kDiv:
+      if (y == 0) return Status::RuntimeError("division by zero");
+      return Value::Double(x / y);
+    case BinOp::kMod:
+      return Status::TypeError("modulo on doubles");
+    default:
+      return Status::RuntimeError("not an arithmetic op");
+  }
+}
+
+}  // namespace
+
+Result<Value> Eval(const Expr& expr, const Bindings& bindings) {
+  struct Visitor {
+    const Bindings& bindings;
+
+    Result<Value> operator()(const Expr::Const& c) { return c.value; }
+
+    Result<Value> operator()(const Expr::Var& v) {
+      auto it = bindings.find(v.name);
+      if (it == bindings.end()) {
+        return Status::RuntimeError("unbound variable " + v.name);
+      }
+      return it->second;
+    }
+
+    Result<Value> operator()(const Expr::Call& call) {
+      const BuiltinFn* fn = FindBuiltin(call.fn);
+      if (fn == nullptr) {
+        return Status::RuntimeError("unknown builtin " + call.fn);
+      }
+      std::vector<Value> args;
+      args.reserve(call.args.size());
+      for (const ndlog::ExprPtr& a : call.args) {
+        NT_ASSIGN_OR_RETURN(Value v, Eval(*a, bindings));
+        args.push_back(std::move(v));
+      }
+      return (*fn)(args);
+    }
+
+    Result<Value> operator()(const Expr::Binary& bin) {
+      // Short-circuit logical operators.
+      if (bin.op == BinOp::kAnd || bin.op == BinOp::kOr) {
+        NT_ASSIGN_OR_RETURN(Value lhs, Eval(*bin.lhs, bindings));
+        bool l = lhs.Truthy();
+        if (bin.op == BinOp::kAnd && !l) return Value::Bool(false);
+        if (bin.op == BinOp::kOr && l) return Value::Bool(true);
+        NT_ASSIGN_OR_RETURN(Value rhs, Eval(*bin.rhs, bindings));
+        return Value::Bool(rhs.Truthy());
+      }
+      NT_ASSIGN_OR_RETURN(Value lhs, Eval(*bin.lhs, bindings));
+      NT_ASSIGN_OR_RETURN(Value rhs, Eval(*bin.rhs, bindings));
+      switch (bin.op) {
+        case BinOp::kEq:
+          return Value::Bool(lhs == rhs);
+        case BinOp::kNe:
+          return Value::Bool(lhs != rhs);
+        case BinOp::kLt:
+          return Value::Bool(lhs < rhs);
+        case BinOp::kLe:
+          return Value::Bool(lhs <= rhs);
+        case BinOp::kGt:
+          return Value::Bool(lhs > rhs);
+        case BinOp::kGe:
+          return Value::Bool(lhs >= rhs);
+        default:
+          return EvalArith(bin.op, lhs, rhs);
+      }
+    }
+
+    Result<Value> operator()(const Expr::Unary& un) {
+      NT_ASSIGN_OR_RETURN(Value v, Eval(*un.operand, bindings));
+      if (un.op == UnOp::kNot) return Value::Bool(!v.Truthy());
+      if (v.is_int()) return Value::Int(-v.as_int());
+      if (v.is_double()) return Value::Double(-v.as_double());
+      return Status::TypeError("negation of non-numeric value");
+    }
+
+    Result<Value> operator()(const Expr::ListLit& lst) {
+      ValueList out;
+      out.reserve(lst.elements.size());
+      for (const ndlog::ExprPtr& e : lst.elements) {
+        NT_ASSIGN_OR_RETURN(Value v, Eval(*e, bindings));
+        out.push_back(std::move(v));
+      }
+      return Value::List(std::move(out));
+    }
+  };
+  return std::visit(Visitor{bindings}, expr.rep());
+}
+
+}  // namespace runtime
+}  // namespace nettrails

@@ -1,0 +1,25 @@
+// Expression evaluation over variable bindings.
+#ifndef NETTRAILS_RUNTIME_EXPR_EVAL_H_
+#define NETTRAILS_RUNTIME_EXPR_EVAL_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/ndlog/ast.h"
+
+namespace nettrails {
+namespace runtime {
+
+/// Variable bindings accumulated while evaluating a rule body.
+using Bindings = std::map<std::string, Value>;
+
+/// Evaluates `expr` under `bindings`. Unbound variables, type mismatches,
+/// and unknown builtins are errors.
+Result<Value> Eval(const ndlog::Expr& expr, const Bindings& bindings);
+
+}  // namespace runtime
+}  // namespace nettrails
+
+#endif  // NETTRAILS_RUNTIME_EXPR_EVAL_H_

@@ -1,0 +1,215 @@
+#include "src/runtime/plan.h"
+
+#include <set>
+
+#include "src/ndlog/localize.h"
+#include "src/ndlog/parser.h"
+#include "src/provenance/rewrite.h"
+#include "src/runtime/builtins.h"
+
+namespace nettrails {
+namespace runtime {
+
+namespace {
+
+using ndlog::AnalyzedProgram;
+using ndlog::Atom;
+using ndlog::BodyTerm;
+using ndlog::Expr;
+using ndlog::Program;
+using ndlog::Rule;
+
+/// Collects every f_* call name in an expression tree.
+void CollectCalls(const Expr& expr, std::set<std::string>* out) {
+  struct Visitor {
+    std::set<std::string>* out;
+    void operator()(const Expr::Const&) {}
+    void operator()(const Expr::Var&) {}
+    void operator()(const Expr::Call& c) {
+      out->insert(c.fn);
+      for (const auto& a : c.args) CollectCalls(*a, out);
+    }
+    void operator()(const Expr::Binary& b) {
+      CollectCalls(*b.lhs, out);
+      CollectCalls(*b.rhs, out);
+    }
+    void operator()(const Expr::Unary& u) { CollectCalls(*u.operand, out); }
+    void operator()(const Expr::ListLit& l) {
+      for (const auto& e : l.elements) CollectCalls(*e, out);
+    }
+  };
+  std::visit(Visitor{out}, expr.rep());
+}
+
+Status CheckBuiltinsKnown(const Program& prog) {
+  std::set<std::string> calls;
+  for (const Rule& rule : prog.rules) {
+    for (const ndlog::AtomArg& arg : rule.head.args) {
+      if (arg.expr) CollectCalls(*arg.expr, &calls);
+    }
+    for (const BodyTerm& term : rule.body) {
+      if (const Atom* a = std::get_if<Atom>(&term)) {
+        for (const ndlog::AtomArg& arg : a->args) {
+          if (arg.expr) CollectCalls(*arg.expr, &calls);
+        }
+      } else if (const ndlog::Assign* as = std::get_if<ndlog::Assign>(&term)) {
+        CollectCalls(*as->expr, &calls);
+      } else {
+        CollectCalls(*std::get<ndlog::Select>(term).expr, &calls);
+      }
+    }
+  }
+  for (const std::string& fn : calls) {
+    if (!IsBuiltin(fn)) {
+      return Status::PlanError("unknown builtin function " + fn);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CompiledProgramPtr> Compile(const std::string& source,
+                                   const CompileOptions& options) {
+  NT_ASSIGN_OR_RETURN(Program parsed, ndlog::Parse(source));
+  NT_ASSIGN_OR_RETURN(AnalyzedProgram analyzed, ndlog::Analyze(std::move(parsed)));
+  NT_ASSIGN_OR_RETURN(Program localized, ndlog::Localize(analyzed));
+  NT_ASSIGN_OR_RETURN(analyzed, ndlog::Analyze(std::move(localized)));
+
+  if (options.provenance) {
+    NT_ASSIGN_OR_RETURN(Program rewritten,
+                        provenance::RewriteForProvenance(analyzed));
+    NT_ASSIGN_OR_RETURN(analyzed, ndlog::Analyze(std::move(rewritten)));
+  } else {
+    // Maybe rules only produce provenance; without the rewrite they are
+    // no-ops and are removed.
+    Program& prog = analyzed.program;
+    std::vector<Rule> kept;
+    for (Rule& r : prog.rules) {
+      if (!r.is_maybe) kept.push_back(std::move(r));
+    }
+    prog.rules = std::move(kept);
+  }
+
+  NT_RETURN_IF_ERROR(CheckBuiltinsKnown(analyzed.program));
+
+  auto prog = std::make_shared<CompiledProgram>();
+  prog->tables = analyzed.tables;
+  prog->provenance = options.provenance;
+
+  // Periodic timer streams: periodic(@X, E, Period, Count) body atoms.
+  {
+    const ndlog::TableInfo* pinfo = analyzed.FindTable(kPeriodicPredicate);
+    if (pinfo != nullptr && pinfo->materialized) {
+      return Status::PlanError(
+          "periodic is a reserved event predicate and cannot be "
+          "materialized");
+    }
+    std::set<PeriodicStream> streams;
+    for (const Rule& rule : analyzed.program.rules) {
+      for (const Atom* atom : rule.BodyAtoms()) {
+        if (atom->predicate != kPeriodicPredicate) continue;
+        if (atom->args.size() != 4) {
+          return Status::PlanError(
+              "rule " + rule.name +
+              ": periodic requires (loc, EventId, Period, Count)");
+        }
+        const Expr& period = *atom->args[2].expr;
+        const Expr& count = *atom->args[3].expr;
+        if (!period.is_const() || !period.const_value().is_int() ||
+            period.const_value().as_int() <= 0 || !count.is_const() ||
+            !count.const_value().is_int() ||
+            count.const_value().as_int() <= 0) {
+          return Status::PlanError(
+              "rule " + rule.name +
+              ": periodic period and count must be positive integer "
+              "constants");
+        }
+        streams.insert(PeriodicStream{period.const_value().as_int(),
+                                      count.const_value().as_int()});
+      }
+      if (rule.head.predicate == kPeriodicPredicate) {
+        return Status::PlanError("rule " + rule.name +
+                                 ": periodic cannot be derived");
+      }
+    }
+    prog->periodic_streams.assign(streams.begin(), streams.end());
+  }
+
+  for (Rule& rule : analyzed.program.rules) {
+    CompiledRule cr;
+    cr.rule = rule;
+
+    const ndlog::TableInfo* head_info =
+        analyzed.FindTable(cr.rule.head.predicate);
+    cr.head_is_event = head_info == nullptr || !head_info->materialized;
+
+    for (size_t i = 0; i < cr.rule.head.args.size(); ++i) {
+      if (cr.rule.head.args[i].agg) {
+        cr.has_agg = true;
+        cr.agg_fn = *cr.rule.head.args[i].agg;
+        cr.agg_arg_index = i;
+      }
+    }
+    if (cr.has_agg) {
+      if (cr.head_is_event) {
+        return Status::PlanError("rule " + cr.rule.name +
+                                 ": aggregate heads must be materialized");
+      }
+      // Key replacement drives the output update: the head table's key must
+      // be exactly the group-by columns.
+      std::vector<int> group;
+      for (size_t i = 0; i < cr.rule.head.args.size(); ++i) {
+        if (i != cr.agg_arg_index) group.push_back(static_cast<int>(i));
+      }
+      std::vector<int> keys = head_info->keys;
+      std::sort(keys.begin(), keys.end());
+      if (keys != group) {
+        return Status::PlanError(
+            "rule " + cr.rule.name + ": table " + cr.rule.head.predicate +
+            " must be keyed on exactly the non-aggregate head columns");
+      }
+    }
+
+    for (size_t i = 0; i < cr.rule.body.size(); ++i) {
+      if (std::holds_alternative<Atom>(cr.rule.body[i])) {
+        cr.atom_positions.push_back(i);
+      }
+    }
+    if (cr.atom_positions.empty()) {
+      return Status::PlanError("rule " + cr.rule.name +
+                               ": body must contain at least one atom");
+    }
+    prog->rules.push_back(std::move(cr));
+  }
+
+  // Trigger index. Rules containing an event atom fire only on that event
+  // (events are instantaneous and cannot be scanned as stored relations).
+  for (size_t r = 0; r < prog->rules.size(); ++r) {
+    const CompiledRule& cr = prog->rules[r];
+    size_t event_pos = SIZE_MAX;
+    for (size_t pos : cr.atom_positions) {
+      const Atom& atom = std::get<Atom>(cr.rule.body[pos]);
+      const ndlog::TableInfo* info = prog->FindTable(atom.predicate);
+      if (info == nullptr || !info->materialized) {
+        event_pos = pos;
+        break;
+      }
+    }
+    if (event_pos != SIZE_MAX) {
+      const Atom& atom = std::get<Atom>(cr.rule.body[event_pos]);
+      prog->triggers[atom.predicate].emplace_back(r, event_pos);
+      continue;
+    }
+    for (size_t pos : cr.atom_positions) {
+      const Atom& atom = std::get<Atom>(cr.rule.body[pos]);
+      prog->triggers[atom.predicate].emplace_back(r, pos);
+    }
+  }
+
+  prog->program = std::move(analyzed.program);
+  return CompiledProgramPtr(std::move(prog));
+}
+
+}  // namespace runtime
+}  // namespace nettrails

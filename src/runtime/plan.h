@@ -1,0 +1,89 @@
+// Compilation pipeline: NDlog source -> parsed -> analyzed -> localized ->
+// (optionally) provenance-rewritten -> trigger-indexed executable plan
+// shared by every node's engine.
+#ifndef NETTRAILS_RUNTIME_PLAN_H_
+#define NETTRAILS_RUNTIME_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ndlog/analysis.h"
+
+namespace nettrails {
+namespace runtime {
+
+struct CompileOptions {
+  /// Apply the ExSPAN provenance rewrite. Maybe rules are dropped (with no
+  /// effect) when false, since their sole output is provenance.
+  bool provenance = true;
+};
+
+/// One executable rule.
+struct CompiledRule {
+  ndlog::Rule rule;
+  /// Indices into rule.body that are atoms, in body order.
+  std::vector<size_t> atom_positions;
+  /// Head predicate is an event (not materialized).
+  bool head_is_event = false;
+  /// Aggregate rule bookkeeping.
+  bool has_agg = false;
+  ndlog::AggFn agg_fn = ndlog::AggFn::kMin;
+  size_t agg_arg_index = 0;  // position of the aggregate in the head args
+};
+
+/// The reserved periodic-event predicate: periodic(@X, E, Period, Count)
+/// fires Count times every Period seconds at each node, with a fresh event
+/// id E per firing (the P2/RapidNet timer mechanism).
+inline constexpr char kPeriodicPredicate[] = "periodic";
+
+/// A distinct periodic stream required by the program.
+struct PeriodicStream {
+  int64_t period_secs = 1;
+  int64_t count = 1;
+
+  bool operator<(const PeriodicStream& other) const {
+    if (period_secs != other.period_secs) {
+      return period_secs < other.period_secs;
+    }
+    return count < other.count;
+  }
+};
+
+/// The shared, immutable execution plan.
+struct CompiledProgram {
+  /// Final program text (after localization and rewrite) — this is the
+  /// "modified program that contains additional rules for capturing the
+  /// program's provenance information" of the paper.
+  ndlog::Program program;
+  std::map<std::string, ndlog::TableInfo> tables;
+  std::vector<CompiledRule> rules;
+  /// predicate -> [(rule index, body-term index of the triggering atom)].
+  std::map<std::string, std::vector<std::pair<size_t, size_t>>> triggers;
+  /// Distinct (period, count) timer streams the engines must run.
+  std::vector<PeriodicStream> periodic_streams;
+  bool provenance = false;
+
+  const ndlog::TableInfo* FindTable(const std::string& name) const {
+    auto it = tables.find(name);
+    return it == tables.end() ? nullptr : &it->second;
+  }
+
+  /// Rendered program text (for tests, docs, and the demo display of the
+  /// rewritten rules).
+  std::string Dump() const { return program.ToString(); }
+};
+
+using CompiledProgramPtr = std::shared_ptr<const CompiledProgram>;
+
+/// Full pipeline from source text.
+Result<CompiledProgramPtr> Compile(const std::string& source,
+                                   const CompileOptions& options = {});
+
+}  // namespace runtime
+}  // namespace nettrails
+
+#endif  // NETTRAILS_RUNTIME_PLAN_H_

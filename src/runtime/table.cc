@@ -1,0 +1,96 @@
+#include "src/runtime/table.h"
+
+#include <cassert>
+
+namespace nettrails {
+namespace runtime {
+
+Table::Table(ndlog::TableInfo info) : info_(std::move(info)) {}
+
+ValueList Table::KeyOf(const ValueList& fields) const {
+  if (info_.keys.empty()) return fields;
+  ValueList key;
+  key.reserve(info_.keys.size());
+  for (int k : info_.keys) {
+    assert(static_cast<size_t>(k) < fields.size());
+    key.push_back(fields[static_cast<size_t>(k)]);
+  }
+  return key;
+}
+
+std::vector<TableAction> Table::PlanInsert(const ValueList& fields,
+                                           int64_t mult) const {
+  assert(mult > 0);
+  std::vector<TableAction> actions;
+  auto it = rows_.find(KeyOf(fields));
+  if (it == rows_.end() || it->second.fields == fields) {
+    actions.push_back({fields, mult, /*is_delete=*/false});
+    return actions;
+  }
+  // Key replacement: retract the displaced tuple entirely, then insert.
+  actions.push_back({it->second.fields, it->second.count, /*is_delete=*/true});
+  actions.push_back({fields, mult, /*is_delete=*/false});
+  return actions;
+}
+
+std::vector<TableAction> Table::PlanDelete(const ValueList& fields,
+                                           int64_t mult) const {
+  assert(mult > 0);
+  std::vector<TableAction> actions;
+  auto it = rows_.find(KeyOf(fields));
+  if (it == rows_.end() || it->second.fields != fields) {
+    ++spurious_deletes_;
+    return actions;
+  }
+  int64_t m = std::min(mult, it->second.count);
+  if (m > 0) actions.push_back({fields, m, /*is_delete=*/true});
+  return actions;
+}
+
+void Table::Apply(const TableAction& action) {
+  ValueList key = KeyOf(action.fields);
+  if (action.is_delete) {
+    auto it = rows_.find(key);
+    if (it == rows_.end() || it->second.fields != action.fields) return;
+    it->second.count -= action.mult;
+    if (it->second.count <= 0) rows_.erase(it);
+    return;
+  }
+  auto [it, inserted] = rows_.try_emplace(std::move(key));
+  if (inserted) {
+    it->second.fields = action.fields;
+    it->second.count = action.mult;
+  } else {
+    // PlanInsert issues the displacement delete first, so by the time an
+    // insert lands here the stored fields match (or the row was erased).
+    assert(it->second.fields == action.fields);
+    it->second.count += action.mult;
+  }
+}
+
+const Table::Row* Table::FindByKeyOf(const ValueList& fields) const {
+  auto it = rows_.find(KeyOf(fields));
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+const Table::Row* Table::FindByKey(const ValueList& key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+int64_t Table::CountOf(const ValueList& fields) const {
+  const Row* row = FindByKeyOf(fields);
+  return (row != nullptr && row->fields == fields) ? row->count : 0;
+}
+
+std::vector<Tuple> Table::Contents() const {
+  std::vector<Tuple> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, row] : rows_) {
+    out.emplace_back(info_.name, row.fields);
+  }
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace nettrails

@@ -1,0 +1,104 @@
+// Materialized tables with derivation counting and key-replacement.
+//
+// Two storage semantics, selected by the declared primary key:
+//  * keys cover all fields  -> bag semantics with derivation counting: a
+//    tuple stays visible while its derivation count is positive (supports
+//    incremental deletion of recursively derived views);
+//  * keys are a proper subset -> key replacement (P2/RapidNet semantics):
+//    inserting a tuple with an existing key retracts the previous tuple for
+//    that key with cascade. Used for base state and aggregate outputs.
+#ifndef NETTRAILS_RUNTIME_TABLE_H_
+#define NETTRAILS_RUNTIME_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/tuple.h"
+#include "src/common/value.h"
+#include "src/ndlog/analysis.h"
+
+namespace nettrails {
+namespace runtime {
+
+/// A visible change to a table, in application order.
+struct TableAction {
+  ValueList fields;
+  int64_t mult = 1;  // derivation-count delta, always positive
+  bool is_delete = false;
+};
+
+/// Lexicographic ordering on value lists (Value::Compare per element).
+struct ValueListLess {
+  bool operator()(const ValueList& a, const ValueList& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+class Table {
+ public:
+  struct Row {
+    ValueList fields;
+    int64_t count = 0;
+  };
+
+  explicit Table(ndlog::TableInfo info);
+
+  const ndlog::TableInfo& info() const { return info_; }
+  const std::string& name() const { return info_.name; }
+
+  /// Plans the visible actions for an insert delta of `mult` (> 0)
+  /// derivations of `fields`, WITHOUT mutating the table. A key replacement
+  /// yields a delete of the displaced tuple followed by the insert.
+  std::vector<TableAction> PlanInsert(const ValueList& fields,
+                                      int64_t mult) const;
+
+  /// Plans the visible actions for a delete delta. A delete of a tuple that
+  /// is not present (e.g. an in-flight retraction racing a replacement) is
+  /// dropped; the multiplicity is clamped to the stored count.
+  std::vector<TableAction> PlanDelete(const ValueList& fields,
+                                      int64_t mult) const;
+
+  /// Applies one planned action to the stored counts.
+  void Apply(const TableAction& action);
+
+  /// Stored rows, keyed by their key projection.
+  const std::map<ValueList, Row, ValueListLess>& rows() const { return rows_; }
+
+  /// Row whose key projection matches `fields`' projection, else nullptr.
+  const Row* FindByKeyOf(const ValueList& fields) const;
+
+  /// Row stored under exactly this key projection, else nullptr.
+  const Row* FindByKey(const ValueList& key) const;
+
+  /// Derivation count of exactly `fields` (0 if absent).
+  int64_t CountOf(const ValueList& fields) const;
+
+  /// Number of visible (distinct) tuples.
+  size_t size() const { return rows_.size(); }
+
+  /// All visible tuples as Tuple objects (for tests and snapshots).
+  std::vector<Tuple> Contents() const;
+
+  /// Key projection of a fields vector under this table's key.
+  ValueList KeyOf(const ValueList& fields) const;
+
+  /// Count of dropped spurious deletes (see PlanDelete).
+  uint64_t spurious_deletes() const { return spurious_deletes_; }
+
+ private:
+  ndlog::TableInfo info_;
+  std::map<ValueList, Row, ValueListLess> rows_;
+  mutable uint64_t spurious_deletes_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace nettrails
+
+#endif  // NETTRAILS_RUNTIME_TABLE_H_

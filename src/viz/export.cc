@@ -1,0 +1,141 @@
+#include "src/viz/export.h"
+
+#include <set>
+
+namespace nettrails {
+namespace viz {
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string VidName(Vid v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "v%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+std::string ToDot(const provenance::Graph& graph) {
+  std::string out = "digraph provenance {\n  rankdir=BT;\n";
+  for (const auto& [id, v] : graph.vertices) {
+    out += "  " + VidName(id) + " [label=\"" + EscapeDot(v.label) +
+           "\\n@" + std::to_string(v.location) + "\"";
+    if (v.kind == provenance::VertexKind::kTuple) {
+      out += ", shape=box";
+      if (v.is_base) out += ", style=filled, fillcolor=lightgray";
+      if (id == graph.root) out += ", color=red, penwidth=2";
+    } else {
+      out += ", shape=ellipse";
+    }
+    out += "];\n";
+  }
+  for (const provenance::GraphEdge& e : graph.edges) {
+    out += "  " + VidName(e.to) + " -> " + VidName(e.from);
+    if (e.maybe) out += " [style=dashed, label=\"maybe\"]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ToJson(const provenance::Graph& graph) {
+  std::string out = "{\n  \"root\": \"" + VidName(graph.root) +
+                    "\",\n  \"vertices\": [\n";
+  bool first = true;
+  for (const auto& [id, v] : graph.vertices) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"id\": \"" + VidName(id) + "\", \"kind\": \"" +
+           (v.kind == provenance::VertexKind::kTuple ? "tuple" : "ruleExec") +
+           "\", \"node\": " + std::to_string(v.location) + ", \"label\": \"" +
+           EscapeJson(v.label) + "\", \"base\": " +
+           (v.is_base ? "true" : "false") + "}";
+  }
+  out += "\n  ],\n  \"edges\": [\n";
+  first = true;
+  for (const provenance::GraphEdge& e : graph.edges) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"effect\": \"" + VidName(e.from) + "\", \"cause\": \"" +
+           VidName(e.to) + "\", \"maybe\": " + (e.maybe ? "true" : "false") +
+           "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+namespace {
+
+void RenderTree(const provenance::Graph& graph, Vid v, size_t depth,
+                size_t max_depth, std::set<Vid>* on_path, std::string* out) {
+  auto it = graph.vertices.find(v);
+  if (it == graph.vertices.end()) return;
+  const provenance::Vertex& vert = it->second;
+  out->append(2 * depth, ' ');
+  if (vert.kind == provenance::VertexKind::kRuleExec) {
+    *out += "<- rule " + vert.label + " @" + std::to_string(vert.location);
+  } else {
+    *out += vert.label + " @" + std::to_string(vert.location);
+    if (vert.is_base) *out += " [base]";
+  }
+  if (depth >= max_depth || on_path->count(v)) {
+    *out += " ...\n";
+    return;
+  }
+  *out += "\n";
+  on_path->insert(v);
+  for (const provenance::GraphEdge& e : graph.edges) {
+    if (e.from != v) continue;
+    if (e.maybe) {
+      out->append(2 * (depth + 1), ' ');
+      *out += "(maybe)\n";
+    }
+    RenderTree(graph, e.to, depth + 1, max_depth, on_path, out);
+  }
+  on_path->erase(v);
+}
+
+}  // namespace
+
+std::string ToTextTree(const provenance::Graph& graph, size_t max_depth) {
+  std::string out;
+  std::set<Vid> on_path;
+  RenderTree(graph, graph.root, 0, max_depth, &on_path, &out);
+  return out;
+}
+
+}  // namespace viz
+}  // namespace nettrails

@@ -1,0 +1,27 @@
+// Provenance graph exporters (GraphViz DOT and JSON) — the file-based
+// substitutes for the interactive provenance visualizer's rendering layer.
+#ifndef NETTRAILS_VIZ_EXPORT_H_
+#define NETTRAILS_VIZ_EXPORT_H_
+
+#include <string>
+
+#include "src/provenance/graph.h"
+
+namespace nettrails {
+namespace viz {
+
+/// GraphViz DOT: tuple vertices as boxes (base tuples shaded), rule
+/// executions as ellipses, maybe edges dashed.
+std::string ToDot(const provenance::Graph& graph);
+
+/// Compact JSON with "vertices" and "edges" arrays.
+std::string ToJson(const provenance::Graph& graph);
+
+/// Indented text tree rooted at graph.root (cycle- and share-safe): the
+/// quick textual view used by the examples.
+std::string ToTextTree(const provenance::Graph& graph, size_t max_depth = 32);
+
+}  // namespace viz
+}  // namespace nettrails
+
+#endif  // NETTRAILS_VIZ_EXPORT_H_

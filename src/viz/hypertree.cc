@@ -1,0 +1,180 @@
+#include "src/viz/hypertree.h"
+
+#include <cmath>
+#include <deque>
+#include <set>
+
+namespace nettrails {
+namespace viz {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Hypertree::Hypertree(const provenance::Graph& graph, double step) {
+  root_ = graph.root;
+  focused_ = root_;
+
+  // Adjacency index (ChildrenOf per vertex would be O(V*E)).
+  std::map<Vid, std::vector<Vid>> children_of;
+  for (const provenance::GraphEdge& e : graph.edges) {
+    children_of[e.from].push_back(e.to);
+  }
+
+  // BFS spanning tree over the (possibly shared / DAG-shaped) provenance
+  // graph: first visit wins a vertex.
+  std::set<Vid> seen;
+  std::deque<Vid> frontier;
+  auto rit = graph.vertices.find(root_);
+  if (rit == graph.vertices.end()) return;
+  seen.insert(root_);
+  frontier.push_back(root_);
+  HypertreeNode root_node;
+  root_node.id = root_;
+  root_node.parent = root_;
+  root_node.label = rit->second.label;
+  root_node.is_exec = rit->second.kind == provenance::VertexKind::kRuleExec;
+  root_node.is_base = rit->second.is_base;
+  nodes_[root_] = root_node;
+
+  while (!frontier.empty()) {
+    Vid v = frontier.front();
+    frontier.pop_front();
+    HypertreeNode& parent = nodes_[v];
+    auto cit = children_of.find(v);
+    if (cit == children_of.end()) continue;
+    for (Vid child : cit->second) {
+      if (!seen.insert(child).second) continue;
+      auto cit = graph.vertices.find(child);
+      if (cit == graph.vertices.end()) continue;
+      HypertreeNode node;
+      node.id = child;
+      node.parent = v;
+      node.depth = parent.depth + 1;
+      node.label = cit->second.label;
+      node.is_exec = cit->second.kind == provenance::VertexKind::kRuleExec;
+      node.is_base = cit->second.is_base;
+      nodes_[child] = node;
+      parent.children.push_back(child);
+      frontier.push_back(child);
+      max_depth_ = std::max(max_depth_, node.depth);
+    }
+  }
+
+  // Leaf counts bottom-up (post-order via depth bucketing).
+  std::vector<Vid> order;
+  order.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) order.push_back(id);
+  std::sort(order.begin(), order.end(), [this](Vid a, Vid b) {
+    return nodes_[a].depth > nodes_[b].depth;
+  });
+  for (Vid id : order) {
+    HypertreeNode& n = nodes_[id];
+    if (n.children.empty()) {
+      n.leaves = 1;
+    } else {
+      n.leaves = 0;
+      for (Vid c : n.children) n.leaves += nodes_[c].leaves;
+    }
+  }
+
+  LayoutSubtree(root_, 0, 2 * kPi, step);
+  ApplyFocus({0, 0});
+}
+
+void Hypertree::LayoutSubtree(Vid v, double angle_lo, double angle_hi,
+                              double step) {
+  HypertreeNode& n = nodes_[v];
+  double mid = (angle_lo + angle_hi) / 2;
+  double radius = std::tanh(static_cast<double>(n.depth) * step / 2);
+  n.base_pos = std::polar(radius, mid);
+  if (n.id == root_) n.base_pos = {0, 0};
+
+  double total = static_cast<double>(n.leaves);
+  double at = angle_lo;
+  for (Vid c : n.children) {
+    double share =
+        (angle_hi - angle_lo) * static_cast<double>(nodes_[c].leaves) / total;
+    LayoutSubtree(c, at, at + share, step);
+    at += share;
+  }
+}
+
+std::complex<double> Hypertree::MobiusTranslate(std::complex<double> z,
+                                                std::complex<double> c) {
+  return (z - c) / (1.0 - std::conj(c) * z);
+}
+
+void Hypertree::ApplyFocus(std::complex<double> c) {
+  focus_center_ = c;
+  for (auto& [id, n] : nodes_) {
+    n.pos = MobiusTranslate(n.base_pos, c);
+  }
+}
+
+const HypertreeNode* Hypertree::node(Vid id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+bool Hypertree::Focus(Vid v) {
+  auto it = nodes_.find(v);
+  if (it == nodes_.end()) return false;
+  focused_ = v;
+  ApplyFocus(it->second.base_pos);
+  return true;
+}
+
+std::vector<std::map<Vid, std::complex<double>>> Hypertree::TransitionFrames(
+    Vid v, size_t steps) {
+  std::vector<std::map<Vid, std::complex<double>>> frames;
+  auto it = nodes_.find(v);
+  if (it == nodes_.end() || steps == 0) return frames;
+  std::complex<double> from = focus_center_;
+  std::complex<double> to = it->second.base_pos;
+  for (size_t s = 1; s <= steps; ++s) {
+    double t = static_cast<double>(s) / static_cast<double>(steps);
+    std::complex<double> c = from + t * (to - from);
+    std::map<Vid, std::complex<double>> frame;
+    for (const auto& [id, n] : nodes_) {
+      frame[id] = MobiusTranslate(n.base_pos, c);
+    }
+    frames.push_back(std::move(frame));
+  }
+  focused_ = v;
+  ApplyFocus(to);
+  return frames;
+}
+
+std::string Hypertree::AsciiRender(size_t width, size_t height) const {
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  auto plot = [&](double x, double y, char c) {
+    // Disk [-1,1]^2 -> grid.
+    int col = static_cast<int>((x + 1) / 2 * static_cast<double>(width - 1));
+    int row = static_cast<int>((1 - (y + 1) / 2) * static_cast<double>(height - 1));
+    if (row < 0 || col < 0 || row >= static_cast<int>(height) ||
+        col >= static_cast<int>(width)) {
+      return;
+    }
+    grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = c;
+  };
+  // Disk boundary.
+  for (int i = 0; i < 128; ++i) {
+    double a = 2 * kPi * i / 128;
+    plot(std::cos(a), std::sin(a), '.');
+  }
+  for (const auto& [id, n] : nodes_) {
+    char c = n.is_exec ? 'x' : 'o';
+    if (id == focused_) c = '*';
+    plot(n.pos.real(), n.pos.imag(), c);
+  }
+  std::string out;
+  for (const std::string& row : grid) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace viz
+}  // namespace nettrails

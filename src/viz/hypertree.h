@@ -1,0 +1,84 @@
+// Hyperbolic (Poincaré-disk) tree layout: the geometry behind the paper's
+// hypertree provenance visualizer. "The provenance graph is presented on a
+// hyperbolic plane, enabling users to focus on small segments of the graph;
+// additionally, users can navigate the provenance graph by changing focus
+// with smooth transitions" (Section 2.3). The Java GUI is replaced by this
+// deterministic layout engine plus an ASCII renderer; refocusing is a
+// Möbius translation z -> (z - c) / (1 - conj(c) z), and smooth transitions
+// are parameterized interpolations of the focus point.
+#ifndef NETTRAILS_VIZ_HYPERTREE_H_
+#define NETTRAILS_VIZ_HYPERTREE_H_
+
+#include <complex>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/provenance/graph.h"
+
+namespace nettrails {
+namespace viz {
+
+struct HypertreeNode {
+  Vid id = 0;
+  std::string label;
+  Vid parent = 0;  // == id for the root
+  std::vector<Vid> children;
+  size_t depth = 0;
+  bool is_exec = false;
+  bool is_base = false;
+  size_t leaves = 1;  // leaf count of the subtree (wedge share)
+  /// Position with the root focused (layout coordinates).
+  std::complex<double> base_pos{0, 0};
+  /// Position under the current focus transform.
+  std::complex<double> pos{0, 0};
+};
+
+class Hypertree {
+ public:
+  /// Builds a BFS spanning tree of `graph` from its root and lays it out
+  /// radially on the Poincaré disk: a node at depth d sits at hyperbolic
+  /// radius d*step (Euclidean tanh(d*step/2)), inside the angular wedge
+  /// allotted to its subtree (proportional to leaf counts).
+  explicit Hypertree(const provenance::Graph& graph, double step = 0.9);
+
+  const std::map<Vid, HypertreeNode>& nodes() const { return nodes_; }
+  const HypertreeNode* node(Vid id) const;
+  Vid root() const { return root_; }
+  size_t size() const { return nodes_.size(); }
+  size_t max_depth() const { return max_depth_; }
+
+  /// Möbius translation of the disk: (z - c) / (1 - conj(c) z).
+  static std::complex<double> MobiusTranslate(std::complex<double> z,
+                                              std::complex<double> c);
+
+  /// Re-centers the view on vertex `v` (the click-to-refocus interaction).
+  /// Updates every node's `pos`. Returns false for unknown vertices.
+  bool Focus(Vid v);
+  Vid focused() const { return focused_; }
+
+  /// Intermediate position maps for a smooth transition from the current
+  /// focus to `v` (`steps` frames, last frame == Focus(v) result). Also
+  /// applies the final focus.
+  std::vector<std::map<Vid, std::complex<double>>> TransitionFrames(
+      Vid v, size_t steps);
+
+  /// Character rendering of the current view: '*' focus, 'o' tuples,
+  /// 'x' rule executions, '.' disk boundary.
+  std::string AsciiRender(size_t width = 64, size_t height = 32) const;
+
+ private:
+  void LayoutSubtree(Vid v, double angle_lo, double angle_hi, double step);
+  void ApplyFocus(std::complex<double> c);
+
+  std::map<Vid, HypertreeNode> nodes_;
+  Vid root_ = 0;
+  Vid focused_ = 0;
+  std::complex<double> focus_center_{0, 0};
+  size_t max_depth_ = 0;
+};
+
+}  // namespace viz
+}  // namespace nettrails
+
+#endif  // NETTRAILS_VIZ_HYPERTREE_H_

@@ -1,0 +1,3 @@
+// snapshot.h is header-only; this translation unit exists so the target
+// layout stays uniform and future out-of-line helpers have a home.
+#include "src/viz/snapshot.h"

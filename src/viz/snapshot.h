@@ -1,0 +1,56 @@
+// System snapshots: "per-node provenance information and other system state
+// (such as the network topology ...) can be periodically captured as system
+// snapshots at each node, and then propagated to a central Log Store"
+// (Section 2.3).
+#ifndef NETTRAILS_VIZ_SNAPSHOT_H_
+#define NETTRAILS_VIZ_SNAPSHOT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/tuple.h"
+#include "src/net/simulator.h"
+
+namespace nettrails {
+namespace viz {
+
+/// One node's state at a point in virtual time.
+struct NodeSnapshot {
+  NodeId node = 0;
+  std::map<std::string, std::vector<Tuple>> tables;
+
+  size_t TotalTuples() const {
+    size_t n = 0;
+    for (const auto& [name, tuples] : tables) n += tuples.size();
+    return n;
+  }
+};
+
+/// State of one link at snapshot time.
+struct LinkSnapshot {
+  NodeId a = 0;
+  NodeId b = 0;
+  bool up = true;
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+/// A system-wide snapshot (what the demo's time slider scrubs through).
+struct SystemSnapshot {
+  net::Time time = 0;
+  std::vector<NodeSnapshot> nodes;
+  std::vector<LinkSnapshot> links;
+
+  const NodeSnapshot* FindNode(NodeId id) const {
+    for (const NodeSnapshot& n : nodes) {
+      if (n.node == id) return &n;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace viz
+}  // namespace nettrails
+
+#endif  // NETTRAILS_VIZ_SNAPSHOT_H_

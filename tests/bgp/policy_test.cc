@@ -1,0 +1,46 @@
+#include "src/bgp/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace bgp {
+namespace {
+
+TEST(PolicyTest, LocalPrefOrdering) {
+  EXPECT_GT(LocalPref(Relation::kCustomer), LocalPref(Relation::kPeer));
+  EXPECT_GT(LocalPref(Relation::kPeer), LocalPref(Relation::kProvider));
+}
+
+TEST(PolicyTest, GaoRexfordExportMatrix) {
+  // Customer routes are exported to everyone.
+  EXPECT_TRUE(ShouldExport(Relation::kCustomer, Relation::kCustomer));
+  EXPECT_TRUE(ShouldExport(Relation::kCustomer, Relation::kPeer));
+  EXPECT_TRUE(ShouldExport(Relation::kCustomer, Relation::kProvider));
+  // Peer routes only to customers.
+  EXPECT_TRUE(ShouldExport(Relation::kPeer, Relation::kCustomer));
+  EXPECT_FALSE(ShouldExport(Relation::kPeer, Relation::kPeer));
+  EXPECT_FALSE(ShouldExport(Relation::kPeer, Relation::kProvider));
+  // Provider routes only to customers.
+  EXPECT_TRUE(ShouldExport(Relation::kProvider, Relation::kCustomer));
+  EXPECT_FALSE(ShouldExport(Relation::kProvider, Relation::kPeer));
+  EXPECT_FALSE(ShouldExport(Relation::kProvider, Relation::kProvider));
+}
+
+TEST(PolicyTest, ReverseIsInvolution) {
+  for (Relation r :
+       {Relation::kCustomer, Relation::kPeer, Relation::kProvider}) {
+    EXPECT_EQ(Reverse(Reverse(r)), r);
+  }
+  EXPECT_EQ(Reverse(Relation::kCustomer), Relation::kProvider);
+  EXPECT_EQ(Reverse(Relation::kPeer), Relation::kPeer);
+}
+
+TEST(PolicyTest, RelationNames) {
+  EXPECT_STREQ(RelationName(Relation::kCustomer), "customer");
+  EXPECT_STREQ(RelationName(Relation::kPeer), "peer");
+  EXPECT_STREQ(RelationName(Relation::kProvider), "provider");
+}
+
+}  // namespace
+}  // namespace bgp
+}  // namespace nettrails

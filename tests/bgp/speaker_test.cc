@@ -1,0 +1,163 @@
+#include "src/bgp/speaker.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace bgp {
+namespace {
+
+// Three ASes in a chain: 0 is 1's provider, 1 is 2's provider.
+class SpeakerChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 3; ++i) sim_.AddNode();
+    sim_.AddLink(0, 1);
+    sim_.AddLink(1, 2);
+    for (NodeId i = 0; i < 3; ++i) {
+      speakers_.push_back(std::make_unique<Speaker>(&sim_, i));
+    }
+    speakers_[0]->AddNeighbor(1, Relation::kCustomer);
+    speakers_[1]->AddNeighbor(0, Relation::kProvider);
+    speakers_[1]->AddNeighbor(2, Relation::kCustomer);
+    speakers_[2]->AddNeighbor(1, Relation::kProvider);
+  }
+
+  net::Simulator sim_;
+  std::vector<std::unique_ptr<Speaker>> speakers_;
+};
+
+TEST_F(SpeakerChainTest, CustomerRoutePropagatesUpChain) {
+  speakers_[2]->Originate(100);
+  sim_.Run();
+  std::optional<Route> at1 = speakers_[1]->BestRoute(100);
+  ASSERT_TRUE(at1.has_value());
+  EXPECT_EQ(at1->as_path, (std::vector<NodeId>{2}));
+  std::optional<Route> at0 = speakers_[0]->BestRoute(100);
+  ASSERT_TRUE(at0.has_value());
+  EXPECT_EQ(at0->as_path, (std::vector<NodeId>{1, 2}));
+}
+
+TEST_F(SpeakerChainTest, ProviderRoutePropagatesDownChain) {
+  speakers_[0]->Originate(50);
+  sim_.Run();
+  // Provider routes are exported to customers: 1 and then 2 learn it.
+  ASSERT_TRUE(speakers_[1]->BestRoute(50).has_value());
+  ASSERT_TRUE(speakers_[2]->BestRoute(50).has_value());
+  EXPECT_EQ(speakers_[2]->BestRoute(50)->as_path,
+            (std::vector<NodeId>{1, 0}));
+}
+
+TEST_F(SpeakerChainTest, WithdrawPropagates) {
+  speakers_[2]->Originate(100);
+  sim_.Run();
+  ASSERT_TRUE(speakers_[0]->BestRoute(100).has_value());
+  speakers_[2]->Withdraw(100);
+  sim_.Run();
+  EXPECT_FALSE(speakers_[0]->BestRoute(100).has_value());
+  EXPECT_FALSE(speakers_[1]->BestRoute(100).has_value());
+}
+
+TEST_F(SpeakerChainTest, ReachablePrefixesListsLocRib) {
+  speakers_[2]->Originate(100);
+  speakers_[2]->Originate(200);
+  sim_.Run();
+  EXPECT_EQ(speakers_[0]->ReachablePrefixes().size(), 2u);
+}
+
+TEST(SpeakerPolicyTest, PeerRoutesNotExportedToPeers) {
+  // Triangle: 0-1 peers, 1-2 peers. 2 originates; 1 learns it from a peer
+  // and must NOT export it to its other peer 0 (valley-free routing).
+  net::Simulator sim;
+  for (int i = 0; i < 3; ++i) sim.AddNode();
+  sim.AddLink(0, 1);
+  sim.AddLink(1, 2);
+  Speaker s0(&sim, 0), s1(&sim, 1), s2(&sim, 2);
+  s0.AddNeighbor(1, Relation::kPeer);
+  s1.AddNeighbor(0, Relation::kPeer);
+  s1.AddNeighbor(2, Relation::kPeer);
+  s2.AddNeighbor(1, Relation::kPeer);
+  s2.Originate(100);
+  sim.Run();
+  EXPECT_TRUE(s1.BestRoute(100).has_value());
+  EXPECT_FALSE(s0.BestRoute(100).has_value());
+}
+
+TEST(SpeakerPolicyTest, PrefersCustomerOverPeerRoute) {
+  // 0 learns prefix 100 from customer 1 and from peer 2; must pick 1.
+  net::Simulator sim;
+  for (int i = 0; i < 4; ++i) sim.AddNode();
+  sim.AddLink(0, 1);
+  sim.AddLink(0, 2);
+  sim.AddLink(1, 3);
+  sim.AddLink(2, 3);
+  Speaker s0(&sim, 0), s1(&sim, 1), s2(&sim, 2), s3(&sim, 3);
+  s0.AddNeighbor(1, Relation::kCustomer);
+  s0.AddNeighbor(2, Relation::kPeer);
+  s1.AddNeighbor(0, Relation::kProvider);
+  s1.AddNeighbor(3, Relation::kCustomer);
+  s2.AddNeighbor(0, Relation::kPeer);
+  s2.AddNeighbor(3, Relation::kCustomer);
+  s3.AddNeighbor(1, Relation::kProvider);
+  s3.AddNeighbor(2, Relation::kProvider);
+  s3.Originate(100);
+  sim.Run();
+  std::optional<Route> best = s0.BestRoute(100);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->as_path, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(SpeakerPolicyTest, ShorterPathWinsAtEqualPreference) {
+  // 0 has two customers: 1 (direct origin) and 2 (transit to 3's prefix
+  // via a longer path). Both are customer routes for prefix 100.
+  net::Simulator sim;
+  for (int i = 0; i < 4; ++i) sim.AddNode();
+  sim.AddLink(0, 1);
+  sim.AddLink(0, 2);
+  sim.AddLink(2, 3);
+  Speaker s0(&sim, 0), s1(&sim, 1), s2(&sim, 2), s3(&sim, 3);
+  s0.AddNeighbor(1, Relation::kCustomer);
+  s0.AddNeighbor(2, Relation::kCustomer);
+  s1.AddNeighbor(0, Relation::kProvider);
+  s2.AddNeighbor(0, Relation::kProvider);
+  s2.AddNeighbor(3, Relation::kCustomer);
+  s3.AddNeighbor(2, Relation::kProvider);
+  s3.Originate(100);
+  s1.Originate(100);  // same prefix, shorter path
+  sim.Run();
+  std::optional<Route> best = s0.BestRoute(100);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->as_path, (std::vector<NodeId>{1}));
+}
+
+TEST(SpeakerLoopTest, DropsRoutesContainingOwnAs) {
+  net::Simulator sim;
+  sim.AddNode();
+  sim.AddNode();
+  sim.AddLink(0, 1);
+  Speaker s0(&sim, 0), s1(&sim, 1);
+  s0.AddNeighbor(1, Relation::kPeer);
+  s1.AddNeighbor(0, Relation::kPeer);
+  // Craft an update whose path already contains AS 1.
+  net::Message msg;
+  msg.src = 0;
+  msg.dst = 1;
+  msg.channel = kBgpChannel;
+  msg.payload = Tuple("bgpUpd", {Value::Address(1), Value::Address(0),
+                                 Value::Int(100),
+                                 Value::List({Value::Address(0),
+                                              Value::Address(1)})});
+  sim.Send(std::move(msg));
+  sim.Run();
+  EXPECT_FALSE(s1.BestRoute(100).has_value());
+}
+
+TEST_F(SpeakerChainTest, StatsCountMessages) {
+  speakers_[2]->Originate(100);
+  sim_.Run();
+  EXPECT_GT(speakers_[2]->updates_sent(), 0u);
+  EXPECT_GT(speakers_[1]->updates_received(), 0u);
+}
+
+}  // namespace
+}  // namespace bgp
+}  // namespace nettrails

@@ -1,0 +1,70 @@
+#include "src/bgp/trace_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace bgp {
+namespace {
+
+TEST(TraceParserTest, ParsesRecords) {
+  Result<std::vector<TraceEvent>> trace = ParseTrace(
+      "100 A 7 101\n"
+      "200 W 7 101\n");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_EQ(trace->size(), 2u);
+  EXPECT_EQ((*trace)[0].time, 100u);
+  EXPECT_FALSE((*trace)[0].withdraw);
+  EXPECT_EQ((*trace)[0].origin, 7u);
+  EXPECT_EQ((*trace)[0].prefix, 101);
+  EXPECT_TRUE((*trace)[1].withdraw);
+}
+
+TEST(TraceParserTest, SkipsCommentsAndBlanks) {
+  Result<std::vector<TraceEvent>> trace = ParseTrace(
+      "# header\n"
+      "\n"
+      "100 A 7 101  # inline comment\n"
+      "   \n");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->size(), 1u);
+}
+
+TEST(TraceParserTest, RejectsMalformedRecords) {
+  EXPECT_FALSE(ParseTrace("100 X 7 101\n").ok());
+  EXPECT_FALSE(ParseTrace("100 A 7\n").ok());
+  EXPECT_FALSE(ParseTrace("abc A 7 101\n").ok());
+  EXPECT_FALSE(ParseTrace("100 A 7 101 extra\n").ok());
+}
+
+TEST(TraceParserTest, ErrorMentionsLineNumber) {
+  Result<std::vector<TraceEvent>> trace =
+      ParseTrace("100 A 7 101\nbogus\n");
+  ASSERT_FALSE(trace.ok());
+  EXPECT_NE(trace.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceParserTest, RoundTripsWithGenerator) {
+  Rng rng(42);
+  AsTopology topo = MakeAsTopology(2, 3, 4, &rng);
+  std::vector<TraceEvent> trace = GenerateTrace(topo, 25, &rng);
+  Result<std::vector<TraceEvent>> parsed =
+      ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].time, trace[i].time);
+    EXPECT_EQ((*parsed)[i].withdraw, trace[i].withdraw);
+    EXPECT_EQ((*parsed)[i].origin, trace[i].origin);
+    EXPECT_EQ((*parsed)[i].prefix, trace[i].prefix);
+  }
+}
+
+TEST(TraceParserTest, EmptyInputIsEmptyTrace) {
+  Result<std::vector<TraceEvent>> trace = ParseTrace("");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->empty());
+}
+
+}  // namespace
+}  // namespace bgp
+}  // namespace nettrails

@@ -1,0 +1,133 @@
+#include "src/bgp/tracegen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace nettrails {
+namespace bgp {
+namespace {
+
+TEST(AsTopologyTest, TierSizesAndIds) {
+  Rng rng(1);
+  AsTopology topo = MakeAsTopology(3, 4, 5, &rng);
+  EXPECT_EQ(topo.num_ases, 12u);
+  EXPECT_EQ(topo.tier1.size(), 3u);
+  EXPECT_EQ(topo.mid.size(), 4u);
+  EXPECT_EQ(topo.stubs.size(), 5u);
+  // Ids are dense and disjoint.
+  std::set<NodeId> all;
+  for (NodeId n : topo.tier1) all.insert(n);
+  for (NodeId n : topo.mid) all.insert(n);
+  for (NodeId n : topo.stubs) all.insert(n);
+  EXPECT_EQ(all.size(), 12u);
+  EXPECT_EQ(*all.rbegin(), 11u);
+}
+
+TEST(AsTopologyTest, Tier1FormsPeeringClique) {
+  Rng rng(2);
+  AsTopology topo = MakeAsTopology(3, 2, 2, &rng);
+  int tier1_peerings = 0;
+  for (const AsLink& l : topo.links) {
+    bool a_t1 = l.a < 3, b_t1 = l.b < 3;
+    if (a_t1 && b_t1) {
+      EXPECT_EQ(l.relation, Relation::kPeer);
+      ++tier1_peerings;
+    }
+  }
+  EXPECT_EQ(tier1_peerings, 3);  // C(3,2)
+}
+
+TEST(AsTopologyTest, EveryStubHasAProvider) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    AsTopology topo = MakeAsTopology(2, 3, 6, &rng);
+    for (NodeId stub : topo.stubs) {
+      int providers = 0;
+      for (const AsLink& l : topo.links) {
+        // Stub appears as the customer side (b with kCustomer).
+        if (l.b == stub && l.relation == Relation::kCustomer) ++providers;
+      }
+      EXPECT_GE(providers, 1) << "stub " << stub << " seed " << seed;
+      EXPECT_LE(providers, 2);
+    }
+  }
+}
+
+TEST(AsTopologyTest, NoDuplicateLinks) {
+  Rng rng(3);
+  AsTopology topo = MakeAsTopology(3, 5, 8, &rng);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const AsLink& l : topo.links) {
+    auto key = l.a < l.b ? std::make_pair(l.a, l.b) : std::make_pair(l.b, l.a);
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate link " << l.a << "-" << l.b;
+  }
+}
+
+TEST(AsTopologyTest, InstallRegistersEverything) {
+  Rng rng(4);
+  AsTopology topo = MakeAsTopology(2, 2, 2, &rng);
+  net::Simulator sim;
+  topo.Install(&sim);
+  EXPECT_EQ(sim.node_count(), 6u);
+  EXPECT_EQ(sim.Links().size(), topo.links.size());
+}
+
+TEST(TraceGenTest, InitialAnnouncementsCoverAllStubs) {
+  Rng rng(5);
+  AsTopology topo = MakeAsTopology(2, 3, 4, &rng);
+  std::vector<TraceEvent> trace = GenerateTrace(topo, 0, &rng);
+  ASSERT_EQ(trace.size(), 4u);
+  std::set<Prefix> prefixes;
+  for (const TraceEvent& ev : trace) {
+    EXPECT_FALSE(ev.withdraw);
+    prefixes.insert(ev.prefix);
+  }
+  EXPECT_EQ(prefixes.size(), 4u);
+}
+
+TEST(TraceGenTest, ChurnAlternatesPerPrefix) {
+  Rng rng(6);
+  AsTopology topo = MakeAsTopology(2, 3, 4, &rng);
+  std::vector<TraceEvent> trace = GenerateTrace(topo, 40, &rng);
+  // Per prefix, events alternate W, A, W, A... after the initial announce.
+  std::map<Prefix, bool> announced;
+  for (const TraceEvent& ev : trace) {
+    auto it = announced.find(ev.prefix);
+    if (it == announced.end()) {
+      EXPECT_FALSE(ev.withdraw);  // first event is the announcement
+      announced[ev.prefix] = true;
+    } else {
+      EXPECT_EQ(ev.withdraw, it->second)
+          << "double " << (ev.withdraw ? "withdraw" : "announce");
+      it->second = !ev.withdraw ? true : false;
+    }
+  }
+}
+
+TEST(TraceGenTest, TimesAreMonotone) {
+  Rng rng(7);
+  AsTopology topo = MakeAsTopology(2, 2, 3, &rng);
+  std::vector<TraceEvent> trace = GenerateTrace(topo, 20, &rng);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].time, trace[i - 1].time);
+  }
+}
+
+TEST(TraceGenTest, DeterministicForSeed) {
+  Rng rng1(8), rng2(8);
+  AsTopology t1 = MakeAsTopology(2, 3, 4, &rng1);
+  AsTopology t2 = MakeAsTopology(2, 3, 4, &rng2);
+  std::vector<TraceEvent> a = GenerateTrace(t1, 10, &rng1);
+  std::vector<TraceEvent> b = GenerateTrace(t2, 10, &rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+}
+
+}  // namespace
+}  // namespace bgp
+}  // namespace nettrails

@@ -1,0 +1,58 @@
+#include "src/common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nettrails {
+namespace {
+
+TEST(HashTest, Deterministic) {
+  Hasher a, b;
+  a.AddString("hello");
+  b.AddString("hello");
+  EXPECT_EQ(a.Digest(), b.Digest());
+}
+
+TEST(HashTest, OrderSensitive) {
+  Hasher a, b;
+  a.AddU64(1);
+  a.AddU64(2);
+  b.AddU64(2);
+  b.AddU64(1);
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(HashTest, LengthPrefixedStringsAvoidConcatCollisions) {
+  Hasher a, b;
+  a.AddString("ab");
+  a.AddString("c");
+  b.AddString("a");
+  b.AddString("bc");
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(HashTest, OneShotMatchesIncremental) {
+  const char data[] = "some bytes";
+  Hasher h;
+  h.AddBytes(data, sizeof(data) - 1);
+  EXPECT_EQ(h.Digest(), HashBytes(data, sizeof(data) - 1));
+}
+
+TEST(HashTest, NoTrivialCollisionsOverSmallInts) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    Hasher h;
+    h.AddU64(i);
+    EXPECT_TRUE(seen.insert(h.Digest()).second) << "collision at " << i;
+  }
+}
+
+TEST(HashTest, EmptyInputHasStableDigest) {
+  Hasher a, b;
+  EXPECT_EQ(a.Digest(), b.Digest());
+  EXPECT_NE(a.Digest(), 0u);
+}
+
+}  // namespace
+}  // namespace nettrails

@@ -1,0 +1,86 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), Status::Code::kAlreadyExists);
+  EXPECT_EQ(Status::TypeError("x").code(), Status::Code::kTypeError);
+  EXPECT_EQ(Status::PlanError("x").code(), Status::Code::kPlanError);
+  EXPECT_EQ(Status::RuntimeError("x").code(), Status::Code::kRuntimeError);
+  EXPECT_EQ(Status::Unsupported("x").code(), Status::Code::kUnsupported);
+  EXPECT_EQ(Status::IoError("x").code(), Status::Code::kIoError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  NT_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnIfError) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_FALSE(UseReturnIfError(-1).ok());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  NT_ASSIGN_OR_RETURN(int h, Half(x));
+  NT_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusMacrosTest, AssignOrReturn) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+}  // namespace
+}  // namespace nettrails

@@ -1,0 +1,78 @@
+#include "src/common/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace {
+
+Tuple LinkTuple() {
+  return Tuple("link", {Value::Address(1), Value::Address(2), Value::Int(10)});
+}
+
+TEST(TupleTest, BasicAccessors) {
+  Tuple t = LinkTuple();
+  EXPECT_EQ(t.name(), "link");
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t.field(2).as_int(), 10);
+}
+
+TEST(TupleTest, Location) {
+  EXPECT_TRUE(LinkTuple().HasLocation());
+  EXPECT_EQ(LinkTuple().Location(), 1u);
+  EXPECT_FALSE(Tuple("x", {Value::Int(1)}).HasLocation());
+  EXPECT_FALSE(Tuple("x", {}).HasLocation());
+}
+
+TEST(TupleTest, EqualityAndOrdering) {
+  EXPECT_EQ(LinkTuple(), LinkTuple());
+  Tuple other("link",
+              {Value::Address(1), Value::Address(2), Value::Int(11)});
+  EXPECT_NE(LinkTuple(), other);
+  EXPECT_LT(LinkTuple(), other);
+  Tuple diff_name("linj",
+                  {Value::Address(1), Value::Address(2), Value::Int(10)});
+  EXPECT_LT(diff_name, LinkTuple());
+}
+
+TEST(TupleTest, HashStableAndDiscriminating) {
+  EXPECT_EQ(LinkTuple().Hash(), LinkTuple().Hash());
+  Tuple other("link",
+              {Value::Address(1), Value::Address(2), Value::Int(11)});
+  EXPECT_NE(LinkTuple().Hash(), other.Hash());
+  Tuple renamed("link2",
+                {Value::Address(1), Value::Address(2), Value::Int(10)});
+  EXPECT_NE(LinkTuple().Hash(), renamed.Hash());
+}
+
+TEST(TupleTest, ToStringAndParseRoundTrip) {
+  Tuple t("path", {Value::Address(1), Value::Address(3), Value::Int(5),
+                   Value::List({Value::Address(1), Value::Address(3)})});
+  EXPECT_EQ(t.ToString(), "path(@1,@3,5,[@1,@3])");
+  Result<Tuple> parsed = Tuple::Parse(t.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TupleTest, ParseHandlesStringsWithCommas) {
+  Tuple t("log", {Value::Address(0), Value::Str("a,b(c")});
+  Result<Tuple> parsed = Tuple::Parse(t.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TupleTest, ParseErrors) {
+  EXPECT_FALSE(Tuple::Parse("").ok());
+  EXPECT_FALSE(Tuple::Parse("noparen").ok());
+  EXPECT_FALSE(Tuple::Parse("(1,2)").ok());
+  EXPECT_FALSE(Tuple::Parse("x(1,]").ok());
+}
+
+TEST(TupleTest, SerializedSizeIncludesNameAndFields) {
+  EXPECT_GT(LinkTuple().SerializedSize(), 8u);
+  Tuple longer("link", {Value::Address(1), Value::Address(2), Value::Int(10),
+                        Value::Str("metadata")});
+  EXPECT_GT(longer.SerializedSize(), LinkTuple().SerializedSize());
+}
+
+}  // namespace
+}  // namespace nettrails

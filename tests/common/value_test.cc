@@ -1,0 +1,123 @@
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("hi").as_string(), "hi");
+  EXPECT_EQ(Value::Address(7).as_address(), 7u);
+  Value list = Value::List({Value::Int(1), Value::Str("x")});
+  ASSERT_TRUE(list.is_list());
+  EXPECT_EQ(list.as_list().size(), 2u);
+}
+
+TEST(ValueTest, BoolIsInt) {
+  EXPECT_TRUE(Value::Bool(true).is_int());
+  EXPECT_EQ(Value::Bool(true).as_int(), 1);
+  EXPECT_EQ(Value::Bool(false).as_int(), 0);
+}
+
+TEST(ValueTest, Truthy) {
+  EXPECT_TRUE(Value::Int(3).Truthy());
+  EXPECT_FALSE(Value::Int(0).Truthy());
+  EXPECT_TRUE(Value::Double(0.1).Truthy());
+  EXPECT_FALSE(Value::Double(0).Truthy());
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_FALSE(Value::Str("x").Truthy());
+  EXPECT_FALSE(Value::List({Value::Int(1)}).Truthy());
+}
+
+TEST(ValueTest, NumericCrossKindComparison) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_LT(Value::Int(2), Value::Double(2.5));
+  EXPECT_GT(Value::Double(3.5), Value::Int(3));
+}
+
+TEST(ValueTest, CrossKindOrderingIsTotal) {
+  // Kind rank: null < numeric < string < address < list.
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Int(999), Value::Str("a"));
+  EXPECT_LT(Value::Str("zzz"), Value::Address(0));
+  EXPECT_LT(Value::Address(999), Value::List({}));
+}
+
+TEST(ValueTest, ListComparisonLexicographic) {
+  Value a = Value::List({Value::Int(1), Value::Int(2)});
+  Value b = Value::List({Value::Int(1), Value::Int(3)});
+  Value c = Value::List({Value::Int(1)});
+  EXPECT_LT(a, b);
+  EXPECT_LT(c, a);  // prefix is smaller
+  EXPECT_EQ(a, Value::List({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  // Compare()==0 across numeric kinds implies equal hashes.
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_NE(Value::Int(5).Hash(), Value::Int(6).Hash());
+  EXPECT_NE(Value::Str("5").Hash(), Value::Int(5).Hash());
+  EXPECT_NE(Value::Address(5).Hash(), Value::Int(5).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Str("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::Address(4).ToString(), "@4");
+  EXPECT_EQ(Value::List({Value::Int(1), Value::Address(2)}).ToString(),
+            "[1,@2]");
+  // Doubles render distinguishably from ints.
+  EXPECT_EQ(Value::Double(2).ToString(), "2.0");
+}
+
+TEST(ValueTest, ParseRoundTrip) {
+  std::vector<Value> cases = {
+      Value::Null(),
+      Value::Int(0),
+      Value::Int(-77),
+      Value::Double(1.25),
+      Value::Str("hello world"),
+      Value::Str("esc\"aped"),
+      Value::Address(12),
+      Value::List({}),
+      Value::List({Value::Int(1), Value::List({Value::Str("x")}),
+                   Value::Address(3)}),
+  };
+  for (const Value& v : cases) {
+    Result<Value> parsed = Value::Parse(v.ToString());
+    ASSERT_TRUE(parsed.ok()) << v.ToString() << ": "
+                             << parsed.status().ToString();
+    EXPECT_EQ(*parsed, v) << v.ToString();
+  }
+}
+
+TEST(ValueTest, ParseErrors) {
+  EXPECT_FALSE(Value::Parse("").ok());
+  EXPECT_FALSE(Value::Parse("[1,").ok());
+  EXPECT_FALSE(Value::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Value::Parse("@x").ok());
+  EXPECT_FALSE(Value::Parse("12abc").ok());
+}
+
+TEST(ValueTest, SerializedSizeGrowsWithContent) {
+  EXPECT_LT(Value::Int(1).SerializedSize(),
+            Value::Str("a longer string").SerializedSize());
+  Value small = Value::List({Value::Int(1)});
+  Value big = Value::List({Value::Int(1), Value::Int(2), Value::Int(3)});
+  EXPECT_LT(small.SerializedSize(), big.SerializedSize());
+}
+
+TEST(ValueTest, ListsAreImmutableShared) {
+  Value a = Value::List({Value::Int(1)});
+  Value b = a;  // shared representation
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(&a.as_list(), &b.as_list());
+}
+
+}  // namespace
+}  // namespace nettrails

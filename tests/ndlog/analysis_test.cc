@@ -1,0 +1,183 @@
+#include "src/ndlog/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ndlog/parser.h"
+
+namespace nettrails {
+namespace ndlog {
+namespace {
+
+Result<AnalyzedProgram> ParseAndAnalyze(const std::string& src) {
+  Result<Program> prog = Parse(src);
+  if (!prog.ok()) return prog.status();
+  return Analyze(std::move(prog).value());
+}
+
+AnalyzedProgram Must(const std::string& src) {
+  Result<AnalyzedProgram> r = ParseAndAnalyze(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : AnalyzedProgram{};
+}
+
+TEST(AnalysisTest, CatalogFromDeclsAndUse) {
+  AnalyzedProgram a = Must(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(path, infinity, infinity, keys(1,2)).
+    r1 path(@X,Y) :- link(@X,Y,C).
+  )");
+  const TableInfo* link = a.FindTable("link");
+  ASSERT_NE(link, nullptr);
+  EXPECT_TRUE(link->materialized);
+  EXPECT_EQ(link->arity, 3u);
+  EXPECT_TRUE(link->is_base);
+  const TableInfo* path = a.FindTable("path");
+  ASSERT_NE(path, nullptr);
+  EXPECT_FALSE(path->is_base);  // derived
+  EXPECT_EQ(path->keys, (std::vector<int>{0, 1}));
+}
+
+TEST(AnalysisTest, EventPredicatesAreNotMaterialized) {
+  AnalyzedProgram a = Must(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    r1 ping(@Y,X) :- ping(@X,Y), link(@X,Y,C).
+  )");
+  const TableInfo* ping = a.FindTable("ping");
+  ASSERT_NE(ping, nullptr);
+  EXPECT_FALSE(ping->materialized);
+}
+
+TEST(AnalysisTest, LocationNormalized) {
+  AnalyzedProgram a = Must("r1 out(@X,Y) :- in(@X,Y).");
+  EXPECT_TRUE(a.program.rules[0].head.args[0].is_location);
+  EXPECT_TRUE(
+      std::get<Atom>(a.program.rules[0].body[0]).args[0].is_location);
+}
+
+TEST(AnalysisTest, ImplicitFirstArgLocation) {
+  // The paper's maybe rule omits '@'; the first argument is the location.
+  AnalyzedProgram a = Must(R"(
+    materialize(inputRoute, infinity, infinity, keys(1,2,3)).
+    materialize(outputRoute, infinity, infinity, keys(1,2,3)).
+    br1 outputRoute(AS,R2,Prefix,Route2) ?-
+        inputRoute(AS,R1,Prefix,Route1),
+        f_isExtend(Route2,Route1,AS) == 1.
+  )");
+  EXPECT_TRUE(a.program.rules[0].head.args[0].is_location);
+}
+
+TEST(AnalysisTest, ArityMismatchRejected) {
+  Result<AnalyzedProgram> r = ParseAndAnalyze(
+      "r1 out(@X) :- in(@X,Y).\n"
+      "r2 out(@X,Y) :- in(@X,Y).");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AnalysisTest, UnboundHeadVariableRejected) {
+  Result<AnalyzedProgram> r =
+      ParseAndAnalyze("r1 out(@X,Z) :- in(@X,Y).");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AnalysisTest, UnboundSelectionVariableRejected) {
+  Result<AnalyzedProgram> r =
+      ParseAndAnalyze("r1 out(@X,Y) :- in(@X,Y), Z > 2.");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AnalysisTest, AssignmentUsesOnlyBoundVars) {
+  EXPECT_FALSE(
+      ParseAndAnalyze("r1 out(@X,V) :- in(@X), V := W + 1.").ok());
+  EXPECT_TRUE(
+      ParseAndAnalyze("r1 out(@X,V) :- in(@X,W), V := W + 1.").ok());
+}
+
+TEST(AnalysisTest, AssignmentOrderMatters) {
+  // V used before assigned.
+  EXPECT_FALSE(
+      ParseAndAnalyze("r1 out(@X,V) :- in(@X), V > 1, V := 2.").ok());
+}
+
+TEST(AnalysisTest, DoubleAssignmentRejected) {
+  EXPECT_FALSE(
+      ParseAndAnalyze("r1 out(@X,V) :- in(@X), V := 1, V := 2.").ok());
+}
+
+TEST(AnalysisTest, MultipleAggregatesRejected) {
+  EXPECT_FALSE(
+      ParseAndAnalyze("r1 out(@X,a_min<Y>,a_max<Y>) :- in(@X,Y).").ok());
+}
+
+TEST(AnalysisTest, AggregateInBodyRejected) {
+  EXPECT_FALSE(Parse("r1 out(@X,Y) :- in(@X,a_min<Y>).").ok());
+}
+
+TEST(AnalysisTest, AggregateHeadLocationMustMatchBody) {
+  EXPECT_FALSE(ParseAndAnalyze(
+                   "r1 out(@Y,a_min<C>) :- in(@X,Y,C).")
+                   .ok());
+  EXPECT_TRUE(ParseAndAnalyze(
+                  "r1 out(@X,a_min<C>) :- in(@X,Y,C).")
+                  .ok());
+}
+
+TEST(AnalysisTest, MaybeRuleHeadVarsPreBound) {
+  // Route2 appears only in the head and the selection: legal for maybe
+  // rules (the head tuple arrives externally), illegal for regular rules.
+  const char* maybe_src = R"(
+    materialize(o, infinity, infinity, keys(1,2)).
+    materialize(i, infinity, infinity, keys(1,2)).
+    m1 o(@X,R2) ?- i(@X,R1), f_isExtend(R2,R1,X) == 1.
+  )";
+  EXPECT_TRUE(ParseAndAnalyze(maybe_src).ok());
+  const char* regular_src = R"(
+    materialize(o, infinity, infinity, keys(1,2)).
+    materialize(i, infinity, infinity, keys(1,2)).
+    m1 o(@X,R2) :- i(@X,R1), f_isExtend(R2,R1,X) == 1.
+  )";
+  EXPECT_FALSE(ParseAndAnalyze(regular_src).ok());
+}
+
+TEST(AnalysisTest, MaybeRuleRequiresMaterializedTables) {
+  EXPECT_FALSE(ParseAndAnalyze("m1 o(@X,R) ?- i(@X,R).").ok());
+}
+
+TEST(AnalysisTest, MaybeRuleMustBeLocal) {
+  const char* src = R"(
+    materialize(o, infinity, infinity, keys(1,2)).
+    materialize(i, infinity, infinity, keys(1,2)).
+    m1 o(@X,Y) ?- i(@Y,X).
+  )";
+  EXPECT_FALSE(ParseAndAnalyze(src).ok());
+}
+
+TEST(AnalysisTest, TwoEventsInBodyRejected) {
+  const char* src = R"(
+    r1 out(@X,Y,Z) :- ev1(@X,Y), ev2(@X,Z).
+  )";
+  EXPECT_FALSE(ParseAndAnalyze(src).ok());
+}
+
+TEST(AnalysisTest, AtOnNonFirstArgumentRejected) {
+  EXPECT_FALSE(ParseAndAnalyze("r1 out(@X,Y) :- in(X,@Y).").ok());
+}
+
+TEST(AnalysisTest, KeyOutOfRangeRejected) {
+  const char* src = R"(
+    materialize(link, infinity, infinity, keys(1,5)).
+    r1 out(@X,Y) :- link(@X,Y).
+  )";
+  EXPECT_FALSE(ParseAndAnalyze(src).ok());
+}
+
+TEST(AnalysisTest, DuplicateMaterializeRejected) {
+  const char* src = R"(
+    materialize(t, infinity, infinity, keys(1)).
+    materialize(t, infinity, infinity, keys(1)).
+  )";
+  EXPECT_FALSE(ParseAndAnalyze(src).ok());
+}
+
+}  // namespace
+}  // namespace ndlog
+}  // namespace nettrails

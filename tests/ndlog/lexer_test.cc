@@ -1,0 +1,95 @@
+#include "src/ndlog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace ndlog {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& src) {
+  Result<std::vector<Token>> toks = Tokenize(src);
+  EXPECT_TRUE(toks.ok()) << toks.status().ToString();
+  std::vector<TokenKind> out;
+  if (toks.ok()) {
+    for (const Token& t : *toks) out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(LexerTest, IdentifiersAndVariables) {
+  auto toks = *Tokenize("link Path f_member X");
+  ASSERT_EQ(toks.size(), 5u);  // + EOF
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[0].text, "link");
+  EXPECT_EQ(toks[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks[2].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[3].kind, TokenKind::kVariable);
+  EXPECT_EQ(toks[4].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = *Tokenize("42 3.5 1e3");
+  EXPECT_EQ(toks[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokenKind::kDoubleLit);
+  EXPECT_DOUBLE_EQ(toks[1].double_value, 3.5);
+  EXPECT_EQ(toks[2].kind, TokenKind::kDoubleLit);
+  EXPECT_DOUBLE_EQ(toks[2].double_value, 1000);
+}
+
+TEST(LexerTest, Strings) {
+  auto toks = *Tokenize("\"hello\\\"world\\n\"");
+  ASSERT_EQ(toks[0].kind, TokenKind::kStringLit);
+  EXPECT_EQ(toks[0].text, "hello\"world\n");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  EXPECT_EQ(Kinds(":- ?- := == != <= >= && || < > ! @ ( ) [ ] , . + - * / %"),
+            (std::vector<TokenKind>{
+                TokenKind::kDerives, TokenKind::kMaybeDerives,
+                TokenKind::kAssign, TokenKind::kEq, TokenKind::kNe,
+                TokenKind::kLe, TokenKind::kGe, TokenKind::kAndAnd,
+                TokenKind::kOrOr, TokenKind::kLAngle, TokenKind::kRAngle,
+                TokenKind::kBang, TokenKind::kAt, TokenKind::kLParen,
+                TokenKind::kRParen, TokenKind::kLBracket,
+                TokenKind::kRBracket, TokenKind::kComma, TokenKind::kPeriod,
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                TokenKind::kSlash, TokenKind::kPercent, TokenKind::kEof}));
+}
+
+TEST(LexerTest, Comments) {
+  auto toks = *Tokenize("a // line comment\n b /* block\ncomment */ c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto toks = *Tokenize("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("/* unterminated").ok());
+  EXPECT_FALSE(Tokenize("a = b").ok());   // single '='
+  EXPECT_FALSE(Tokenize("a & b").ok());   // single '&'
+  EXPECT_FALSE(Tokenize("a : b").ok());   // lone ':'
+  EXPECT_FALSE(Tokenize("$").ok());
+}
+
+TEST(LexerTest, MaybeRuleSymbol) {
+  auto toks = *Tokenize("h(X) ?- b(X).");
+  bool found = false;
+  for (const Token& t : toks) {
+    if (t.kind == TokenKind::kMaybeDerives) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ndlog
+}  // namespace nettrails

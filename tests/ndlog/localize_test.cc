@@ -1,0 +1,143 @@
+#include "src/ndlog/localize.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ndlog/parser.h"
+
+namespace nettrails {
+namespace ndlog {
+namespace {
+
+Result<Program> ParseAnalyzeLocalize(const std::string& src) {
+  Result<Program> prog = Parse(src);
+  if (!prog.ok()) return prog.status();
+  Result<AnalyzedProgram> analyzed = Analyze(std::move(prog).value());
+  if (!analyzed.ok()) return analyzed.status();
+  return Localize(*analyzed);
+}
+
+// All body atoms of every rule share one location variable.
+void ExpectLocalized(const Program& prog) {
+  for (const Rule& rule : prog.rules) {
+    std::set<std::string> locs;
+    for (const Atom* atom : rule.BodyAtoms()) {
+      if (atom->args[0].expr->is_var()) {
+        locs.insert(atom->args[0].expr->var_name());
+      }
+    }
+    EXPECT_LE(locs.size(), 1u) << rule.ToString();
+  }
+}
+
+TEST(LocalizeTest, LocalRulesPassThrough) {
+  Result<Program> out = ParseAnalyzeLocalize(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(path, infinity, infinity, keys(1,2)).
+    r1 path(@X,Y) :- link(@X,Y,C).
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->rules.size(), 1u);
+}
+
+TEST(LocalizeTest, CanonicalPathVectorRule) {
+  Result<Program> out = ParseAnalyzeLocalize(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(path, infinity, infinity, keys(1,2,3,4)).
+    sp1 path(@X,Y,C,P) :- link(@X,Y,C), P := f_list(X,Y).
+    sp2 path(@X,Z,C,P) :- link(@X,Y,C1), path(@Y,Z,C2,P2),
+                          C := C1 + C2, P := f_prepend(X,P2).
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ExpectLocalized(*out);
+
+  // The reversed-link table and its deriving rule were generated.
+  bool found_reversal_rule = false;
+  for (const Rule& r : out->rules) {
+    if (r.head.predicate == "link_d") {
+      found_reversal_rule = true;
+      ASSERT_EQ(r.BodyAtoms().size(), 1u);
+      EXPECT_EQ(r.BodyAtoms()[0]->predicate, "link");
+    }
+  }
+  EXPECT_TRUE(found_reversal_rule);
+  const MaterializeDecl* decl = out->FindMaterialization("link_d");
+  ASSERT_NE(decl, nullptr);
+  // Keys (1,2) swap to (2,1) -> stored 0-based {1,0} in some order.
+  std::vector<int> keys = decl->keys;
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<int>{0, 1}));
+
+  // sp2 now uses link_d at @Y.
+  for (const Rule& r : out->rules) {
+    if (r.name == "sp2") {
+      ASSERT_EQ(r.BodyAtoms().size(), 2u);
+      EXPECT_EQ(r.BodyAtoms()[0]->predicate, "link_d");
+      EXPECT_EQ(r.BodyAtoms()[0]->args[0].expr->var_name(), "Y");
+    }
+  }
+}
+
+TEST(LocalizeTest, ReversalGeneratedOncePerPredicate) {
+  Result<Program> out = ParseAnalyzeLocalize(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(a, infinity, infinity, keys(1,2)).
+    materialize(b, infinity, infinity, keys(1,2)).
+    r1 a(@X,Z) :- link(@X,Y,C), a(@Y,Z).
+    r2 b(@X,Z) :- link(@X,Y,C), b(@Y,Z).
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  int reversal_rules = 0;
+  for (const Rule& r : out->rules) {
+    if (r.head.predicate == "link_d") ++reversal_rules;
+  }
+  EXPECT_EQ(reversal_rules, 1);
+}
+
+TEST(LocalizeTest, RuleAtLinkSourceAlreadyLocal) {
+  // All body atoms at X; the head ships to Y. No rewrite needed.
+  Result<Program> out = ParseAnalyzeLocalize(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(reach, infinity, infinity, keys(1,2)).
+    r1 reach(@Y,X) :- link(@X,Y,C), reach(@X,X2).
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->rules.size(), 1u);
+  ExpectLocalized(*out);
+}
+
+TEST(LocalizeTest, ThreeLocationsRejected) {
+  Result<Program> out = ParseAnalyzeLocalize(R"(
+    materialize(a, infinity, infinity, keys(1)).
+    materialize(b, infinity, infinity, keys(1)).
+    materialize(c, infinity, infinity, keys(1)).
+    materialize(o, infinity, infinity, keys(1)).
+    r1 o(@X) :- a(@X), b(@Y), c(@Z).
+  )");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(LocalizeTest, TwoLocationsWithoutLinkAtomRejected) {
+  Result<Program> out = ParseAnalyzeLocalize(R"(
+    materialize(a, infinity, infinity, keys(1,2)).
+    materialize(b, infinity, infinity, keys(1,2)).
+    materialize(o, infinity, infinity, keys(1,2)).
+    r1 o(@X,W) :- a(@X,V), b(@Y,W).
+  )");
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(LocalizeTest, LocalizedProgramReanalyzes) {
+  Result<Program> out = ParseAnalyzeLocalize(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(path, infinity, infinity, keys(1,2,3,4)).
+    sp2 path(@X,Z,C,P) :- link(@X,Y,C1), path(@Y,Z,C2,P2),
+                          C := C1 + C2, P := f_prepend(X,P2).
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  Result<AnalyzedProgram> again = Analyze(std::move(out).value());
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+}  // namespace
+}  // namespace ndlog
+}  // namespace nettrails

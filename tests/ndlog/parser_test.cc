@@ -1,0 +1,150 @@
+#include "src/ndlog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace ndlog {
+namespace {
+
+Program MustParse(const std::string& src) {
+  Result<Program> prog = Parse(src);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  return prog.ok() ? std::move(prog).value() : Program{};
+}
+
+TEST(ParserTest, Materialize) {
+  Program p = MustParse("materialize(link, infinity, infinity, keys(1,2)).");
+  ASSERT_EQ(p.materializations.size(), 1u);
+  const MaterializeDecl& m = p.materializations[0];
+  EXPECT_EQ(m.table, "link");
+  EXPECT_EQ(m.lifetime_secs, -1);
+  EXPECT_EQ(m.max_size, -1);
+  EXPECT_EQ(m.keys, (std::vector<int>{0, 1}));  // stored 0-based
+}
+
+TEST(ParserTest, MaterializeFiniteLifetime) {
+  Program p = MustParse("materialize(cache, 30, 1000, keys(1)).");
+  EXPECT_EQ(p.materializations[0].lifetime_secs, 30);
+  EXPECT_EQ(p.materializations[0].max_size, 1000);
+}
+
+TEST(ParserTest, MaterializeEmptyKeys) {
+  Program p = MustParse("materialize(t, infinity, infinity, keys()).");
+  EXPECT_TRUE(p.materializations[0].keys.empty());
+}
+
+TEST(ParserTest, SimpleRule) {
+  Program p = MustParse("r1 path(@X,Y,C) :- link(@X,Y,C).");
+  ASSERT_EQ(p.rules.size(), 1u);
+  const Rule& r = p.rules[0];
+  EXPECT_EQ(r.name, "r1");
+  EXPECT_FALSE(r.is_maybe);
+  EXPECT_EQ(r.head.predicate, "path");
+  ASSERT_EQ(r.head.args.size(), 3u);
+  EXPECT_TRUE(r.head.args[0].is_location);
+  ASSERT_EQ(r.body.size(), 1u);
+  const Atom& b = std::get<Atom>(r.body[0]);
+  EXPECT_EQ(b.predicate, "link");
+}
+
+TEST(ParserTest, RuleWithAssignAndSelect) {
+  Program p = MustParse(
+      "r2 path(@X,Z,C,P) :- link(@X,Y,C1), path(@Y,Z,C2,P2), "
+      "f_member(P2,X) == 0, C := C1 + C2, P := f_prepend(X,P2).");
+  const Rule& r = p.rules[0];
+  ASSERT_EQ(r.body.size(), 5u);
+  EXPECT_TRUE(std::holds_alternative<Atom>(r.body[0]));
+  EXPECT_TRUE(std::holds_alternative<Atom>(r.body[1]));
+  EXPECT_TRUE(std::holds_alternative<Select>(r.body[2]));
+  EXPECT_TRUE(std::holds_alternative<Assign>(r.body[3]));
+  const Assign& a = std::get<Assign>(r.body[3]);
+  EXPECT_EQ(a.var, "C");
+}
+
+TEST(ParserTest, AggregateHead) {
+  Program p = MustParse("r3 mincost(@X,Z,a_min<C>) :- cost(@X,Z,C).");
+  const Rule& r = p.rules[0];
+  ASSERT_EQ(r.head.args.size(), 3u);
+  ASSERT_TRUE(r.head.args[2].agg.has_value());
+  EXPECT_EQ(*r.head.args[2].agg, AggFn::kMin);
+  EXPECT_EQ(r.head.args[2].expr->var_name(), "C");
+  EXPECT_TRUE(r.head.HasAggregate());
+}
+
+TEST(ParserTest, CountStarAggregate) {
+  Program p = MustParse("r4 total(@X,a_count<*>) :- path(@X,Z,C).");
+  ASSERT_TRUE(p.rules[0].head.args[1].agg.has_value());
+  EXPECT_EQ(*p.rules[0].head.args[1].agg, AggFn::kCount);
+  EXPECT_EQ(p.rules[0].head.args[1].expr, nullptr);
+}
+
+TEST(ParserTest, MaybeRuleFromPaper) {
+  // The paper's br1 rule (with the location marker made explicit).
+  Program p = MustParse(
+      "br1 outputRoute(@AS,R2,Prefix,Route2) ?- "
+      "inputRoute(@AS,R1,Prefix,Route1), "
+      "f_isExtend(Route2,Route1,AS) == 1.");
+  ASSERT_EQ(p.rules.size(), 1u);
+  EXPECT_TRUE(p.rules[0].is_maybe);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  Program p = MustParse("r5 out(@X,V) :- in(@X,A,B), V := A + B * 2 - 1.");
+  const Assign& a = std::get<Assign>(p.rules[0].body[1]);
+  // (A + (B*2)) - 1
+  EXPECT_EQ(a.expr->ToString(), "((A + (B * 2)) - 1)");
+}
+
+TEST(ParserTest, BooleanExpressionPrecedence) {
+  Program p = MustParse("r6 out(@X) :- in(@X,A,B), A < 3 && B == 2 || A > 9.");
+  const Select& s = std::get<Select>(p.rules[0].body[1]);
+  EXPECT_EQ(s.expr->ToString(), "(((A < 3) && (B == 2)) || (A > 9))");
+}
+
+TEST(ParserTest, ListLiteralsAndAddressLiterals) {
+  Program p = MustParse("r7 out(@X,P) :- in(@X), P := [1, @2, \"s\"].");
+  const Assign& a = std::get<Assign>(p.rules[0].body[1]);
+  EXPECT_EQ(a.expr->ToString(), "[1, @2, \"s\"]");
+}
+
+TEST(ParserTest, ConstantLocationInAtom) {
+  Program p = MustParse("r8 out(@1,Y) :- in(@1,Y).");
+  EXPECT_TRUE(p.rules[0].head.args[0].expr->is_const());
+  EXPECT_TRUE(p.rules[0].head.args[0].expr->const_value().is_address());
+}
+
+TEST(ParserTest, MultipleStatements) {
+  Program p = MustParse(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(path, infinity, infinity, keys(1,2)).
+    r1 path(@X,Y) :- link(@X,Y,C).
+    r2 path(@X,Z) :- link(@X,Y,C), path(@Y,Z).
+  )");
+  EXPECT_EQ(p.materializations.size(), 2u);
+  EXPECT_EQ(p.rules.size(), 2u);
+}
+
+TEST(ParserTest, ProgramToStringReparses) {
+  Program p = MustParse(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    r1 path(@X,Y,C,P) :- link(@X,Y,C), P := f_list(X,Y).
+    r3 best(@X,Z,a_min<C>) :- path(@X,Z,C,P).
+  )");
+  Program p2 = MustParse(p.ToString());
+  EXPECT_EQ(p.ToString(), p2.ToString());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("r1 path(@X) :- link(@X)").ok());    // missing period
+  EXPECT_FALSE(Parse("r1 path() :- link(@X).").ok());     // empty args
+  EXPECT_FALSE(Parse("path(@X) :- link(@X).").ok());      // missing rule name
+  EXPECT_FALSE(Parse("r1 path(@X) : link(@X).").ok());    // bad separator
+  EXPECT_FALSE(Parse("materialize(x, infinity).").ok());  // malformed decl
+  EXPECT_FALSE(Parse("materialize(x, infinity, infinity, keys(0)).").ok());
+  EXPECT_FALSE(Parse("r1 h(@X, a_min<3>) :- b(@X).").ok());  // agg of const
+  EXPECT_FALSE(Parse("r1 h(@X) :- unknownident.").ok());
+}
+
+}  // namespace
+}  // namespace ndlog
+}  // namespace nettrails

@@ -1,0 +1,179 @@
+#include "src/net/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace net {
+namespace {
+
+Message MakeMsg(NodeId src, NodeId dst, const std::string& channel = "tuple") {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.channel = channel;
+  m.payload = Tuple("ping", {Value::Address(dst), Value::Int(1)});
+  return m;
+}
+
+TEST(SimulatorTest, AddNodesAndLinks) {
+  Simulator sim;
+  NodeId a = sim.AddNode();
+  NodeId b = sim.AddNode();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_FALSE(sim.HasLink(a, b));
+  sim.AddLink(a, b);
+  EXPECT_TRUE(sim.HasLink(a, b));
+  EXPECT_TRUE(sim.HasLink(b, a));  // undirected
+  EXPECT_TRUE(sim.LinkUp(a, b));
+}
+
+TEST(SimulatorTest, MessageDeliveredWithLatency) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b, 5 * kMillisecond);
+  Time delivered_at = 0;
+  sim.RegisterHandler(b, "tuple", [&](const Message& m) {
+    delivered_at = sim.now();
+    EXPECT_EQ(m.src, a);
+  });
+  EXPECT_TRUE(sim.Send(MakeMsg(a, b)));
+  sim.Run();
+  EXPECT_EQ(delivered_at, 5 * kMillisecond);
+}
+
+TEST(SimulatorTest, LocalDeliveryNeedsNoLink) {
+  Simulator sim;
+  NodeId a = sim.AddNode();
+  bool got = false;
+  sim.RegisterHandler(a, "tuple", [&](const Message&) { got = true; });
+  EXPECT_TRUE(sim.Send(MakeMsg(a, a)));
+  sim.Run();
+  EXPECT_TRUE(got);
+}
+
+TEST(SimulatorTest, SendWithoutLinkDrops) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  EXPECT_FALSE(sim.Send(MakeMsg(a, b)));
+  EXPECT_EQ(sim.dropped_messages(), 1u);
+}
+
+TEST(SimulatorTest, DownLinkDropsAndObserversFire) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  std::vector<bool> events;
+  sim.AddLinkObserver(
+      [&](NodeId, NodeId, bool up) { events.push_back(up); });
+  ASSERT_TRUE(sim.SetLinkUp(a, b, false).ok());
+  EXPECT_FALSE(sim.LinkUp(a, b));
+  EXPECT_FALSE(sim.Send(MakeMsg(a, b)));
+  ASSERT_TRUE(sim.SetLinkUp(a, b, true).ok());
+  EXPECT_TRUE(sim.Send(MakeMsg(a, b)));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0]);
+  EXPECT_TRUE(events[1]);
+  // Redundant transition: no event.
+  ASSERT_TRUE(sim.SetLinkUp(a, b, true).ok());
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(SimulatorTest, SetLinkUpUnknownLinkErrors) {
+  Simulator sim;
+  sim.AddNode();
+  sim.AddNode();
+  EXPECT_FALSE(sim.SetLinkUp(0, 1, false).ok());
+}
+
+TEST(SimulatorTest, OverlayChannelBypassesTopology) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.MarkOverlayChannel("provq", 2 * kMillisecond);
+  Time delivered_at = 0;
+  sim.RegisterHandler(b, "provq",
+                      [&](const Message&) { delivered_at = sim.now(); });
+  EXPECT_TRUE(sim.Send(MakeMsg(a, b, "provq")));
+  sim.Run();
+  EXPECT_EQ(delivered_at, 2 * kMillisecond);
+}
+
+TEST(SimulatorTest, TrafficAccountingPerChannelAndLink) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  sim.RegisterHandler(b, "tuple", [](const Message&) {});
+  sim.Send(MakeMsg(a, b));
+  sim.Send(MakeMsg(a, b));
+  sim.Run();
+  auto it = sim.channel_traffic().find("tuple");
+  ASSERT_NE(it, sim.channel_traffic().end());
+  EXPECT_EQ(it->second.messages, 2u);
+  EXPECT_GT(it->second.bytes, 0u);
+  const LinkState* ls = sim.link(a, b);
+  ASSERT_NE(ls, nullptr);
+  EXPECT_EQ(ls->traffic.messages, 2u);
+  EXPECT_EQ(sim.total_traffic().messages, 2u);
+  sim.ResetTrafficStats();
+  EXPECT_EQ(sim.total_traffic().messages, 0u);
+  EXPECT_EQ(sim.link(a, b)->traffic.messages, 0u);
+}
+
+TEST(SimulatorTest, LocalDeliveryNotCountedAsTraffic) {
+  Simulator sim;
+  NodeId a = sim.AddNode();
+  sim.RegisterHandler(a, "tuple", [](const Message&) {});
+  sim.Send(MakeMsg(a, a));
+  sim.Run();
+  EXPECT_EQ(sim.total_traffic().messages, 0u);
+}
+
+TEST(SimulatorTest, SchedulingOrderAndTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] { order.push_back(2); });
+  sim.ScheduleAt(50, [&] { order.push_back(1); });
+  sim.ScheduleAt(100, [&] { order.push_back(3); });  // FIFO tie-break
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.RunUntil(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) sim.ScheduleAfter(1, recurse);
+  };
+  sim.ScheduleAfter(1, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulatorTest, UpNeighbors) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode(), c = sim.AddNode();
+  sim.AddLink(a, b);
+  sim.AddLink(a, c);
+  ASSERT_TRUE(sim.SetLinkUp(a, c, false).ok());
+  std::vector<NodeId> nbrs = sim.UpNeighbors(a);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], b);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nettrails

@@ -1,0 +1,102 @@
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nettrails {
+namespace net {
+namespace {
+
+// Union-find connectivity check.
+bool IsConnected(const Topology& t) {
+  if (t.num_nodes == 0) return true;
+  std::vector<size_t> parent(t.num_nodes);
+  for (size_t i = 0; i < t.num_nodes; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const CostedLink& l : t.links) parent[find(l.a)] = find(l.b);
+  size_t root = find(0);
+  for (size_t i = 1; i < t.num_nodes; ++i) {
+    if (find(i) != root) return false;
+  }
+  return true;
+}
+
+TEST(TopologyTest, Line) {
+  Topology t = MakeLine(5, 3);
+  EXPECT_EQ(t.num_nodes, 5u);
+  EXPECT_EQ(t.links.size(), 4u);
+  for (const CostedLink& l : t.links) EXPECT_EQ(l.cost, 3);
+  EXPECT_TRUE(IsConnected(t));
+}
+
+TEST(TopologyTest, Ring) {
+  Topology t = MakeRing(6);
+  EXPECT_EQ(t.links.size(), 6u);
+  EXPECT_TRUE(IsConnected(t));
+  // Degree 2 everywhere.
+  std::vector<int> degree(6, 0);
+  for (const CostedLink& l : t.links) {
+    degree[l.a]++;
+    degree[l.b]++;
+  }
+  for (int d : degree) EXPECT_EQ(d, 2);
+}
+
+TEST(TopologyTest, TinyRingHasNoDuplicateEdge) {
+  Topology t = MakeRing(2);
+  EXPECT_EQ(t.links.size(), 1u);
+}
+
+TEST(TopologyTest, RingWithChordsAddsChords) {
+  Topology ring = MakeRing(8);
+  Topology t = MakeRingWithChords(8);
+  EXPECT_GT(t.links.size(), ring.links.size());
+  EXPECT_TRUE(IsConnected(t));
+}
+
+TEST(TopologyTest, Star) {
+  Topology t = MakeStar(5);
+  EXPECT_EQ(t.links.size(), 4u);
+  for (const CostedLink& l : t.links) EXPECT_EQ(l.a, 0u);
+  EXPECT_TRUE(IsConnected(t));
+}
+
+TEST(TopologyTest, Grid) {
+  Topology t = MakeGrid(3, 4);
+  EXPECT_EQ(t.num_nodes, 12u);
+  // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8.
+  EXPECT_EQ(t.links.size(), 17u);
+  EXPECT_TRUE(IsConnected(t));
+}
+
+TEST(TopologyTest, RandomConnectedIsConnectedAcrossSeeds) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Topology t = MakeRandomConnected(20, 0.1, &rng);
+    EXPECT_EQ(t.num_nodes, 20u);
+    EXPECT_GE(t.links.size(), 19u);  // at least the spanning tree
+    EXPECT_TRUE(IsConnected(t)) << "seed " << seed;
+    for (const CostedLink& l : t.links) {
+      EXPECT_GE(l.cost, 1);
+      EXPECT_LE(l.cost, 10);
+      EXPECT_NE(l.a, l.b);
+    }
+  }
+}
+
+TEST(TopologyTest, InstallRegistersNodesAndLinks) {
+  Simulator sim;
+  Topology t = MakeRing(4);
+  t.Install(&sim);
+  EXPECT_EQ(sim.node_count(), 4u);
+  EXPECT_EQ(sim.Links().size(), 4u);
+  EXPECT_TRUE(sim.HasLink(0, 3));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nettrails

@@ -1,0 +1,310 @@
+#include "src/protocols/programs.h"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "src/net/topology.h"
+#include "src/provenance/rewrite.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace protocols {
+namespace {
+
+// Dijkstra reference over a costed topology.
+std::vector<std::vector<int64_t>> AllPairsShortest(const net::Topology& topo) {
+  constexpr int64_t kInf = -1;
+  size_t n = topo.num_nodes;
+  std::vector<std::vector<std::pair<size_t, int64_t>>> adj(n);
+  for (const net::CostedLink& l : topo.links) {
+    adj[l.a].push_back({l.b, l.cost});
+    adj[l.b].push_back({l.a, l.cost});
+  }
+  std::vector<std::vector<int64_t>> dist(n, std::vector<int64_t>(n, kInf));
+  for (size_t src = 0; src < n; ++src) {
+    using Item = std::pair<int64_t, size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+    pq.push({0, src});
+    std::vector<int64_t>& d = dist[src];
+    d[src] = 0;
+    std::vector<bool> done(n, false);
+    while (!pq.empty()) {
+      auto [c, u] = pq.top();
+      pq.pop();
+      if (done[u]) continue;
+      done[u] = true;
+      for (auto [v, w] : adj[u]) {
+        if (d[v] == kInf || c + w < d[v]) {
+          d[v] = c + w;
+          pq.push({d[v], v});
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+struct Net {
+  net::Simulator sim;
+  net::Topology topo;
+  std::vector<std::unique_ptr<runtime::Engine>> engines;
+};
+
+std::unique_ptr<Net> RunProtocol(const char* program, net::Topology topo,
+                                 bool provenance) {
+  runtime::CompileOptions opts;
+  opts.provenance = provenance;
+  Result<runtime::CompiledProgramPtr> prog = runtime::Compile(program, opts);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  auto net = std::make_unique<Net>();
+  net->topo = std::move(topo);
+  net->engines = MakeEngines(&net->sim, net->topo, *prog);
+  EXPECT_TRUE(InstallLinks(net->topo, &net->engines, &net->sim).ok());
+  return net;
+}
+
+int64_t MincostAt(const Net& net, NodeId x, NodeId z) {
+  for (const Tuple& t : net.engines[x]->TableContents("mincost")) {
+    if (t.field(1).as_address() == z) return t.field(2).as_int();
+  }
+  return -1;
+}
+
+int64_t BestcostAt(const Net& net, NodeId x, NodeId z) {
+  for (const Tuple& t : net.engines[x]->TableContents("bestcost")) {
+    if (t.field(1).as_address() == z) return t.field(2).as_int();
+  }
+  return -1;
+}
+
+void ExpectMincostMatchesDijkstra(const Net& net) {
+  std::vector<std::vector<int64_t>> ref = AllPairsShortest(net.topo);
+  for (size_t x = 0; x < net.topo.num_nodes; ++x) {
+    for (size_t z = 0; z < net.topo.num_nodes; ++z) {
+      if (x == z) continue;
+      EXPECT_EQ(MincostAt(net, static_cast<NodeId>(x), static_cast<NodeId>(z)),
+                ref[x][z])
+          << "mincost(" << x << "," << z << ")";
+    }
+  }
+}
+
+// ---------- MINCOST ----------
+
+struct MincostParam {
+  const char* name;
+  net::Topology topo;
+};
+
+class MincostCorrectness
+    : public ::testing::TestWithParam<MincostParam> {};
+
+TEST_P(MincostCorrectness, MatchesDijkstra) {
+  std::unique_ptr<Net> net =
+      RunProtocol(MincostProgram(), GetParam().topo, /*provenance=*/false);
+  ExpectMincostMatchesDijkstra(*net);
+}
+
+TEST_P(MincostCorrectness, ProvenanceDoesNotChangeResults) {
+  std::unique_ptr<Net> net =
+      RunProtocol(MincostProgram(), GetParam().topo, /*provenance=*/true);
+  ExpectMincostMatchesDijkstra(*net);
+}
+
+Rng g_topo_rng(0xbeef);
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MincostCorrectness,
+    ::testing::Values(
+        MincostParam{"line4", net::MakeLine(4, 2)},
+        MincostParam{"ring6", net::MakeRing(6, 1)},
+        MincostParam{"ringchord8", net::MakeRingWithChords(8, 1, 3)},
+        MincostParam{"star5", net::MakeStar(5, 4)},
+        MincostParam{"grid3x3", net::MakeGrid(3, 3, 1)},
+        MincostParam{"rand10", net::MakeRandomConnected(10, 0.15,
+                                                        &g_topo_rng)},
+        MincostParam{"rand14", net::MakeRandomConnected(14, 0.1,
+                                                        &g_topo_rng)}),
+    [](const ::testing::TestParamInfo<MincostParam>& info) {
+      return info.param.name;
+    });
+
+TEST(MincostChurnTest, ReconvergesAfterLinkFailureAndRecovery) {
+  net::Topology topo = net::MakeRing(6, 1);
+  std::unique_ptr<Net> net =
+      RunProtocol(MincostProgram(), topo, /*provenance=*/false);
+  ExpectMincostMatchesDijkstra(*net);
+
+  // Fail one ring link: costs must match Dijkstra on the line that remains.
+  ASSERT_TRUE(FailLink(0, 5, 1, &net->engines, &net->sim).ok());
+  net::Topology after = net::MakeLine(6, 1);
+  std::vector<std::vector<int64_t>> ref = AllPairsShortest(after);
+  for (size_t x = 0; x < 6; ++x) {
+    for (size_t z = 0; z < 6; ++z) {
+      if (x == z) continue;
+      EXPECT_EQ(MincostAt(*net, static_cast<NodeId>(x),
+                          static_cast<NodeId>(z)),
+                ref[x][z])
+          << x << "->" << z;
+    }
+  }
+
+  // Recover: back to ring-optimal costs.
+  ASSERT_TRUE(RecoverLink(0, 5, 1, &net->engines, &net->sim).ok());
+  ExpectMincostMatchesDijkstra(*net);
+}
+
+TEST(MincostChurnTest, CostChangeViaReplacement) {
+  net::Topology topo = net::MakeLine(3, 5);
+  std::unique_ptr<Net> net =
+      RunProtocol(MincostProgram(), topo, /*provenance=*/false);
+  EXPECT_EQ(MincostAt(*net, 0, 2), 10);
+  // Re-inserting link(0,1) with a new cost replaces it (keys (1,2)).
+  ASSERT_TRUE(RecoverLink(0, 1, 1, &net->engines, &net->sim).ok());
+  EXPECT_EQ(MincostAt(*net, 0, 2), 6);
+}
+
+// ---------- PATH VECTOR ----------
+
+TEST(PathVectorTest, BestPathsMatchDijkstraOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    net::Topology topo = net::MakeRandomConnected(8, 0.2, &rng);
+    std::unique_ptr<Net> net =
+        RunProtocol(PathVectorProgram(), topo, /*provenance=*/false);
+    std::vector<std::vector<int64_t>> ref = AllPairsShortest(topo);
+    for (size_t x = 0; x < topo.num_nodes; ++x) {
+      for (size_t z = 0; z < topo.num_nodes; ++z) {
+        if (x == z) continue;
+        EXPECT_EQ(BestcostAt(*net, static_cast<NodeId>(x),
+                             static_cast<NodeId>(z)),
+                  ref[x][z])
+            << "seed " << seed << " bestcost(" << x << "," << z << ")";
+      }
+    }
+  }
+}
+
+TEST(PathVectorTest, BestPathsAreValidPaths) {
+  Rng rng(7);
+  net::Topology topo = net::MakeRandomConnected(8, 0.2, &rng);
+  std::unique_ptr<Net> net =
+      RunProtocol(PathVectorProgram(), topo, /*provenance=*/false);
+  auto has_link = [&](NodeId a, NodeId b) {
+    for (const net::CostedLink& l : topo.links) {
+      if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return l.cost;
+    }
+    return int64_t{-1};
+  };
+  for (size_t x = 0; x < topo.num_nodes; ++x) {
+    for (const Tuple& t : net->engines[x]->TableContents("bestpath")) {
+      const ValueList& hops = t.field(3).as_list();
+      ASSERT_GE(hops.size(), 2u);
+      EXPECT_EQ(hops.front().as_address(), x);
+      EXPECT_EQ(hops.back().as_address(), t.field(1).as_address());
+      int64_t total = 0;
+      for (size_t i = 0; i + 1 < hops.size(); ++i) {
+        int64_t c = has_link(hops[i].as_address(), hops[i + 1].as_address());
+        ASSERT_GE(c, 0) << "bestpath uses a non-existent link";
+        total += c;
+      }
+      EXPECT_EQ(total, t.field(2).as_int());
+    }
+  }
+}
+
+TEST(PathVectorTest, PathsAreLoopFree) {
+  net::Topology topo = net::MakeRingWithChords(8, 1, 2);
+  std::unique_ptr<Net> net =
+      RunProtocol(PathVectorProgram(), topo, /*provenance=*/false);
+  for (size_t x = 0; x < topo.num_nodes; ++x) {
+    for (const Tuple& t : net->engines[x]->TableContents("path")) {
+      const ValueList& hops = t.field(3).as_list();
+      std::set<NodeId> seen;
+      for (const Value& h : hops) {
+        EXPECT_TRUE(seen.insert(h.as_address()).second)
+            << "loop in " << t.ToString();
+      }
+    }
+  }
+}
+
+TEST(PathVectorTest, ChurnRetractsAffectedPaths) {
+  net::Topology topo = net::MakeLine(4, 1);
+  std::unique_ptr<Net> net =
+      RunProtocol(PathVectorProgram(), topo, /*provenance=*/false);
+  EXPECT_EQ(BestcostAt(*net, 0, 3), 3);
+  ASSERT_TRUE(FailLink(2, 3, 1, &net->engines, &net->sim).ok());
+  EXPECT_EQ(BestcostAt(*net, 0, 3), -1);
+  EXPECT_EQ(BestcostAt(*net, 0, 2), 2);
+  ASSERT_TRUE(RecoverLink(2, 3, 1, &net->engines, &net->sim).ok());
+  EXPECT_EQ(BestcostAt(*net, 0, 3), 3);
+}
+
+// ---------- DSR ----------
+
+TEST(DsrTest, DiscoversRouteOnDemand) {
+  net::Topology topo = net::MakeLine(4, 1);
+  std::unique_ptr<Net> net =
+      RunProtocol(DsrProgram(), topo, /*provenance=*/false);
+  // No route before discovery (on-demand protocol).
+  EXPECT_TRUE(net->engines[0]->TableContents("route").empty());
+  ASSERT_TRUE(StartDsrDiscovery(net->engines[0].get(), 0, 3).ok());
+  net->sim.Run();
+  std::vector<Tuple> routes = net->engines[0]->TableContents("route");
+  ASSERT_EQ(routes.size(), 1u);
+  const ValueList& hops = routes[0].field(2).as_list();
+  ASSERT_EQ(hops.size(), 4u);
+  EXPECT_EQ(hops[0].as_address(), 0u);
+  EXPECT_EQ(hops[3].as_address(), 3u);
+}
+
+TEST(DsrTest, NoRouteAcrossPartition) {
+  net::Topology topo = net::MakeLine(4, 1);
+  std::unique_ptr<Net> net =
+      RunProtocol(DsrProgram(), topo, /*provenance=*/false);
+  ASSERT_TRUE(FailLink(1, 2, 1, &net->engines, &net->sim).ok());
+  ASSERT_TRUE(StartDsrDiscovery(net->engines[0].get(), 0, 3).ok());
+  net->sim.Run();
+  EXPECT_TRUE(net->engines[0]->TableContents("route").empty());
+}
+
+TEST(DsrTest, RediscoveryAfterMobility) {
+  // "Mobile network": node 3 moves — its link to 2 drops, a link to 0
+  // appears. Re-discovery finds the new 1-hop route and replaces the old
+  // route (route is keyed on (source, destination)).
+  net::Topology topo = net::MakeLine(4, 1);
+  std::unique_ptr<Net> net =
+      RunProtocol(DsrProgram(), topo, /*provenance=*/false);
+  ASSERT_TRUE(StartDsrDiscovery(net->engines[0].get(), 0, 3).ok());
+  net->sim.Run();
+  ASSERT_EQ(net->engines[0]->TableContents("route").size(), 1u);
+
+  ASSERT_TRUE(FailLink(2, 3, 1, &net->engines, &net->sim).ok());
+  net->sim.AddLink(0, 3, net::kMillisecond);
+  ASSERT_TRUE(RecoverLink(0, 3, 1, &net->engines, &net->sim).ok());
+  ASSERT_TRUE(StartDsrDiscovery(net->engines[0].get(), 0, 3).ok());
+  net->sim.Run();
+  std::vector<Tuple> routes = net->engines[0]->TableContents("route");
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].field(2).as_list().size(), 2u);  // direct route
+}
+
+TEST(DsrTest, WorksWithProvenance) {
+  net::Topology topo = net::MakeLine(3, 1);
+  std::unique_ptr<Net> net =
+      RunProtocol(DsrProgram(), topo, /*provenance=*/true);
+  ASSERT_TRUE(StartDsrDiscovery(net->engines[0].get(), 0, 2).ok());
+  net->sim.Run();
+  EXPECT_EQ(net->engines[0]->TableContents("route").size(), 1u);
+  // The route tuple has provenance edges at its home node.
+  EXPECT_FALSE(net->engines[0]
+                   ->TableContents(provenance::kProvTable)
+                   .empty());
+}
+
+}  // namespace
+}  // namespace protocols
+}  // namespace nettrails

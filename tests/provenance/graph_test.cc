@@ -1,0 +1,118 @@
+#include "src/provenance/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topology.h"
+#include "src/protocols/programs.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace provenance {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<runtime::CompiledProgramPtr> prog =
+        runtime::Compile(protocols::MincostProgram());
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    topo_ = net::MakeLine(3, 2);  // 0 -2- 1 -2- 2
+    engines_ = protocols::MakeEngines(&sim_, topo_, *prog);
+    for (auto& e : engines_) {
+      stores_.push_back(std::make_unique<ProvStore>(e.get()));
+      store_ptrs_.push_back(stores_.back().get());
+    }
+    ASSERT_TRUE(protocols::InstallLinks(topo_, &engines_, &sim_).ok());
+  }
+
+  VidLabeler Labeler() {
+    return [this](Vid vid) -> std::string {
+      for (auto& e : engines_) {
+        if (const Tuple* t = e->FindTupleByVid(vid)) return t->ToString();
+      }
+      return "?";
+    };
+  }
+
+  net::Simulator sim_;
+  net::Topology topo_;
+  std::vector<std::unique_ptr<runtime::Engine>> engines_;
+  std::vector<std::unique_ptr<ProvStore>> stores_;
+  std::vector<const ProvStore*> store_ptrs_;
+};
+
+TEST_F(GraphTest, MincostProvenanceGraphStructure) {
+  // mincost(0->2) should exist with cost 4 and have a full derivation tree.
+  Tuple target("mincost",
+               {Value::Address(0), Value::Address(2), Value::Int(4)});
+  ASSERT_TRUE(engines_[0]->HasTuple(target));
+  Graph g = BuildGraph(store_ptrs_, 0, target.Hash(), Labeler());
+  EXPECT_EQ(g.root, target.Hash());
+  EXPECT_GT(g.vertices.size(), 3u);
+  EXPECT_GT(g.exec_vertices(), 0u);
+  EXPECT_GT(g.tuple_vertices(), 0u);
+  // Root is present and is a tuple vertex.
+  ASSERT_TRUE(g.vertices.count(g.root));
+  EXPECT_EQ(g.vertices.at(g.root).kind, VertexKind::kTuple);
+  EXPECT_FALSE(g.vertices.at(g.root).is_base);
+
+  // Every leaf reachable from the root is a base tuple (link) vertex.
+  size_t base_count = 0;
+  for (const auto& [vid, v] : g.vertices) {
+    if (v.kind == VertexKind::kTuple && v.is_base) {
+      ++base_count;
+      EXPECT_EQ(v.label.rfind("link(", 0), 0u) << v.label;
+    }
+  }
+  EXPECT_GT(base_count, 0u);
+}
+
+TEST_F(GraphTest, EdgesConnectExistingVertices) {
+  Tuple target("mincost",
+               {Value::Address(0), Value::Address(2), Value::Int(4)});
+  Graph g = BuildGraph(store_ptrs_, 0, target.Hash(), Labeler());
+  for (const GraphEdge& e : g.edges) {
+    EXPECT_TRUE(g.vertices.count(e.from));
+    EXPECT_TRUE(g.vertices.count(e.to));
+  }
+  // Children of the root are rule executions.
+  for (Vid child : g.ChildrenOf(g.root)) {
+    EXPECT_EQ(g.vertices.at(child).kind, VertexKind::kRuleExec);
+  }
+}
+
+TEST_F(GraphTest, GraphSpansMultipleNodes) {
+  Tuple target("mincost",
+               {Value::Address(0), Value::Address(2), Value::Int(4)});
+  Graph g = BuildGraph(store_ptrs_, 0, target.Hash(), Labeler());
+  std::set<NodeId> locations;
+  for (const auto& [vid, v] : g.vertices) locations.insert(v.location);
+  EXPECT_GE(locations.size(), 2u);
+}
+
+TEST_F(GraphTest, UnknownRootYieldsLeafGraph) {
+  Graph g = BuildGraph(store_ptrs_, 0, /*root=*/12345, Labeler());
+  ASSERT_EQ(g.vertices.size(), 1u);
+  EXPECT_TRUE(g.vertices.begin()->second.is_base);
+}
+
+TEST_F(GraphTest, DepthLimitTruncates) {
+  Tuple target("mincost",
+               {Value::Address(0), Value::Address(2), Value::Int(4)});
+  Graph full = BuildGraph(store_ptrs_, 0, target.Hash(), Labeler());
+  Graph shallow =
+      BuildGraph(store_ptrs_, 0, target.Hash(), Labeler(), /*max_depth=*/2);
+  EXPECT_LT(shallow.vertices.size(), full.vertices.size());
+}
+
+TEST_F(GraphTest, BaseTupleGraphIsSingleVertex) {
+  Tuple link("link", {Value::Address(0), Value::Address(1), Value::Int(2)});
+  Graph g = BuildGraph(store_ptrs_, 0, link.Hash(), Labeler());
+  ASSERT_EQ(g.vertices.size(), 1u);
+  EXPECT_TRUE(g.vertices.at(link.Hash()).is_base);
+  EXPECT_TRUE(g.edges.empty());
+}
+
+}  // namespace
+}  // namespace provenance
+}  // namespace nettrails

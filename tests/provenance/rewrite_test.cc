@@ -1,0 +1,170 @@
+#include "src/provenance/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ndlog/parser.h"
+
+namespace nettrails {
+namespace provenance {
+namespace {
+
+using ndlog::AnalyzedProgram;
+using ndlog::Program;
+using ndlog::Rule;
+
+Result<Program> RewriteSrc(const std::string& src) {
+  Result<Program> prog = ndlog::Parse(src);
+  if (!prog.ok()) return prog.status();
+  Result<AnalyzedProgram> analyzed = ndlog::Analyze(std::move(prog).value());
+  if (!analyzed.ok()) return analyzed.status();
+  return RewriteForProvenance(*analyzed);
+}
+
+const Rule* FindRule(const Program& prog, const std::string& name) {
+  for (const Rule& r : prog.rules) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+constexpr char kSimpleSrc[] = R"(
+  materialize(link, infinity, infinity, keys(1,2)).
+  materialize(reach, infinity, infinity, keys(1,2)).
+  r1 reach(@X,Y) :- link(@X,Y,C).
+)";
+
+TEST(RewriteTest, ReservedPredicateDetection) {
+  EXPECT_TRUE(IsProvenancePredicate("prov"));
+  EXPECT_TRUE(IsProvenancePredicate("ruleExec"));
+  EXPECT_TRUE(IsProvenancePredicate("eh_r1"));
+  EXPECT_FALSE(IsProvenancePredicate("reach"));
+  EXPECT_FALSE(IsProvenancePredicate("myeh_x"));
+}
+
+TEST(RewriteTest, GeneratesEhHdReProvRules) {
+  Result<Program> out = RewriteSrc(kSimpleSrc);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(FindRule(*out, "r1_eh"), nullptr);
+  EXPECT_NE(FindRule(*out, "r1_hd"), nullptr);
+  EXPECT_NE(FindRule(*out, "r1_re"), nullptr);
+  EXPECT_NE(FindRule(*out, "r1_pr"), nullptr);
+  // The original rule is replaced (head now derived via the eh view).
+  EXPECT_EQ(FindRule(*out, "r1"), nullptr);
+}
+
+TEST(RewriteTest, DeclaresProvenanceTables) {
+  Result<Program> out = RewriteSrc(kSimpleSrc);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->FindMaterialization(kProvTable), nullptr);
+  EXPECT_NE(out->FindMaterialization(kRuleExecTable), nullptr);
+  EXPECT_NE(out->FindMaterialization("eh_r1"), nullptr);
+  // All-fields keys (counting semantics).
+  EXPECT_TRUE(out->FindMaterialization(kProvTable)->keys.empty());
+}
+
+TEST(RewriteTest, BaseTablesGetSelfEdgeRules) {
+  Result<Program> out = RewriteSrc(kSimpleSrc);
+  ASSERT_TRUE(out.ok());
+  const Rule* bp = FindRule(*out, "link_bprov");
+  ASSERT_NE(bp, nullptr);
+  EXPECT_EQ(bp->head.predicate, kProvTable);
+  ASSERT_EQ(bp->head.args.size(), kProvArity);
+  // VID and RID are the same variable: self-edge.
+  EXPECT_EQ(bp->head.args[1].expr->ToString(),
+            bp->head.args[2].expr->ToString());
+  // Derived tables get no self-edge rule.
+  EXPECT_EQ(FindRule(*out, "reach_bprov"), nullptr);
+}
+
+TEST(RewriteTest, ProvHeadShipsToHeadLocation) {
+  const char* src = R"(
+    materialize(a, infinity, infinity, keys(1,2)).
+    materialize(b, infinity, infinity, keys(1,2)).
+    r1 b(@Y,X) :- a(@X,Y).
+  )";
+  Result<Program> out = RewriteSrc(src);
+  ASSERT_TRUE(out.ok());
+  const Rule* pr = FindRule(*out, "r1_pr");
+  ASSERT_NE(pr, nullptr);
+  // prov's location argument is the head's location (Y); the RLoc argument
+  // is the body location (X).
+  EXPECT_EQ(pr->head.args[0].expr->var_name(), "Y");
+  EXPECT_EQ(pr->head.args[3].expr->var_name(), "X");
+  // Maybe flag is 0.
+  EXPECT_EQ(pr->head.args[4].expr->const_value(), Value::Int(0));
+}
+
+TEST(RewriteTest, MaybeRuleJoinsHeadAsBody) {
+  const char* src = R"(
+    materialize(i, infinity, infinity, keys(1,2)).
+    materialize(o, infinity, infinity, keys(1,2)).
+    m1 o(@X,R2) ?- i(@X,R1), f_isExtend(R2,R1,X) == 1.
+  )";
+  Result<Program> out = RewriteSrc(src);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const Rule* eh = FindRule(*out, "m1_eh");
+  ASSERT_NE(eh, nullptr);
+  // First body atom is the (externally inserted) head table.
+  ASSERT_FALSE(eh->BodyAtoms().empty());
+  EXPECT_EQ(eh->BodyAtoms()[0]->predicate, "o");
+  // No head-derivation rule for maybe rules.
+  EXPECT_EQ(FindRule(*out, "m1_hd"), nullptr);
+  // Maybe edge flag is 1.
+  const Rule* pr = FindRule(*out, "m1_pr");
+  ASSERT_NE(pr, nullptr);
+  EXPECT_EQ(pr->head.args[4].expr->const_value(), Value::Int(1));
+  // Maybe heads do not get base self-edges (their prov is the inference).
+  EXPECT_EQ(FindRule(*out, "o_bprov"), nullptr);
+  EXPECT_NE(FindRule(*out, "i_bprov"), nullptr);
+}
+
+TEST(RewriteTest, AggregateRulesPassThrough) {
+  const char* src = R"(
+    materialize(cost, infinity, infinity, keys(1,2,3)).
+    materialize(mincost, infinity, infinity, keys(1,2)).
+    mc3 mincost(@X,Z,a_min<C>) :- cost(@X,Z,C).
+  )";
+  Result<Program> out = RewriteSrc(src);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(FindRule(*out, "mc3"), nullptr);
+  EXPECT_EQ(FindRule(*out, "mc3_eh"), nullptr);
+}
+
+TEST(RewriteTest, DuplicateRuleNamesRejected) {
+  const char* src = R"(
+    materialize(a, infinity, infinity, keys(1,2)).
+    materialize(b, infinity, infinity, keys(1,2)).
+    r1 b(@X,Y) :- a(@X,Y).
+    r1 a(@X,Y) :- b(@X,Y).
+  )";
+  EXPECT_FALSE(RewriteSrc(src).ok());
+}
+
+TEST(RewriteTest, ReservedHeadRejected) {
+  const char* src = R"(
+    materialize(a, infinity, infinity, keys(1,2)).
+    materialize(ruleExec, infinity, infinity, keys(1,2)).
+    r1 ruleExec(@X,Y) :- a(@X,Y).
+  )";
+  EXPECT_FALSE(RewriteSrc(src).ok());
+}
+
+TEST(RewriteTest, RewrittenProgramReanalyzes) {
+  Result<Program> out = RewriteSrc(kSimpleSrc);
+  ASSERT_TRUE(out.ok());
+  Result<AnalyzedProgram> again = ndlog::Analyze(std::move(out).value());
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(RewriteTest, VidAssignmentsUseMkVid) {
+  Result<Program> out = RewriteSrc(kSimpleSrc);
+  ASSERT_TRUE(out.ok());
+  std::string text = out->ToString();
+  EXPECT_NE(text.find("f_mkvid(\"link\""), std::string::npos);
+  EXPECT_NE(text.find("f_mkvid(\"reach\""), std::string::npos);
+  EXPECT_NE(text.find("f_mkrid(\"r1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace provenance
+}  // namespace nettrails

@@ -1,0 +1,139 @@
+#include "src/provenance/secure.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topology.h"
+#include "src/protocols/programs.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace provenance {
+namespace {
+
+class SecureProvenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<runtime::CompiledProgramPtr> prog =
+        runtime::Compile(protocols::MincostProgram());
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    topo_ = net::MakeLine(3, 2);
+    engines_ = protocols::MakeEngines(&sim_, topo_, *prog);
+    for (auto& e : engines_) {
+      stores_.push_back(std::make_unique<ProvStore>(e.get()));
+      store_ptrs_.push_back(stores_.back().get());
+    }
+    ASSERT_TRUE(protocols::InstallLinks(topo_, &engines_, &sim_).ok());
+    target_ = Tuple("mincost",
+                    {Value::Address(0), Value::Address(2), Value::Int(4)});
+    ASSERT_TRUE(engines_[0]->HasTuple(target_));
+  }
+
+  Evidence Collect(const KeyAuthority& authority) {
+    return CollectEvidence(store_ptrs_, authority, 0, target_.Hash());
+  }
+
+  net::Simulator sim_;
+  net::Topology topo_;
+  std::vector<std::unique_ptr<runtime::Engine>> engines_;
+  std::vector<std::unique_ptr<ProvStore>> stores_;
+  std::vector<const ProvStore*> store_ptrs_;
+  Tuple target_;
+};
+
+TEST_F(SecureProvenanceTest, HonestEvidenceVerifies) {
+  KeyAuthority authority(42);
+  Evidence ev = Collect(authority);
+  EXPECT_GT(ev.edges.size(), 2u);
+  EXPECT_GT(ev.execs.size(), 1u);
+  VerifyResult r = VerifyEvidence(ev, authority, target_.Hash());
+  EXPECT_TRUE(r.ok) << (r.problems.empty() ? "" : r.problems[0]);
+  EXPECT_TRUE(r.problems.empty());
+}
+
+TEST_F(SecureProvenanceTest, KeysArePerNodeAndDeterministic) {
+  KeyAuthority a(42), b(42), c(43);
+  EXPECT_EQ(a.KeyFor(1), b.KeyFor(1));
+  EXPECT_NE(a.KeyFor(1), a.KeyFor(2));
+  EXPECT_NE(a.KeyFor(1), c.KeyFor(1));
+}
+
+TEST_F(SecureProvenanceTest, TamperedEdgeDetected) {
+  KeyAuthority authority(42);
+  Evidence ev = Collect(authority);
+  // A compromised node rewrites an edge to point at a fabricated execution
+  // without being able to forge the MAC.
+  ASSERT_FALSE(ev.edges.empty());
+  ev.edges[0].rid ^= 0xdeadbeef;
+  VerifyResult r = VerifyEvidence(ev, authority, target_.Hash());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(SecureProvenanceTest, TamperedExecInputsDetected) {
+  KeyAuthority authority(42);
+  Evidence ev = Collect(authority);
+  ASSERT_FALSE(ev.execs.empty());
+  // Claim an extra (fake) supporting input.
+  ev.execs[0].inputs.push_back(0x1234);
+  VerifyResult r = VerifyEvidence(ev, authority, target_.Hash());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(SecureProvenanceTest, RehomedVertexDetected) {
+  KeyAuthority authority(42);
+  Evidence ev = Collect(authority);
+  // Find a non-self edge and claim its execution happened elsewhere.
+  for (SignedEdge& se : ev.edges) {
+    if (se.rid != se.vid) {
+      se.rloc = (se.rloc + 1) % 3;
+      break;
+    }
+  }
+  VerifyResult r = VerifyEvidence(ev, authority, target_.Hash());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(SecureProvenanceTest, DroppedExecutionDetected) {
+  KeyAuthority authority(42);
+  Evidence ev = Collect(authority);
+  ASSERT_FALSE(ev.execs.empty());
+  ev.execs.pop_back();  // a node suppresses evidence
+  VerifyResult r = VerifyEvidence(ev, authority, target_.Hash());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(SecureProvenanceTest, WrongAuthorityRejectsEverything) {
+  KeyAuthority honest(42), other(777);
+  Evidence ev = Collect(honest);
+  VerifyResult r = VerifyEvidence(ev, other, target_.Hash());
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(SecureProvenanceTest, MissingRootDetected) {
+  KeyAuthority authority(42);
+  Evidence ev = Collect(authority);
+  VerifyResult r = VerifyEvidence(ev, authority, /*root=*/0x999999);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST_F(SecureProvenanceTest, UnvouchedInputReported) {
+  KeyAuthority authority(42);
+  Evidence ev = Collect(authority);
+  // Drop all self-edges of one base tuple: its exec input is unvouched.
+  std::vector<SignedEdge> kept;
+  bool dropped = false;
+  for (const SignedEdge& se : ev.edges) {
+    if (!dropped && se.rid == se.vid) {
+      dropped = true;
+      continue;
+    }
+    kept.push_back(se);
+  }
+  ASSERT_TRUE(dropped);
+  ev.edges = std::move(kept);
+  VerifyResult r = VerifyEvidence(ev, authority, target_.Hash());
+  EXPECT_FALSE(r.problems.empty());
+}
+
+}  // namespace
+}  // namespace provenance
+}  // namespace nettrails

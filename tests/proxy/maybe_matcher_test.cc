@@ -1,0 +1,171 @@
+#include "src/proxy/maybe_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rand.h"
+#include "src/protocols/programs.h"
+#include "src/provenance/rewrite.h"
+#include "src/runtime/builtins.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace proxy {
+namespace {
+
+RouteMessage Msg(NodeId peer, int64_t prefix, std::vector<NodeId> path,
+                 bool withdraw = false) {
+  return {peer, prefix, std::move(path), withdraw};
+}
+
+TEST(MaybeMatcherTest, IsExtendPositive) {
+  EXPECT_TRUE(IsExtend(7, Msg(1, 100, {3, 5}), Msg(2, 100, {7, 3, 5})));
+  EXPECT_TRUE(IsExtend(7, Msg(1, 100, {}), Msg(2, 100, {7})));
+}
+
+TEST(MaybeMatcherTest, IsExtendRejectsWrongPrefix) {
+  EXPECT_FALSE(IsExtend(7, Msg(1, 100, {3}), Msg(2, 200, {7, 3})));
+}
+
+TEST(MaybeMatcherTest, IsExtendRejectsWrongHead) {
+  EXPECT_FALSE(IsExtend(7, Msg(1, 100, {3}), Msg(2, 100, {8, 3})));
+}
+
+TEST(MaybeMatcherTest, IsExtendRejectsWrongSuffix) {
+  EXPECT_FALSE(IsExtend(7, Msg(1, 100, {3, 5}), Msg(2, 100, {7, 5, 3})));
+}
+
+TEST(MaybeMatcherTest, IsExtendRejectsWrongLength) {
+  EXPECT_FALSE(IsExtend(7, Msg(1, 100, {3}), Msg(2, 100, {7, 3, 5})));
+  EXPECT_FALSE(IsExtend(7, Msg(1, 100, {3}), Msg(2, 100, {3})));
+}
+
+TEST(MaybeMatcherTest, IsExtendRejectsWithdrawals) {
+  EXPECT_FALSE(IsExtend(7, Msg(1, 100, {3}, true), Msg(2, 100, {7, 3})));
+  EXPECT_FALSE(IsExtend(7, Msg(1, 100, {3}), Msg(2, 100, {7, 3}, true)));
+}
+
+TEST(MaybeMatcherTest, MatchFindsAllPairs) {
+  std::vector<RouteMessage> inputs = {
+      Msg(1, 100, {3, 5}),
+      Msg(2, 100, {4}),
+      Msg(3, 200, {9}),
+  };
+  std::vector<RouteMessage> outputs = {
+      Msg(8, 100, {7, 3, 5}),  // matches input 0
+      Msg(8, 100, {7, 4}),     // matches input 1
+      Msg(8, 200, {7, 9}),     // matches input 2
+      Msg(8, 200, {7, 8}),     // matches nothing
+  };
+  std::vector<MaybeMatch> matches = MatchMaybe(7, inputs, outputs);
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].output_index, 0u);
+  EXPECT_EQ(matches[0].input_index, 0u);
+  EXPECT_EQ(matches[1].output_index, 1u);
+  EXPECT_EQ(matches[1].input_index, 1u);
+  EXPECT_EQ(matches[2].output_index, 2u);
+  EXPECT_EQ(matches[2].input_index, 2u);
+}
+
+TEST(MaybeMatcherTest, AmbiguousInputsYieldMultipleMatches) {
+  // Two identical announcements from different peers both explain the
+  // output ("maybe" semantics: possible causes, not certain ones).
+  std::vector<RouteMessage> inputs = {Msg(1, 100, {3}), Msg(2, 100, {3})};
+  std::vector<RouteMessage> outputs = {Msg(8, 100, {7, 3})};
+  EXPECT_EQ(MatchMaybe(7, inputs, outputs).size(), 2u);
+}
+
+TEST(MaybeMatcherTest, EmptyStreamsNoMatches) {
+  EXPECT_TRUE(MatchMaybe(7, {}, {}).empty());
+  EXPECT_TRUE(MatchMaybe(7, {Msg(1, 100, {3})}, {}).empty());
+}
+
+// Property test: the engine's declarative br1 inference over randomized
+// message streams agrees exactly with the quadratic reference matcher —
+// same set of (input, output) causal pairs, expressed as maybe prov edges.
+class MaybeCrossValidation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaybeCrossValidation, EngineMatchesReference) {
+  Rng rng(GetParam());
+  const NodeId self = 0;
+
+  // Random streams: inputs from a few peers, outputs that sometimes extend
+  // an input (true cause), sometimes extend a mangled path (no cause).
+  std::vector<RouteMessage> inputs, outputs;
+  for (int i = 0; i < 12; ++i) {
+    RouteMessage in;
+    in.peer = static_cast<NodeId>(1 + rng.NextBelow(3));
+    in.prefix = static_cast<int64_t>(100 + rng.NextBelow(4));
+    size_t hops = 1 + rng.NextBelow(3);
+    for (size_t h = 0; h < hops; ++h) {
+      in.path.push_back(static_cast<NodeId>(3 + rng.NextBelow(6)));
+    }
+    inputs.push_back(in);
+  }
+  for (int o = 0; o < 10; ++o) {
+    const RouteMessage& base = inputs[rng.NextBelow(inputs.size())];
+    RouteMessage out;
+    out.peer = static_cast<NodeId>(10 + rng.NextBelow(3));
+    out.prefix = base.prefix;
+    out.path.push_back(self);
+    for (NodeId hop : base.path) out.path.push_back(hop);
+    if (rng.NextBool(0.4)) out.path.push_back(99);  // mangle: no cause
+    outputs.push_back(out);
+  }
+
+  // Reference matcher, de-duplicated to distinct (input tuple, output
+  // tuple) pairs as the engine sees them (replacement semantics: only the
+  // LAST announcement per (peer, prefix) is live state).
+  std::map<std::pair<NodeId, int64_t>, RouteMessage> live_in, live_out;
+  for (const RouteMessage& m : inputs) live_in[{m.peer, m.prefix}] = m;
+  for (const RouteMessage& m : outputs) live_out[{m.peer, m.prefix}] = m;
+  std::vector<RouteMessage> last_inputs, last_outputs;
+  for (const auto& [key, m] : live_in) last_inputs.push_back(m);
+  for (const auto& [key, m] : live_out) last_outputs.push_back(m);
+  std::vector<MaybeMatch> expected =
+      MatchMaybe(self, last_inputs, last_outputs);
+
+  // Engine run through the proxy.
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(protocols::BgpMaybeProgram());
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  net::Simulator sim;
+  sim.AddNode();
+  runtime::Engine engine(&sim, self, *prog);
+  Proxy proxy(&engine);
+  for (const RouteMessage& m : inputs) ASSERT_TRUE(proxy.OnIncoming(m).ok());
+  for (const RouteMessage& m : outputs) ASSERT_TRUE(proxy.OnOutgoing(m).ok());
+  sim.Run();
+
+  // Collect engine-inferred maybe pairs (output vid <- exec <- input vid).
+  std::set<std::pair<Vid, Vid>> engine_pairs;
+  std::map<Vid, Vid> exec_input;  // rid -> single input vid
+  for (const Tuple& t : engine.TableContents(provenance::kRuleExecTable)) {
+    if (t.field(3).is_list() && t.field(3).as_list().size() == 1) {
+      exec_input[runtime::ValueToVid(t.field(1))] =
+          runtime::ValueToVid(t.field(3).as_list()[0]);
+    }
+  }
+  for (const Tuple& t : engine.TableContents(provenance::kProvTable)) {
+    if (!t.field(4).Truthy()) continue;  // maybe edges only
+    auto it = exec_input.find(runtime::ValueToVid(t.field(2)));
+    ASSERT_NE(it, exec_input.end());
+    engine_pairs.insert({runtime::ValueToVid(t.field(1)), it->second});
+  }
+
+  std::set<std::pair<Vid, Vid>> expected_pairs;
+  for (const MaybeMatch& m : expected) {
+    Tuple out = proxy.ToTuple("outputRoute", last_outputs[m.output_index]);
+    Tuple in = proxy.ToTuple("inputRoute", last_inputs[m.input_index]);
+    expected_pairs.insert({out.Hash(), in.Hash()});
+  }
+  EXPECT_EQ(engine_pairs, expected_pairs) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaybeCrossValidation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace proxy
+}  // namespace nettrails

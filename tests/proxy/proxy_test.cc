@@ -1,0 +1,175 @@
+#include "src/proxy/proxy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/protocols/programs.h"
+#include "src/provenance/rewrite.h"
+#include "src/query/query_engine.h"
+#include "src/runtime/builtins.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace proxy {
+namespace {
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<runtime::CompiledProgramPtr> prog =
+        runtime::Compile(protocols::BgpMaybeProgram());
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    sim_.AddNode();
+    engine_ = std::make_unique<runtime::Engine>(&sim_, 0, *prog);
+    proxy_ = std::make_unique<Proxy>(engine_.get());
+  }
+
+  net::Simulator sim_;
+  std::unique_ptr<runtime::Engine> engine_;
+  std::unique_ptr<Proxy> proxy_;
+};
+
+TEST_F(ProxyTest, IncomingAnnouncementBecomesInputRoute) {
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5, 9}, false}).ok());
+  sim_.Run();
+  Tuple expect("inputRoute",
+               {Value::Address(0), Value::Address(5), Value::Int(100),
+                Value::List({Value::Address(5), Value::Address(9)})});
+  EXPECT_TRUE(engine_->HasTuple(expect));
+  EXPECT_EQ(proxy_->incoming_seen(), 1u);
+}
+
+TEST_F(ProxyTest, OutgoingAnnouncementBecomesOutputRoute) {
+  ASSERT_TRUE(proxy_->OnOutgoing({3, 100, {0, 5, 9}, false}).ok());
+  sim_.Run();
+  Tuple expect("outputRoute",
+               {Value::Address(0), Value::Address(3), Value::Int(100),
+                Value::List({Value::Address(0), Value::Address(5),
+                             Value::Address(9)})});
+  EXPECT_TRUE(engine_->HasTuple(expect));
+}
+
+TEST_F(ProxyTest, ReannouncementReplacesPerPeerPrefix) {
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5, 9}, false}).ok());
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5, 7, 9}, false}).ok());
+  sim_.Run();
+  const runtime::Table* table = engine_->GetTable("inputRoute");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->size(), 1u);
+  Tuple latest("inputRoute",
+               {Value::Address(0), Value::Address(5), Value::Int(100),
+                Value::List({Value::Address(5), Value::Address(7),
+                             Value::Address(9)})});
+  EXPECT_TRUE(engine_->HasTuple(latest));
+}
+
+TEST_F(ProxyTest, WithdrawDeletesCurrentRoute) {
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5, 9}, false}).ok());
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {}, true}).ok());
+  sim_.Run();
+  EXPECT_EQ(engine_->GetTable("inputRoute")->size(), 0u);
+}
+
+TEST_F(ProxyTest, WithdrawOfUnknownRouteIgnored) {
+  EXPECT_TRUE(proxy_->OnIncoming({5, 100, {}, true}).ok());
+  EXPECT_EQ(engine_->GetTable("inputRoute")->size(), 0u);
+}
+
+TEST_F(ProxyTest, DistinctPeersAndPrefixesCoexist) {
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5}, false}).ok());
+  ASSERT_TRUE(proxy_->OnIncoming({6, 100, {6}, false}).ok());
+  ASSERT_TRUE(proxy_->OnIncoming({5, 200, {5}, false}).ok());
+  sim_.Run();
+  EXPECT_EQ(engine_->GetTable("inputRoute")->size(), 3u);
+}
+
+TEST_F(ProxyTest, MaybeRuleInfersCausalEdge) {
+  // Input [5,9] then output [0,5,9]: f_isExtend holds, so the maybe rule
+  // must produce a maybe-flagged prov edge for the output tuple.
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5, 9}, false}).ok());
+  ASSERT_TRUE(proxy_->OnOutgoing({3, 100, {0, 5, 9}, false}).ok());
+  sim_.Run();
+  Tuple output("outputRoute",
+               {Value::Address(0), Value::Address(3), Value::Int(100),
+                Value::List({Value::Address(0), Value::Address(5),
+                             Value::Address(9)})});
+  ASSERT_TRUE(engine_->HasTuple(output));
+  bool found_maybe = false;
+  for (const Tuple& t :
+       engine_->TableContents(provenance::kProvTable)) {
+    if (runtime::ValueToVid(t.field(1)) == output.Hash() &&
+        t.field(4).Truthy()) {
+      found_maybe = true;
+    }
+  }
+  EXPECT_TRUE(found_maybe);
+}
+
+TEST_F(ProxyTest, NoMaybeEdgeWithoutMatchingInput) {
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5, 9}, false}).ok());
+  // Output path does not extend the input path.
+  ASSERT_TRUE(proxy_->OnOutgoing({3, 100, {0, 7}, false}).ok());
+  sim_.Run();
+  Tuple output("outputRoute",
+               {Value::Address(0), Value::Address(3), Value::Int(100),
+                Value::List({Value::Address(0), Value::Address(7)})});
+  for (const Tuple& t :
+       engine_->TableContents(provenance::kProvTable)) {
+    EXPECT_NE(runtime::ValueToVid(t.field(1)), output.Hash())
+        << "unexpected prov edge " << t.ToString();
+  }
+}
+
+TEST_F(ProxyTest, NoMaybeQueriesIgnoreInferredEdges) {
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5, 9}, false}).ok());
+  ASSERT_TRUE(proxy_->OnOutgoing({3, 100, {0, 5, 9}, false}).ok());
+  sim_.Run();
+  Tuple output("outputRoute",
+               {Value::Address(0), Value::Address(3), Value::Int(100),
+                Value::List({Value::Address(0), Value::Address(5),
+                             Value::Address(9)})});
+  query::ProvenanceQuerier querier(&sim_, {engine_.get()});
+  query::QueryOptions with_maybe;
+  with_maybe.type = query::QueryType::kLineage;
+  with_maybe.include_maybe = true;
+  Result<query::QueryResult> a = querier.Query(output, with_maybe);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  bool saw_input = false;
+  for (const std::string& leaf : a->leaf_tuples) {
+    if (leaf.rfind("inputRoute(", 0) == 0) saw_input = true;
+  }
+  EXPECT_TRUE(saw_input);
+
+  query::QueryOptions no_maybe = with_maybe;
+  no_maybe.include_maybe = false;
+  Result<query::QueryResult> b = querier.Query(output, no_maybe);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  // Without maybe edges the output tuple is an unexplained leaf: the
+  // legacy application's internals are opaque.
+  ASSERT_EQ(b->leaf_vids.size(), 1u);
+  EXPECT_EQ(b->leaf_vids[0], output.Hash());
+}
+
+TEST_F(ProxyTest, MaybeEdgeOrderIndependent) {
+  // Output observed before the input (interception order can vary): the
+  // join must still find the pair.
+  ASSERT_TRUE(proxy_->OnOutgoing({3, 100, {0, 5, 9}, false}).ok());
+  ASSERT_TRUE(proxy_->OnIncoming({5, 100, {5, 9}, false}).ok());
+  sim_.Run();
+  Tuple output("outputRoute",
+               {Value::Address(0), Value::Address(3), Value::Int(100),
+                Value::List({Value::Address(0), Value::Address(5),
+                             Value::Address(9)})});
+  bool found_maybe = false;
+  for (const Tuple& t :
+       engine_->TableContents(provenance::kProvTable)) {
+    if (runtime::ValueToVid(t.field(1)) == output.Hash() &&
+        t.field(4).Truthy()) {
+      found_maybe = true;
+    }
+  }
+  EXPECT_TRUE(found_maybe);
+}
+
+}  // namespace
+}  // namespace proxy
+}  // namespace nettrails

@@ -1,0 +1,85 @@
+#include "src/query/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace query {
+namespace {
+
+PartialResult SomeResult() {
+  PartialResult r;
+  r.count = 3;
+  r.leaves.insert({42, 1});
+  r.nodes.insert(1);
+  return r;
+}
+
+TEST(CacheTest, MissThenHit) {
+  ResultCache cache;
+  CacheKey key{7, QueryType::kLineage, true, 0};
+  EXPECT_EQ(cache.Lookup(key, 1), nullptr);
+  cache.Store(key, 1, SomeResult());
+  const PartialResult* hit = cache.Lookup(key, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->count, 3);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheTest, VersionMismatchInvalidates) {
+  ResultCache cache;
+  CacheKey key{7, QueryType::kLineage, true, 0};
+  cache.Store(key, 1, SomeResult());
+  EXPECT_EQ(cache.Lookup(key, 2), nullptr);  // provenance changed
+  EXPECT_EQ(cache.size(), 0u);               // stale entry evicted
+}
+
+TEST(CacheTest, KeyDiscriminatesAllFields) {
+  ResultCache cache;
+  cache.Store({7, QueryType::kLineage, true, 0}, 1, SomeResult());
+  EXPECT_EQ(cache.Lookup({8, QueryType::kLineage, true, 0}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup({7, QueryType::kDerivCount, true, 0}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup({7, QueryType::kLineage, false, 0}, 1), nullptr);
+  EXPECT_EQ(cache.Lookup({7, QueryType::kLineage, true, 5}, 1), nullptr);
+  EXPECT_NE(cache.Lookup({7, QueryType::kLineage, true, 0}, 1), nullptr);
+}
+
+TEST(CacheTest, ClearDropsEverything) {
+  ResultCache cache;
+  cache.Store({1, QueryType::kLineage, true, 0}, 1, SomeResult());
+  cache.Store({2, QueryType::kLineage, true, 0}, 1, SomeResult());
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup({1, QueryType::kLineage, true, 0}, 1), nullptr);
+}
+
+TEST(CacheTest, PartialResultUnionMerges) {
+  PartialResult a = SomeResult();
+  PartialResult b;
+  b.count = 10;
+  b.leaves.insert({43, 2});
+  b.nodes.insert(2);
+  b.truncated = true;
+  a.Union(b);
+  EXPECT_EQ(a.leaves.size(), 2u);
+  EXPECT_EQ(a.nodes.size(), 2u);
+  EXPECT_TRUE(a.truncated);
+  // Union does not combine counts (sum vs product is the caller's choice).
+  EXPECT_EQ(a.count, 3);
+}
+
+TEST(CacheTest, StoreOverwrites) {
+  ResultCache cache;
+  CacheKey key{7, QueryType::kLineage, true, 0};
+  cache.Store(key, 1, SomeResult());
+  PartialResult other;
+  other.count = 99;
+  cache.Store(key, 1, other);
+  EXPECT_EQ(cache.Lookup(key, 1)->count, 99);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace nettrails

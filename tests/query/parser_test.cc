@@ -1,0 +1,91 @@
+#include "src/query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace query {
+namespace {
+
+TEST(QueryParserTest, LineageQuery) {
+  Result<ParsedQuery> q = ParseQuery("LINEAGE OF mincost(@0,@3,6)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->options.type, QueryType::kLineage);
+  EXPECT_EQ(q->target.name(), "mincost");
+  EXPECT_EQ(q->target.Location(), 0u);
+}
+
+TEST(QueryParserTest, NodesAndCountQueries) {
+  EXPECT_EQ(ParseQuery("NODES OF t(@1,2)")->options.type,
+            QueryType::kNodeSet);
+  EXPECT_EQ(ParseQuery("COUNT OF t(@1,2)")->options.type,
+            QueryType::kDerivCount);
+}
+
+TEST(QueryParserTest, KeywordsCaseInsensitive) {
+  Result<ParsedQuery> q = ParseQuery("lineage of t(@1,2) nocache");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->options.type, QueryType::kLineage);
+  EXPECT_FALSE(q->options.use_cache);
+}
+
+TEST(QueryParserTest, TupleWithListsAndSpaces) {
+  Result<ParsedQuery> q =
+      ParseQuery("COUNT OF path(@0, @3, 3, [@0, @1, @3])");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->target.arity(), 4u);
+  EXPECT_TRUE(q->target.field(3).is_list());
+}
+
+TEST(QueryParserTest, AllOptions) {
+  Result<ParsedQuery> q = ParseQuery(
+      "COUNT OF t(@1,2) SEQUENTIAL NOCACHE NOMAYBE THRESHOLD 4 DEPTH 16");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->options.traversal, Traversal::kSequential);
+  EXPECT_FALSE(q->options.use_cache);
+  EXPECT_FALSE(q->options.include_maybe);
+  EXPECT_EQ(q->options.count_threshold, 4);
+  EXPECT_EQ(q->options.max_depth, 16u);
+}
+
+TEST(QueryParserTest, ParallelIsDefaultAndExplicit) {
+  Result<ParsedQuery> q = ParseQuery("COUNT OF t(@1,2) PARALLEL");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->options.traversal, Traversal::kParallel);
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("LINEAGE t(@1,2)").ok());          // missing OF
+  EXPECT_FALSE(ParseQuery("EXPLAIN OF t(@1,2)").ok());       // unknown type
+  EXPECT_FALSE(ParseQuery("LINEAGE OF notatuple").ok());     // bad tuple
+  EXPECT_FALSE(ParseQuery("LINEAGE OF t(1,2)").ok());        // no location
+  EXPECT_FALSE(ParseQuery("LINEAGE OF t(@1,2) BOGUS").ok()); // bad option
+  EXPECT_FALSE(ParseQuery("COUNT OF t(@1,2) THRESHOLD").ok());
+  EXPECT_FALSE(ParseQuery("COUNT OF t(@1,2) THRESHOLD x").ok());
+  EXPECT_FALSE(ParseQuery("COUNT OF t(@1,2) THRESHOLD -1").ok());
+  EXPECT_FALSE(ParseQuery("COUNT OF t(@1,2) DEPTH 0").ok());
+  EXPECT_FALSE(ParseQuery("LINEAGE OF t(@1,[2)").ok());      // unbalanced
+  EXPECT_FALSE(ParseQuery("LINEAGE OF t(@1,\"x)").ok());     // open string
+}
+
+TEST(QueryParserTest, FormatRoundTrips) {
+  const char* queries[] = {
+      "LINEAGE OF mincost(@0,@3,6)",
+      "NODES OF t(@1,2) NOCACHE",
+      "COUNT OF t(@1,2) SEQUENTIAL THRESHOLD 4 DEPTH 16",
+      "COUNT OF path(@0,@3,3,[@0,@1,@3]) NOMAYBE",
+  };
+  for (const char* text : queries) {
+    Result<ParsedQuery> q = ParseQuery(text);
+    ASSERT_TRUE(q.ok()) << text;
+    std::string formatted = FormatQuery(*q);
+    Result<ParsedQuery> again = ParseQuery(formatted);
+    ASSERT_TRUE(again.ok()) << formatted;
+    EXPECT_EQ(FormatQuery(*again), formatted);
+    EXPECT_EQ(again->target, q->target);
+  }
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace nettrails

@@ -1,0 +1,111 @@
+#include "src/runtime/aggregates.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace runtime {
+namespace {
+
+using ndlog::AggFn;
+
+Value Vids(int64_t tag) { return Value::List({Value::Int(tag)}); }
+
+TEST(AggGroupTest, EmptyHasNoOutput) {
+  AggGroup g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_FALSE(g.Output(AggFn::kMin).has_value());
+}
+
+TEST(AggGroupTest, MinTracksInsertions) {
+  AggGroup g;
+  g.Adjust(Value::Int(5), Vids(1), 1);
+  EXPECT_EQ(*g.Output(AggFn::kMin), Value::Int(5));
+  g.Adjust(Value::Int(3), Vids(2), 1);
+  EXPECT_EQ(*g.Output(AggFn::kMin), Value::Int(3));
+  g.Adjust(Value::Int(7), Vids(3), 1);
+  EXPECT_EQ(*g.Output(AggFn::kMin), Value::Int(3));
+}
+
+TEST(AggGroupTest, MinRecoversAfterDeletion) {
+  AggGroup g;
+  g.Adjust(Value::Int(5), Vids(1), 1);
+  g.Adjust(Value::Int(3), Vids(2), 1);
+  g.Adjust(Value::Int(3), Vids(2), -1);  // delete current min
+  EXPECT_EQ(*g.Output(AggFn::kMin), Value::Int(5));
+  g.Adjust(Value::Int(5), Vids(1), -1);
+  EXPECT_FALSE(g.Output(AggFn::kMin).has_value());
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(AggGroupTest, MaxMirrorsMin) {
+  AggGroup g;
+  g.Adjust(Value::Int(5), Vids(1), 1);
+  g.Adjust(Value::Int(9), Vids(2), 1);
+  EXPECT_EQ(*g.Output(AggFn::kMax), Value::Int(9));
+  g.Adjust(Value::Int(9), Vids(2), -1);
+  EXPECT_EQ(*g.Output(AggFn::kMax), Value::Int(5));
+}
+
+TEST(AggGroupTest, CountSumsMultiplicities) {
+  AggGroup g;
+  g.Adjust(Value::Int(1), Vids(1), 2);
+  g.Adjust(Value::Int(1), Vids(2), 1);
+  EXPECT_EQ(*g.Output(AggFn::kCount), Value::Int(3));
+  g.Adjust(Value::Int(1), Vids(1), -1);
+  EXPECT_EQ(*g.Output(AggFn::kCount), Value::Int(2));
+}
+
+TEST(AggGroupTest, SumWeighsByMultiplicity) {
+  AggGroup g;
+  g.Adjust(Value::Int(10), Vids(1), 2);
+  g.Adjust(Value::Int(5), Vids(2), 1);
+  EXPECT_EQ(*g.Output(AggFn::kSum), Value::Int(25));
+}
+
+TEST(AggGroupTest, SumWithDoubles) {
+  AggGroup g;
+  g.Adjust(Value::Double(1.5), Vids(1), 1);
+  g.Adjust(Value::Int(2), Vids(2), 1);
+  EXPECT_DOUBLE_EQ(g.Output(AggFn::kSum)->as_double(), 3.5);
+}
+
+TEST(AggGroupTest, WinnersForMinAreAllTiedContributions) {
+  AggGroup g;
+  g.Adjust(Value::Int(3), Vids(1), 1);
+  g.Adjust(Value::Int(3), Vids(2), 1);  // tie: alternative derivation
+  g.Adjust(Value::Int(7), Vids(3), 1);
+  std::vector<AggGroup::ContribKey> winners = g.Winners(AggFn::kMin);
+  ASSERT_EQ(winners.size(), 2u);
+  for (const auto& w : winners) EXPECT_EQ(w.value, Value::Int(3));
+}
+
+TEST(AggGroupTest, WinnersForCountAreAllContributions) {
+  AggGroup g;
+  g.Adjust(Value::Int(3), Vids(1), 1);
+  g.Adjust(Value::Int(7), Vids(2), 1);
+  EXPECT_EQ(g.Winners(AggFn::kCount).size(), 2u);
+  EXPECT_EQ(g.Winners(AggFn::kSum).size(), 2u);
+}
+
+TEST(AggGroupTest, DistinctVidListsAreDistinctContributions) {
+  AggGroup g;
+  g.Adjust(Value::Int(3), Vids(1), 1);
+  g.Adjust(Value::Int(3), Vids(2), 1);
+  EXPECT_EQ(g.distinct_contributions(), 2u);
+  g.Adjust(Value::Int(3), Vids(1), 1);  // same contribution again
+  EXPECT_EQ(g.distinct_contributions(), 2u);
+}
+
+TEST(AggGroupTest, WinnersForMaxAreTiedAtMaximum) {
+  AggGroup g;
+  g.Adjust(Value::Int(9), Vids(1), 1);
+  g.Adjust(Value::Int(9), Vids(2), 1);
+  g.Adjust(Value::Int(2), Vids(3), 1);
+  std::vector<AggGroup::ContribKey> winners = g.Winners(AggFn::kMax);
+  ASSERT_EQ(winners.size(), 2u);
+  for (const auto& w : winners) EXPECT_EQ(w.value, Value::Int(9));
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace nettrails

@@ -1,0 +1,129 @@
+#include "src/runtime/builtins.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace runtime {
+namespace {
+
+Result<Value> Call(const std::string& fn, std::vector<Value> args) {
+  const BuiltinFn* f = FindBuiltin(fn);
+  EXPECT_NE(f, nullptr) << fn;
+  if (f == nullptr) return Status::NotFound(fn);
+  return (*f)(args);
+}
+
+Value L(std::initializer_list<Value> xs) { return Value::List(ValueList(xs)); }
+
+TEST(BuiltinsTest, Registry) {
+  EXPECT_TRUE(IsBuiltin("f_append"));
+  EXPECT_TRUE(IsBuiltin("f_isExtend"));
+  EXPECT_FALSE(IsBuiltin("f_nonexistent"));
+  EXPECT_FALSE(BuiltinNames().empty());
+}
+
+TEST(BuiltinsTest, ListConstruction) {
+  EXPECT_EQ(*Call("f_list", {Value::Int(1), Value::Int(2)}),
+            L({Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(*Call("f_empty", {}), L({}));
+  EXPECT_FALSE(Call("f_empty", {Value::Int(1)}).ok());
+}
+
+TEST(BuiltinsTest, AppendPrependConcat) {
+  Value ab = L({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(*Call("f_append", {ab, Value::Int(3)}),
+            L({Value::Int(1), Value::Int(2), Value::Int(3)}));
+  EXPECT_EQ(*Call("f_prepend", {Value::Int(0), ab}),
+            L({Value::Int(0), Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(*Call("f_concat", {ab, ab}),
+            L({Value::Int(1), Value::Int(2), Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(*Call("f_concat", {Value::Str("ab"), Value::Str("cd")}),
+            Value::Str("abcd"));
+  EXPECT_FALSE(Call("f_concat", {ab, Value::Str("x")}).ok());
+  EXPECT_FALSE(Call("f_append", {Value::Int(1), Value::Int(2)}).ok());
+}
+
+TEST(BuiltinsTest, MemberSizeFirstLastNth) {
+  Value xs = L({Value::Int(5), Value::Int(7)});
+  EXPECT_EQ(Call("f_member", {xs, Value::Int(5)})->as_int(), 1);
+  EXPECT_EQ(Call("f_member", {xs, Value::Int(6)})->as_int(), 0);
+  EXPECT_EQ(Call("f_size", {xs})->as_int(), 2);
+  EXPECT_EQ(Call("f_size", {Value::Str("abc")})->as_int(), 3);
+  EXPECT_EQ(*Call("f_first", {xs}), Value::Int(5));
+  EXPECT_EQ(*Call("f_last", {xs}), Value::Int(7));
+  EXPECT_EQ(*Call("f_nth", {xs, Value::Int(1)}), Value::Int(7));
+  EXPECT_FALSE(Call("f_first", {L({})}).ok());
+  EXPECT_FALSE(Call("f_last", {L({})}).ok());
+  EXPECT_FALSE(Call("f_nth", {xs, Value::Int(9)}).ok());
+}
+
+TEST(BuiltinsTest, ReverseAndRemoveLast) {
+  Value xs = L({Value::Int(1), Value::Int(2), Value::Int(3)});
+  EXPECT_EQ(*Call("f_reverse", {xs}),
+            L({Value::Int(3), Value::Int(2), Value::Int(1)}));
+  EXPECT_EQ(*Call("f_removeLast", {xs}), L({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(Call("f_removeLast", {L({})}).ok());
+}
+
+TEST(BuiltinsTest, MinMaxAbs) {
+  EXPECT_EQ(*Call("f_min", {Value::Int(3), Value::Int(5)}), Value::Int(3));
+  EXPECT_EQ(*Call("f_max", {Value::Int(3), Value::Int(5)}), Value::Int(5));
+  EXPECT_EQ(*Call("f_abs", {Value::Int(-4)}), Value::Int(4));
+  EXPECT_DOUBLE_EQ(Call("f_abs", {Value::Double(-2.5)})->as_double(), 2.5);
+  EXPECT_FALSE(Call("f_abs", {Value::Str("x")}).ok());
+}
+
+TEST(BuiltinsTest, ToStrAndSha1) {
+  EXPECT_EQ(*Call("f_tostr", {Value::Int(42)}), Value::Str("42"));
+  Value h1 = *Call("f_sha1", {Value::Str("x")});
+  Value h2 = *Call("f_sha1", {Value::Str("x")});
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(*Call("f_sha1", {Value::Str("y")}), h1);
+}
+
+TEST(BuiltinsTest, IsExtendMatchesPaperSemantics) {
+  // Route2 = [AS] ++ Route1.
+  Value as = Value::Address(7);
+  Value r1 = L({Value::Address(3), Value::Address(5)});
+  Value r2 = L({Value::Address(7), Value::Address(3), Value::Address(5)});
+  EXPECT_EQ(Call("f_isExtend", {r2, r1, as})->as_int(), 1);
+  // Wrong prepended node.
+  EXPECT_EQ(Call("f_isExtend", {r2, r1, Value::Address(8)})->as_int(), 0);
+  // Wrong suffix.
+  Value bad = L({Value::Address(7), Value::Address(5), Value::Address(3)});
+  EXPECT_EQ(Call("f_isExtend", {bad, r1, as})->as_int(), 0);
+  // Wrong length.
+  EXPECT_EQ(Call("f_isExtend", {r1, r1, as})->as_int(), 0);
+  EXPECT_FALSE(Call("f_isExtend", {r2, r1}).ok());
+}
+
+TEST(BuiltinsTest, MkVidMatchesTupleHash) {
+  Tuple t("link", {Value::Address(1), Value::Address(2), Value::Int(10)});
+  Value vid = *Call("f_mkvid", {Value::Str("link"), Value::Address(1),
+                                Value::Address(2), Value::Int(10)});
+  EXPECT_EQ(ValueToVid(vid), t.Hash());
+  EXPECT_EQ(TupleVid("link", t.fields()), t.Hash());
+}
+
+TEST(BuiltinsTest, MkRidDeterministic) {
+  Value vids = L({VidToValue(1), VidToValue(2)});
+  Value r1 =
+      *Call("f_mkrid", {Value::Str("mc1"), Value::Address(3), vids});
+  Value r2 =
+      *Call("f_mkrid", {Value::Str("mc1"), Value::Address(3), vids});
+  EXPECT_EQ(r1, r2);
+  Value r3 =
+      *Call("f_mkrid", {Value::Str("mc2"), Value::Address(3), vids});
+  EXPECT_NE(r1, r3);
+  EXPECT_EQ(ValueToVid(r1), RuleExecRid("mc1", 3, {1, 2}));
+  EXPECT_FALSE(Call("f_mkrid", {Value::Str("x"), Value::Int(1), vids}).ok());
+}
+
+TEST(BuiltinsTest, VidValueRoundTrip) {
+  Vid vid = 0xdeadbeefcafef00dULL;
+  EXPECT_EQ(ValueToVid(VidToValue(vid)), vid);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace nettrails

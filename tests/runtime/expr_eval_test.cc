@@ -1,0 +1,110 @@
+#include "src/runtime/expr_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/ndlog/parser.h"
+
+namespace nettrails {
+namespace runtime {
+namespace {
+
+// Parses `expr` by embedding it in a selection of a throwaway rule.
+ndlog::ExprPtr ParseExpr(const std::string& expr) {
+  Result<ndlog::Program> prog =
+      ndlog::Parse("r1 out(@X) :- in(@X), " + expr + ".");
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  const auto& sel = std::get<ndlog::Select>(prog->rules[0].body[1]);
+  return sel.expr;
+}
+
+Result<Value> EvalStr(const std::string& expr, Bindings bindings = {}) {
+  return Eval(*ParseExpr(expr), bindings);
+}
+
+TEST(ExprEvalTest, Arithmetic) {
+  EXPECT_EQ(*EvalStr("1 + 2 * 3"), Value::Int(7));
+  EXPECT_EQ(*EvalStr("10 / 3"), Value::Int(3));
+  EXPECT_EQ(*EvalStr("10 % 3"), Value::Int(1));
+  EXPECT_EQ(*EvalStr("2 - 5"), Value::Int(-3));
+  EXPECT_DOUBLE_EQ(EvalStr("1.5 + 1")->as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(EvalStr("5 / 2.0")->as_double(), 2.5);
+}
+
+TEST(ExprEvalTest, DivisionByZero) {
+  EXPECT_FALSE(EvalStr("1 / 0").ok());
+  EXPECT_FALSE(EvalStr("1 % 0").ok());
+  EXPECT_FALSE(EvalStr("1.0 / 0.0").ok());
+}
+
+TEST(ExprEvalTest, Comparisons) {
+  EXPECT_EQ(*EvalStr("2 < 3"), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("3 <= 3"), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("2 > 3"), Value::Bool(false));
+  EXPECT_EQ(*EvalStr("3 >= 4"), Value::Bool(false));
+  EXPECT_EQ(*EvalStr("2 == 2"), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("2 != 2"), Value::Bool(false));
+  EXPECT_EQ(*EvalStr("\"a\" == \"a\""), Value::Bool(true));
+}
+
+TEST(ExprEvalTest, LogicalOperatorsShortCircuit) {
+  EXPECT_EQ(*EvalStr("1 && 0"), Value::Bool(false));
+  EXPECT_EQ(*EvalStr("1 || 0"), Value::Bool(true));
+  // Short-circuit: RHS would error (division by zero) but is never reached.
+  EXPECT_EQ(*EvalStr("0 && (1 / 0)"), Value::Bool(false));
+  EXPECT_EQ(*EvalStr("1 || (1 / 0)"), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("!0"), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("!3"), Value::Bool(false));
+}
+
+TEST(ExprEvalTest, UnaryNegation) {
+  EXPECT_EQ(*EvalStr("-(2 + 3)"), Value::Int(-5));
+  EXPECT_DOUBLE_EQ(EvalStr("-2.5")->as_double(), -2.5);
+  EXPECT_FALSE(EvalStr("-\"x\"").ok());
+}
+
+TEST(ExprEvalTest, Variables) {
+  Bindings b;
+  b["X"] = Value::Int(10);
+  b["Y"] = Value::Int(4);
+  EXPECT_EQ(*EvalStr("X - Y", b), Value::Int(6));
+  EXPECT_FALSE(EvalStr("X + Z", b).ok());  // Z unbound
+}
+
+TEST(ExprEvalTest, FunctionCalls) {
+  Bindings b;
+  b["P"] = Value::List({Value::Address(1), Value::Address(2)});
+  EXPECT_EQ(*EvalStr("f_size(P)", b), Value::Int(2));
+  EXPECT_EQ(*EvalStr("f_member(P, @1)", b), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("f_size(f_append(P, @3))", b), Value::Int(3));
+}
+
+TEST(ExprEvalTest, FunctionErrorsPropagate) {
+  Bindings b;
+  b["P"] = Value::List({});
+  EXPECT_FALSE(EvalStr("f_first(P)", b).ok());
+  EXPECT_FALSE(EvalStr("f_size(P, P)", b).ok());  // arity
+}
+
+TEST(ExprEvalTest, ListLiterals) {
+  Bindings b;
+  b["X"] = Value::Int(9);
+  Result<Value> v = EvalStr("f_size([1, X, [2]])", b);
+  EXPECT_EQ(*v, Value::Int(3));
+}
+
+TEST(ExprEvalTest, TypeErrors) {
+  EXPECT_FALSE(EvalStr("\"a\" + 1").ok());
+  EXPECT_FALSE(EvalStr("1.5 % 2.0").ok());
+}
+
+TEST(ExprEvalTest, AddressComparisons) {
+  Bindings b;
+  b["X"] = Value::Address(1);
+  b["Y"] = Value::Address(2);
+  EXPECT_EQ(*EvalStr("X != Y", b), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("X == @1", b), Value::Bool(true));
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace nettrails

@@ -1,0 +1,194 @@
+#include "src/runtime/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "src/protocols/programs.h"
+#include "src/provenance/rewrite.h"
+
+namespace nettrails {
+namespace runtime {
+namespace {
+
+TEST(PlanTest, CompilesMincostWithoutProvenance) {
+  CompileOptions opts;
+  opts.provenance = false;
+  Result<CompiledProgramPtr> prog =
+      Compile(protocols::MincostProgram(), opts);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_FALSE((*prog)->provenance);
+  // mc1, mc2 (localized), mc3, plus the link reversal rule.
+  EXPECT_EQ((*prog)->rules.size(), 4u);
+  EXPECT_NE((*prog)->FindTable("link_d"), nullptr);
+}
+
+TEST(PlanTest, CompilesMincostWithProvenance) {
+  Result<CompiledProgramPtr> prog = Compile(protocols::MincostProgram());
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_TRUE((*prog)->provenance);
+  EXPECT_NE((*prog)->FindTable(provenance::kProvTable), nullptr);
+  EXPECT_NE((*prog)->FindTable(provenance::kRuleExecTable), nullptr);
+  // eh views exist for the non-aggregate rules.
+  EXPECT_NE((*prog)->FindTable("eh_mc1"), nullptr);
+  EXPECT_NE((*prog)->FindTable("eh_mc2"), nullptr);
+  EXPECT_EQ((*prog)->FindTable("eh_mc3"), nullptr);  // aggregate rule
+}
+
+TEST(PlanTest, AllShippedProtocolsCompile) {
+  for (const char* src :
+       {protocols::MincostProgram(), protocols::PathVectorProgram(),
+        protocols::DsrProgram(), protocols::BgpMaybeProgram()}) {
+    for (bool prov : {false, true}) {
+      CompileOptions opts;
+      opts.provenance = prov;
+      Result<CompiledProgramPtr> prog = Compile(src, opts);
+      EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+    }
+  }
+}
+
+TEST(PlanTest, TriggersIndexEveryBodyAtom) {
+  CompileOptions opts;
+  opts.provenance = false;
+  Result<CompiledProgramPtr> prog =
+      Compile(protocols::MincostProgram(), opts);
+  ASSERT_TRUE(prog.ok());
+  // link triggers mc1 and the reversal rule; link_d and mincost trigger mc2;
+  // cost triggers mc3.
+  EXPECT_GE((*prog)->triggers.at("link").size(), 2u);
+  EXPECT_EQ((*prog)->triggers.at("mincost").size(), 1u);
+  EXPECT_EQ((*prog)->triggers.at("cost").size(), 1u);
+}
+
+TEST(PlanTest, EventRulesTriggerOnlyOnTheEvent) {
+  CompileOptions opts;
+  opts.provenance = false;
+  Result<CompiledProgramPtr> prog = Compile(protocols::DsrProgram(), opts);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  // dr1/dr2 contain the rreq event and a link atom: the rules must not be
+  // triggered by link deltas.
+  auto it = (*prog)->triggers.find("link");
+  if (it != (*prog)->triggers.end()) {
+    for (const auto& [rule_idx, pos] : it->second) {
+      const CompiledRule& cr = (*prog)->rules[rule_idx];
+      for (size_t p : cr.atom_positions) {
+        const auto& atom = std::get<ndlog::Atom>(cr.rule.body[p]);
+        EXPECT_NE(atom.predicate, "rreq")
+            << "rule with event body triggered by link: " << cr.rule.name;
+      }
+    }
+  }
+  EXPECT_GE((*prog)->triggers.at("rreq").size(), 2u);
+}
+
+TEST(PlanTest, AggregateRuleMetadata) {
+  CompileOptions opts;
+  opts.provenance = false;
+  Result<CompiledProgramPtr> prog =
+      Compile(protocols::MincostProgram(), opts);
+  ASSERT_TRUE(prog.ok());
+  const CompiledRule* agg = nullptr;
+  for (const CompiledRule& cr : (*prog)->rules) {
+    if (cr.has_agg) agg = &cr;
+  }
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->rule.name, "mc3");
+  EXPECT_EQ(agg->agg_fn, ndlog::AggFn::kMin);
+  EXPECT_EQ(agg->agg_arg_index, 2u);
+}
+
+TEST(PlanTest, AggregateHeadKeyMustMatchGroup) {
+  const char* src = R"(
+    materialize(cost, infinity, infinity, keys(1,2,3)).
+    materialize(mincost, infinity, infinity, keys(1,2,3)).
+    mc3 mincost(@X,Z,a_min<C>) :- cost(@X,Z,C).
+  )";
+  EXPECT_FALSE(Compile(src).ok());
+}
+
+TEST(PlanTest, UnknownBuiltinRejected) {
+  const char* src = R"(
+    materialize(t, infinity, infinity, keys(1)).
+    r1 t(@X) :- t(@X), f_bogus(X) == 1.
+  )";
+  EXPECT_FALSE(Compile(src).ok());
+}
+
+TEST(PlanTest, MaybeRulesDroppedWithoutProvenance) {
+  CompileOptions opts;
+  opts.provenance = false;
+  Result<CompiledProgramPtr> prog =
+      Compile(protocols::BgpMaybeProgram(), opts);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  EXPECT_TRUE((*prog)->rules.empty());
+}
+
+TEST(PlanTest, MaybeRulesBecomeProvenanceRules) {
+  Result<CompiledProgramPtr> prog = Compile(protocols::BgpMaybeProgram());
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  bool has_eh = false, derives_output = false;
+  for (const CompiledRule& cr : (*prog)->rules) {
+    if (cr.rule.head.predicate == "eh_br1") has_eh = true;
+    if (cr.rule.head.predicate == "outputRoute") derives_output = true;
+  }
+  EXPECT_TRUE(has_eh);
+  // Maybe rules never derive their head; outputRoute stays external.
+  EXPECT_FALSE(derives_output);
+}
+
+TEST(PlanTest, ReservedPredicatesRejected) {
+  const char* src = R"(
+    materialize(prov, infinity, infinity, keys(1,2)).
+    r1 prov(@X,Y) :- somebase(@X,Y).
+  )";
+  EXPECT_FALSE(Compile(src).ok());
+}
+
+TEST(PlanTest, DuplicateRuleNamesRejectedWithProvenance) {
+  const char* src = R"(
+    materialize(a, infinity, infinity, keys(1,2)).
+    materialize(b, infinity, infinity, keys(1,2)).
+    r1 b(@X,Y) :- a(@X,Y).
+    r1 a(@X,Y) :- b(@X,Y).
+  )";
+  EXPECT_FALSE(Compile(src).ok());
+}
+
+TEST(PlanTest, DumpShowsRewrittenProgram) {
+  Result<CompiledProgramPtr> prog = Compile(protocols::MincostProgram());
+  ASSERT_TRUE(prog.ok());
+  std::string dump = (*prog)->Dump();
+  EXPECT_NE(dump.find("prov("), std::string::npos);
+  EXPECT_NE(dump.find("ruleExec("), std::string::npos);
+  EXPECT_NE(dump.find("f_mkvid"), std::string::npos);
+}
+
+TEST(PlanTest, DumpedProgramsAreValidNdlog) {
+  // The rewritten program text (what the demo displays as "the modified
+  // program containing the provenance rules") must itself re-compile.
+  for (const char* src :
+       {protocols::MincostProgram(), protocols::PathVectorProgram(),
+        protocols::DsrProgram()}) {
+    Result<CompiledProgramPtr> prog = Compile(src);
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    CompileOptions no_prov;
+    no_prov.provenance = false;  // it already contains the prov rules
+    Result<CompiledProgramPtr> again = Compile((*prog)->Dump(), no_prov);
+    EXPECT_TRUE(again.ok()) << again.status().ToString();
+    if (again.ok()) {
+      EXPECT_EQ((*again)->rules.size(), (*prog)->rules.size());
+    }
+  }
+}
+
+TEST(PlanTest, BodyWithoutAtomsRejected) {
+  const char* src = R"(
+    materialize(t, infinity, infinity, keys(1)).
+    r1 t(@X) :- X := @1.
+  )";
+  // X := @1 binds X, but a rule needs at least one atom to be triggered.
+  EXPECT_FALSE(Compile(src).ok());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace nettrails

@@ -1,0 +1,255 @@
+// Soft-state semantics: materialize(t, LIFETIME, MAXSIZE, keys(...)) —
+// tuples expire LIFETIME seconds after their last insertion (refresh
+// extends), tables cap at MAXSIZE visible tuples with FIFO eviction, and
+// both retract with full cascade through derived views and provenance.
+// Plus the periodic(@X,E,T,C) timer streams.
+#include <gtest/gtest.h>
+
+#include "src/net/simulator.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace runtime {
+namespace {
+
+CompiledProgramPtr MustCompile(const std::string& src,
+                               bool provenance = false) {
+  CompileOptions opts;
+  opts.provenance = provenance;
+  Result<CompiledProgramPtr> prog = Compile(src, opts);
+  EXPECT_TRUE(prog.ok()) << prog.status().ToString();
+  return prog.ok() ? *prog : nullptr;
+}
+
+Tuple Obs(int64_t v) {
+  return Tuple("obs", {Value::Address(0), Value::Int(v)});
+}
+
+TEST(SoftStateTest, TupleExpiresAfterLifetime) {
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(obs, 5, infinity, keys(1,2)).
+    materialize(seen, infinity, infinity, keys(1,2)).
+    r1 seen(@X,V) :- obs(@X,V).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  ASSERT_TRUE(engine.Insert(Obs(7)).ok());
+  sim.RunUntil(4 * net::kSecond);
+  EXPECT_TRUE(engine.HasTuple(Obs(7)));
+  sim.RunUntil(6 * net::kSecond);
+  EXPECT_FALSE(engine.HasTuple(Obs(7)));
+  EXPECT_EQ(engine.stats().expirations, 1u);
+  // The derived view is retracted with it (cascade).
+  EXPECT_EQ(engine.TableContents("seen").size(), 0u);
+}
+
+TEST(SoftStateTest, ReinsertionRefreshesLifetime) {
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(obs, 5, infinity, keys(1,2)).
+    r1 obs2(@X,V) :- obs(@X,V).
+    materialize(obs2, infinity, infinity, keys(1,2)).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  ASSERT_TRUE(engine.Insert(Obs(7)).ok());
+  sim.RunUntil(3 * net::kSecond);
+  ASSERT_TRUE(engine.Insert(Obs(7)).ok());  // refresh at t=3s
+  sim.RunUntil(6 * net::kSecond);
+  EXPECT_TRUE(engine.HasTuple(Obs(7)));  // old timer invalidated
+  sim.RunUntil(9 * net::kSecond);
+  EXPECT_FALSE(engine.HasTuple(Obs(7)));  // expires 5s after refresh
+}
+
+TEST(SoftStateTest, ReplacementRestartsLifetimeForNewTuple) {
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(conf, 5, infinity, keys(1)).
+    materialize(out, infinity, infinity, keys(1,2)).
+    r1 out(@X,V) :- conf(@X,V).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  Tuple v1("conf", {Value::Address(0), Value::Int(1)});
+  Tuple v2("conf", {Value::Address(0), Value::Int(2)});
+  ASSERT_TRUE(engine.Insert(v1).ok());
+  sim.RunUntil(3 * net::kSecond);
+  ASSERT_TRUE(engine.Insert(v2).ok());  // replaces under key, new timer
+  sim.RunUntil(6 * net::kSecond);
+  EXPECT_TRUE(engine.HasTuple(v2));
+  sim.RunUntil(9 * net::kSecond);
+  EXPECT_FALSE(engine.HasTuple(v2));
+}
+
+TEST(SoftStateTest, DerivedSoftStateExpires) {
+  // The derived table itself has a lifetime; its tuples expire even though
+  // the base stays.
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(base, infinity, infinity, keys(1,2)).
+    materialize(cachebl, 3, infinity, keys(1,2)).
+    r1 cachebl(@X,V) :- base(@X,V).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  ASSERT_TRUE(
+      engine.Insert(Tuple("base", {Value::Address(0), Value::Int(1)})).ok());
+  sim.RunUntil(net::kSecond);
+  EXPECT_EQ(engine.TableContents("cachebl").size(), 1u);
+  sim.RunUntil(5 * net::kSecond);
+  EXPECT_EQ(engine.TableContents("cachebl").size(), 0u);
+  EXPECT_EQ(engine.TableContents("base").size(), 1u);
+}
+
+TEST(SoftStateTest, MaxSizeEvictsFifo) {
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(obs, infinity, 3, keys(1,2)).
+    materialize(seen, infinity, infinity, keys(1,2)).
+    r1 seen(@X,V) :- obs(@X,V).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  for (int64_t v = 1; v <= 5; ++v) {
+    ASSERT_TRUE(engine.Insert(Obs(v)).ok());
+  }
+  sim.Run();
+  EXPECT_EQ(engine.GetTable("obs")->size(), 3u);
+  // Oldest two evicted.
+  EXPECT_FALSE(engine.HasTuple(Obs(1)));
+  EXPECT_FALSE(engine.HasTuple(Obs(2)));
+  EXPECT_TRUE(engine.HasTuple(Obs(3)));
+  EXPECT_TRUE(engine.HasTuple(Obs(5)));
+  EXPECT_EQ(engine.stats().evictions, 2u);
+  // Cascade: derived view matches.
+  EXPECT_EQ(engine.TableContents("seen").size(), 3u);
+}
+
+TEST(SoftStateTest, RefreshMovesTupleToBackOfFifo) {
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(obs, infinity, 2, keys(1,2)).
+    r1 touched(@X,V) :- obs(@X,V).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  ASSERT_TRUE(engine.Insert(Obs(1)).ok());
+  ASSERT_TRUE(engine.Insert(Obs(2)).ok());
+  ASSERT_TRUE(engine.Insert(Obs(1)).ok());  // refresh 1: now newest
+  ASSERT_TRUE(engine.Insert(Obs(3)).ok());  // evicts 2, not 1
+  sim.Run();
+  EXPECT_TRUE(engine.HasTuple(Obs(1)));
+  EXPECT_FALSE(engine.HasTuple(Obs(2)));
+  EXPECT_TRUE(engine.HasTuple(Obs(3)));
+}
+
+TEST(PeriodicTest, FiresCountTimesAtPeriod) {
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(tick, infinity, infinity, keys(1,2)).
+    p1 tick(@X,E) :- periodic(@X,E,2,3).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  sim.RunUntil(net::kSecond);
+  EXPECT_EQ(engine.GetTable("tick")->size(), 0u);
+  sim.RunUntil(2 * net::kSecond);
+  EXPECT_EQ(engine.GetTable("tick")->size(), 1u);
+  sim.RunUntil(10 * net::kSecond);
+  EXPECT_EQ(engine.GetTable("tick")->size(), 3u);  // exactly 3 firings
+  EXPECT_EQ(engine.stats().periodic_firings, 3u);
+  sim.Run();  // drains: no infinite stream
+  EXPECT_EQ(engine.GetTable("tick")->size(), 3u);
+}
+
+TEST(PeriodicTest, EventIdsAreFresh) {
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(tick, infinity, infinity, keys(1,2)).
+    p1 tick(@X,E) :- periodic(@X,E,1,4).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  sim.Run();
+  // 4 distinct event ids -> 4 distinct tick tuples.
+  EXPECT_EQ(engine.GetTable("tick")->size(), 4u);
+}
+
+TEST(PeriodicTest, JoinsWithLocalState) {
+  // Periodic ping over links: each firing emits one ping per neighbor.
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(pinged, infinity, infinity, keys(1,2,3)).
+    p1 pinged(@Y,X,E) :- periodic(@X,E,1,2), link(@X,Y,C).
+  )");
+  net::Simulator sim;
+  sim.AddNode();
+  sim.AddNode();
+  sim.AddLink(0, 1);
+  Engine e0(&sim, 0, prog);
+  Engine e1(&sim, 1, prog);
+  ASSERT_TRUE(
+      e0.Insert(Tuple("link", {Value::Address(0), Value::Address(1),
+                               Value::Int(1)}))
+          .ok());
+  sim.Run();
+  // Node 1 received pings from node 0's two firings (and vice versa is
+  // empty: node 1 has no link tuple).
+  EXPECT_EQ(e1.GetTable("pinged")->size(), 2u);
+  EXPECT_EQ(e0.GetTable("pinged")->size(), 0u);
+}
+
+TEST(PeriodicTest, CompileValidation) {
+  // Non-constant period.
+  EXPECT_FALSE(Compile(R"(
+    materialize(t, infinity, infinity, keys(1,2)).
+    p1 t(@X,E) :- periodic(@X,E,Y,3).
+  )").ok());
+  // Wrong arity.
+  EXPECT_FALSE(Compile(R"(
+    materialize(t, infinity, infinity, keys(1,2)).
+    p1 t(@X,E) :- periodic(@X,E,2).
+  )").ok());
+  // Zero count.
+  EXPECT_FALSE(Compile(R"(
+    materialize(t, infinity, infinity, keys(1,2)).
+    p1 t(@X,E) :- periodic(@X,E,2,0).
+  )").ok());
+  // Materialized periodic.
+  EXPECT_FALSE(Compile(R"(
+    materialize(periodic, infinity, infinity, keys(1,2)).
+    materialize(t, infinity, infinity, keys(1,2)).
+    p1 t(@X,E) :- periodic(@X,E,2,1).
+  )").ok());
+  // Derived periodic.
+  EXPECT_FALSE(Compile(R"(
+    materialize(t, infinity, infinity, keys(1,2)).
+    p1 periodic(@X,E,T,C) :- t(@X,E), T := 1, C := 1.
+  )").ok());
+}
+
+TEST(SoftStateTest, ProvenanceRetractedOnExpiry) {
+  CompiledProgramPtr prog = MustCompile(R"(
+    materialize(obs, 4, infinity, keys(1,2)).
+    materialize(seen, infinity, infinity, keys(1,2)).
+    r1 seen(@X,V) :- obs(@X,V).
+  )",
+                                        /*provenance=*/true);
+  net::Simulator sim;
+  sim.AddNode();
+  Engine engine(&sim, 0, prog);
+  ASSERT_TRUE(engine.Insert(Obs(9)).ok());
+  sim.RunUntil(net::kSecond);
+  EXPECT_GT(engine.TableContents("prov").size(), 0u);
+  sim.Run();
+  EXPECT_EQ(engine.TableContents("obs").size(), 0u);
+  EXPECT_EQ(engine.TableContents("seen").size(), 0u);
+  EXPECT_EQ(engine.TableContents("prov").size(), 0u);
+  EXPECT_EQ(engine.TableContents("ruleExec").size(), 0u);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace nettrails

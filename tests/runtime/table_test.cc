@@ -1,0 +1,150 @@
+#include "src/runtime/table.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace runtime {
+namespace {
+
+ndlog::TableInfo CountingInfo() {
+  ndlog::TableInfo info;
+  info.name = "t";
+  info.arity = 3;
+  info.materialized = true;
+  // keys empty = all fields: counting semantics.
+  return info;
+}
+
+ndlog::TableInfo ReplacingInfo() {
+  ndlog::TableInfo info;
+  info.name = "t";
+  info.arity = 3;
+  info.materialized = true;
+  info.keys = {0, 1};
+  return info;
+}
+
+ValueList Row(int64_t a, int64_t b, int64_t c) {
+  return {Value::Int(a), Value::Int(b), Value::Int(c)};
+}
+
+void ApplyAll(Table* t, const std::vector<TableAction>& actions) {
+  for (const TableAction& a : actions) t->Apply(a);
+}
+
+TEST(TableTest, InsertAndCount) {
+  Table t(CountingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 1));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.CountOf(Row(1, 2, 3)), 1);
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 2));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.CountOf(Row(1, 2, 3)), 3);
+}
+
+TEST(TableTest, CountingDeleteKeepsTupleUntilZero) {
+  Table t(CountingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 2));
+  ApplyAll(&t, t.PlanDelete(Row(1, 2, 3), 1));
+  EXPECT_EQ(t.CountOf(Row(1, 2, 3)), 1);
+  EXPECT_EQ(t.size(), 1u);
+  ApplyAll(&t, t.PlanDelete(Row(1, 2, 3), 1));
+  EXPECT_EQ(t.CountOf(Row(1, 2, 3)), 0);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TableTest, PlanInsertEmitsSingleActionNormally) {
+  Table t(CountingInfo());
+  std::vector<TableAction> actions = t.PlanInsert(Row(1, 2, 3), 1);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_FALSE(actions[0].is_delete);
+  EXPECT_EQ(actions[0].mult, 1);
+}
+
+TEST(TableTest, KeyReplacementEmitsDeleteTheInsert) {
+  Table t(ReplacingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 1));
+  std::vector<TableAction> actions = t.PlanInsert(Row(1, 2, 9), 1);
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_TRUE(actions[0].is_delete);
+  EXPECT_EQ(actions[0].fields, Row(1, 2, 3));
+  EXPECT_FALSE(actions[1].is_delete);
+  EXPECT_EQ(actions[1].fields, Row(1, 2, 9));
+  ApplyAll(&t, actions);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.CountOf(Row(1, 2, 9)), 1);
+  EXPECT_EQ(t.CountOf(Row(1, 2, 3)), 0);
+}
+
+TEST(TableTest, ReplacementDeletesFullCount) {
+  Table t(ReplacingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 3));
+  std::vector<TableAction> actions = t.PlanInsert(Row(1, 2, 9), 1);
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions[0].mult, 3);  // displaced tuple fully retracted
+}
+
+TEST(TableTest, SpuriousDeleteDropped) {
+  Table t(CountingInfo());
+  EXPECT_TRUE(t.PlanDelete(Row(9, 9, 9), 1).empty());
+  EXPECT_EQ(t.spurious_deletes(), 1u);
+  // Delete of a different tuple under the same key (replacement races).
+  Table r(ReplacingInfo());
+  ApplyAll(&r, r.PlanInsert(Row(1, 2, 3), 1));
+  EXPECT_TRUE(r.PlanDelete(Row(1, 2, 4), 1).empty());
+}
+
+TEST(TableTest, DeleteClampsToStoredCount) {
+  Table t(CountingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 2));
+  std::vector<TableAction> actions = t.PlanDelete(Row(1, 2, 3), 5);
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].mult, 2);
+}
+
+TEST(TableTest, KeyOfProjectsDeclaredColumns) {
+  Table t(ReplacingInfo());
+  ValueList key = t.KeyOf(Row(7, 8, 9));
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(key[0].as_int(), 7);
+  EXPECT_EQ(key[1].as_int(), 8);
+  Table c(CountingInfo());
+  EXPECT_EQ(c.KeyOf(Row(7, 8, 9)).size(), 3u);
+}
+
+TEST(TableTest, ContentsListsVisibleTuples) {
+  Table t(CountingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 1));
+  ApplyAll(&t, t.PlanInsert(Row(4, 5, 6), 2));
+  std::vector<Tuple> contents = t.Contents();
+  ASSERT_EQ(contents.size(), 2u);
+  EXPECT_EQ(contents[0].name(), "t");
+}
+
+TEST(TableTest, FindByKeyOf) {
+  Table t(ReplacingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 1));
+  const Table::Row* row = t.FindByKeyOf(Row(1, 2, 99));
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->fields, Row(1, 2, 3));
+  EXPECT_EQ(t.FindByKeyOf(Row(9, 9, 9)), nullptr);
+}
+
+TEST(TableTest, MixedValueKindsInKeys) {
+  ndlog::TableInfo info;
+  info.name = "m";
+  info.arity = 2;
+  info.materialized = true;
+  info.keys = {0};
+  Table t(info);
+  ApplyAll(&t, t.PlanInsert({Value::Address(1), Value::Str("a")}, 1));
+  ApplyAll(&t, t.PlanInsert({Value::Address(2), Value::Str("b")}, 1));
+  EXPECT_EQ(t.size(), 2u);
+  ApplyAll(&t, t.PlanInsert({Value::Address(1), Value::Str("c")}, 1));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.CountOf({Value::Address(1), Value::Str("c")}), 1);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace nettrails

@@ -1,0 +1,110 @@
+#include "src/viz/export.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace viz {
+namespace {
+
+using provenance::Graph;
+using provenance::GraphEdge;
+using provenance::Vertex;
+using provenance::VertexKind;
+
+// A small hand-built graph: tuple t1 <- exec e1 <- {base b1, base b2},
+// plus a maybe edge t1 <- e2 <- b1.
+Graph SampleGraph() {
+  Graph g;
+  g.root = 1;
+  g.vertices[1] = {1, VertexKind::kTuple, 0, "out(@0,1)", false};
+  g.vertices[2] = {2, VertexKind::kRuleExec, 0, "r1", false};
+  g.vertices[3] = {3, VertexKind::kTuple, 0, "base(@0,\"a\")", true};
+  g.vertices[4] = {4, VertexKind::kTuple, 1, "base(@1,2)", true};
+  g.vertices[5] = {5, VertexKind::kRuleExec, 1, "m1", false};
+  g.edges.push_back({1, 2, false});
+  g.edges.push_back({2, 3, false});
+  g.edges.push_back({2, 4, false});
+  g.edges.push_back({1, 5, true});
+  g.edges.push_back({5, 3, false});
+  return g;
+}
+
+TEST(ExportTest, DotContainsAllVerticesAndEdges) {
+  std::string dot = ToDot(SampleGraph());
+  EXPECT_NE(dot.find("digraph provenance"), std::string::npos);
+  EXPECT_NE(dot.find("out(@0,1)"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // maybe edge
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);  // base
+  // Quotes in labels are escaped.
+  EXPECT_NE(dot.find("base(@0,\\\"a\\\")"), std::string::npos);
+  // Root highlighted.
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(ExportTest, DotEdgeCountMatches) {
+  std::string dot = ToDot(SampleGraph());
+  size_t count = 0;
+  for (size_t pos = 0; (pos = dot.find(" -> ", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(ExportTest, JsonStructure) {
+  std::string json = ToJson(SampleGraph());
+  EXPECT_NE(json.find("\"vertices\""), std::string::npos);
+  EXPECT_NE(json.find("\"edges\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"tuple\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"ruleExec\""), std::string::npos);
+  EXPECT_NE(json.find("\"maybe\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"base\": true"), std::string::npos);
+  // Escaped quote in label.
+  EXPECT_NE(json.find("base(@0,\\\"a\\\")"), std::string::npos);
+}
+
+TEST(ExportTest, TextTreeShowsDerivationChain) {
+  std::string tree = ToTextTree(SampleGraph());
+  EXPECT_NE(tree.find("out(@0,1) @0"), std::string::npos);
+  EXPECT_NE(tree.find("<- rule r1 @0"), std::string::npos);
+  EXPECT_NE(tree.find("[base]"), std::string::npos);
+  EXPECT_NE(tree.find("(maybe)"), std::string::npos);
+  // Indentation grows along the chain.
+  size_t root_pos = tree.find("out(");
+  size_t rule_pos = tree.find("<- rule r1");
+  EXPECT_LT(root_pos, rule_pos);
+}
+
+TEST(ExportTest, TextTreeDepthLimit) {
+  std::string deep = ToTextTree(SampleGraph(), 32);
+  std::string shallow = ToTextTree(SampleGraph(), 1);
+  EXPECT_LT(shallow.size(), deep.size());
+  EXPECT_NE(shallow.find("..."), std::string::npos);
+}
+
+TEST(ExportTest, EmptyGraphProducesValidOutput) {
+  Graph g;
+  g.root = 42;
+  std::string dot = ToDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_EQ(ToTextTree(g), "");
+  EXPECT_NE(ToJson(g).find("\"edges\""), std::string::npos);
+}
+
+TEST(ExportTest, SharedSubtreeRenderedSafely) {
+  // b1 (vid 3) appears under both e1 and e2; the tree renderer must not
+  // loop and renders it twice.
+  std::string tree = ToTextTree(SampleGraph());
+  size_t count = 0;
+  for (size_t pos = 0;
+       (pos = tree.find("base(@0,\"a\")", pos)) != std::string::npos; ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace viz
+}  // namespace nettrails

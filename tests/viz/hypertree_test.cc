@@ -1,0 +1,160 @@
+#include "src/viz/hypertree.h"
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace viz {
+namespace {
+
+using provenance::Graph;
+using provenance::Vertex;
+using provenance::VertexKind;
+
+// Balanced binary provenance-shaped tree of the given depth.
+Graph BinaryTree(size_t depth) {
+  Graph g;
+  g.root = 1;
+  size_t count = (1u << (depth + 1)) - 1;
+  for (Vid v = 1; v <= count; ++v) {
+    VertexKind kind = (v % 2 == 0) ? VertexKind::kRuleExec : VertexKind::kTuple;
+    g.vertices[v] = {v, kind, 0, "v" + std::to_string(v),
+                     2 * v > count};  // leaves are base
+    if (2 * v <= count) g.edges.push_back({v, 2 * v, false});
+    if (2 * v + 1 <= count) g.edges.push_back({v, 2 * v + 1, false});
+  }
+  return g;
+}
+
+TEST(HypertreeTest, BuildsSpanningTree) {
+  Hypertree ht(BinaryTree(3));
+  EXPECT_EQ(ht.size(), 15u);
+  EXPECT_EQ(ht.root(), 1u);
+  EXPECT_EQ(ht.max_depth(), 3u);
+  const HypertreeNode* root = ht.node(1);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(root->leaves, 8u);
+}
+
+TEST(HypertreeTest, AllPositionsInsideUnitDisk) {
+  Hypertree ht(BinaryTree(4));
+  for (const auto& [id, n] : ht.nodes()) {
+    EXPECT_LT(std::abs(n.pos), 1.0) << "vertex " << id;
+    EXPECT_LT(std::abs(n.base_pos), 1.0);
+  }
+}
+
+TEST(HypertreeTest, RootAtCenterInitially) {
+  Hypertree ht(BinaryTree(3));
+  EXPECT_LT(std::abs(ht.node(1)->pos), 1e-12);
+  EXPECT_EQ(ht.focused(), 1u);
+}
+
+TEST(HypertreeTest, DepthIncreasesRadius) {
+  Hypertree ht(BinaryTree(4));
+  // Along the leftmost chain, Euclidean radius grows with depth.
+  double prev = -1;
+  for (Vid v = 1; v <= 16; v *= 2) {
+    double r = std::abs(ht.node(v)->base_pos);
+    EXPECT_GT(r, prev) << "vertex " << v;
+    prev = r;
+  }
+}
+
+TEST(HypertreeTest, MobiusTranslationProperties) {
+  std::complex<double> c(0.3, -0.2);
+  // Focus point maps to the origin.
+  EXPECT_LT(std::abs(Hypertree::MobiusTranslate(c, c)), 1e-12);
+  // Disk is preserved (|z| < 1 stays < 1).
+  for (double x = -0.9; x <= 0.9; x += 0.3) {
+    for (double y = -0.9; y <= 0.9; y += 0.3) {
+      std::complex<double> z(x, y);
+      if (std::abs(z) >= 1) continue;
+      EXPECT_LT(std::abs(Hypertree::MobiusTranslate(z, c)), 1.0);
+    }
+  }
+  // c = 0 is the identity.
+  std::complex<double> z(0.5, 0.1);
+  EXPECT_LT(std::abs(Hypertree::MobiusTranslate(z, {0, 0}) - z), 1e-12);
+}
+
+TEST(HypertreeTest, FocusCentersSelectedVertex) {
+  Hypertree ht(BinaryTree(4));
+  ASSERT_TRUE(ht.Focus(9));
+  EXPECT_EQ(ht.focused(), 9u);
+  EXPECT_LT(std::abs(ht.node(9)->pos), 1e-12);
+  // Everything stays in the disk after refocus.
+  for (const auto& [id, n] : ht.nodes()) {
+    EXPECT_LT(std::abs(n.pos), 1.0);
+  }
+  EXPECT_FALSE(ht.Focus(999));
+}
+
+TEST(HypertreeTest, TransitionFramesInterpolateSmoothly) {
+  Hypertree ht(BinaryTree(3));
+  const size_t steps = 8;
+  std::vector<std::map<Vid, std::complex<double>>> frames =
+      ht.TransitionFrames(15, steps);
+  ASSERT_EQ(frames.size(), steps);
+  // Final frame equals the final focus positions.
+  for (const auto& [id, pos] : frames.back()) {
+    EXPECT_LT(std::abs(pos - ht.node(id)->pos), 1e-12);
+  }
+  // The focused vertex converges monotonically-ish to the center: its
+  // distance in the last frame is smaller than in the first.
+  EXPECT_LT(std::abs(frames.back().at(15)), std::abs(frames.front().at(15)));
+  // Per-frame movement is bounded (smoothness proxy): no vertex jumps more
+  // than the whole disk in one step.
+  for (size_t f = 1; f < frames.size(); ++f) {
+    for (const auto& [id, pos] : frames[f]) {
+      EXPECT_LT(std::abs(pos - frames[f - 1].at(id)), 1.0);
+    }
+  }
+}
+
+TEST(HypertreeTest, TransitionToUnknownVertexIsEmpty) {
+  Hypertree ht(BinaryTree(2));
+  EXPECT_TRUE(ht.TransitionFrames(999, 4).empty());
+  EXPECT_TRUE(ht.TransitionFrames(3, 0).empty());
+}
+
+TEST(HypertreeTest, AsciiRenderShowsFocusAndBoundary) {
+  Hypertree ht(BinaryTree(3));
+  std::string img = ht.AsciiRender(40, 20);
+  EXPECT_NE(img.find('*'), std::string::npos);  // focus marker
+  EXPECT_NE(img.find('.'), std::string::npos);  // boundary
+  EXPECT_NE(img.find('o'), std::string::npos);  // tuple vertices
+  EXPECT_NE(img.find('x'), std::string::npos);  // rule executions
+  // 20 lines of 40 chars.
+  EXPECT_EQ(img.size(), 20u * 41u);
+}
+
+TEST(HypertreeTest, HandlesDagBySpanningTree) {
+  // Diamond: 1 -> {2,3} -> 4. Vertex 4 adopted by one parent only.
+  Graph g;
+  g.root = 1;
+  for (Vid v = 1; v <= 4; ++v) {
+    g.vertices[v] = {v, VertexKind::kTuple, 0, "v", v == 4};
+  }
+  g.edges.push_back({1, 2, false});
+  g.edges.push_back({1, 3, false});
+  g.edges.push_back({2, 4, false});
+  g.edges.push_back({3, 4, false});
+  Hypertree ht(g);
+  EXPECT_EQ(ht.size(), 4u);
+  size_t total_children =
+      ht.node(2)->children.size() + ht.node(3)->children.size();
+  EXPECT_EQ(total_children, 1u);
+}
+
+TEST(HypertreeTest, EmptyGraph) {
+  Graph g;
+  g.root = 7;
+  Hypertree ht(g);
+  EXPECT_EQ(ht.size(), 0u);
+  EXPECT_EQ(ht.node(7), nullptr);
+}
+
+}  // namespace
+}  // namespace viz
+}  // namespace nettrails
