@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs every bench binary with --benchmark_format=json, writing
+# BENCH_<name>.json next to this repo's build directory — the perf
+# trajectory artifacts (scan-vs-index evidence lives in BENCH_join.json).
+#
+# Usage: scripts/run_benches.sh [build-dir] [bench-name...]
+#   scripts/run_benches.sh                 # all benches, build/ directory
+#   scripts/run_benches.sh build join      # just bench_join
+#
+# Equivalent CMake target: cmake --build build --target bench_json
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "build directory '$BUILD_DIR' not found; run:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+names=("$@")
+if [[ ${#names[@]} -eq 0 ]]; then
+  for bin in "$BUILD_DIR"/bench_*; do
+    [[ -x "$bin" ]] && names+=("$(basename "$bin" | sed 's/^bench_//')")
+  done
+fi
+
+for name in "${names[@]}"; do
+  bin="$BUILD_DIR/bench_$name"
+  out="$BUILD_DIR/BENCH_$name.json"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping $name: $bin not built" >&2
+    continue
+  fi
+  echo "running bench_$name -> $out"
+  # Extra flags (e.g. --benchmark_min_time=0.05) via BENCH_ARGS="..."
+  "$bin" --benchmark_format=json \
+         --benchmark_out="$out" --benchmark_out_format=json \
+         ${BENCH_ARGS:-} >/dev/null
+done

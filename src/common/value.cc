@@ -40,6 +40,25 @@ bool Value::Truthy() const {
 
 bool Value::operator==(const Value& other) const { return Compare(other) == 0; }
 
+namespace {
+
+/// Hashes an integral-valued double exactly like Value::Hash's kDouble
+/// branch, so ints that Compare() can only see through double promotion
+/// land in the same equivalence class.
+void HashNumericAsDouble(double d, Hasher* h) {
+  if (d >= -9.2e18 && d <= 9.2e18) {
+    h->AddU64(1);
+    h->AddU64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+  } else {
+    h->AddU64(2);
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    h->AddU64(bits);
+  }
+}
+
+}  // namespace
+
 int Value::Compare(const Value& other) const {
   // Numeric kinds compare against each other by value.
   if (is_numeric() && other.is_numeric()) {
@@ -88,10 +107,21 @@ uint64_t Value::Hash() const {
     case Kind::kNull:
       h.AddU64(0x6e756c6c);
       break;
-    case Kind::kInt:
-      h.AddU64(1);
-      h.AddU64(static_cast<uint64_t>(as_int()));
+    case Kind::kInt: {
+      int64_t v = as_int();
+      constexpr int64_t kExactDouble = int64_t{1} << 53;
+      if (v >= -kExactDouble && v <= kExactDouble) {
+        h.AddU64(1);
+        h.AddU64(static_cast<uint64_t>(v));
+      } else {
+        // Beyond 2^53 Compare() equates an int with its nearest double
+        // (mixed comparisons promote to double); hash through the same
+        // conversion so Compare()==0 still implies equal hashes — the
+        // table key/secondary indexes rely on that invariant.
+        HashNumericAsDouble(static_cast<double>(v), &h);
+      }
       break;
+    }
     case Kind::kDouble: {
       double d = as_double();
       double r = std::floor(d);

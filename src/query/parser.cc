@@ -1,6 +1,7 @@
 #include "src/query/parser.h"
 
 #include <cctype>
+#include <stdexcept>
 #include <vector>
 
 namespace nettrails {

@@ -34,6 +34,17 @@ Engine::Engine(net::Simulator* sim, NodeId id, CompiledProgramPtr prog,
   for (const auto& [name, info] : prog_->tables) {
     if (info.materialized) tables_.emplace(name, Table(info));
   }
+  if (opts_.use_secondary_indexes) {
+    // Registration order must match the compiled index ids (AddIndex
+    // returns ids sequentially and the planner dedups per table).
+    for (const auto& [name, specs] : prog_->table_indexes) {
+      auto it = tables_.find(name);
+      if (it == tables_.end()) continue;
+      for (const std::vector<int>& positions : specs) {
+        it->second.AddIndex(positions);
+      }
+    }
+  }
   sim_->RegisterHandler(id_, kTupleChannel,
                         [this](const net::Message& msg) { OnTupleMessage(msg); });
   SchedulePeriodics();
@@ -238,17 +249,30 @@ void Engine::FireTriggers(const std::string& pred, const TableAction& action) {
 }
 
 bool Engine::MatchAtom(const Atom& atom, const ValueList& fields,
-                       Bindings* bindings) const {
-  if (atom.args.size() != fields.size()) return false;
+                       Bindings* bindings,
+                       std::vector<Bindings::iterator>* added) const {
+  const size_t undo_mark = added->size();
+  auto fail = [&]() {
+    while (added->size() > undo_mark) {
+      bindings->erase(added->back());
+      added->pop_back();
+    }
+    return false;
+  };
+  if (atom.args.size() != fields.size()) return fail();
   for (size_t i = 0; i < atom.args.size(); ++i) {
     const ndlog::Expr& e = *atom.args[i].expr;
     if (e.is_const()) {
-      if (e.const_value() != fields[i]) return false;
+      if (e.const_value() != fields[i]) return fail();
     } else if (e.is_var()) {
       auto [it, inserted] = bindings->emplace(e.var_name(), fields[i]);
-      if (!inserted && it->second != fields[i]) return false;
+      if (inserted) {
+        added->push_back(it);
+      } else if (it->second != fields[i]) {
+        return fail();
+      }
     } else {
-      return false;  // analysis guarantees Var/Const only
+      return fail();  // analysis guarantees Var/Const only
     }
   }
   return true;
@@ -259,20 +283,28 @@ void Engine::EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
   const CompiledRule& cr = prog_->rules[rule_idx];
   const Atom& delta_atom = std::get<Atom>(cr.rule.body[delta_term]);
   Bindings bindings;
-  if (!MatchAtom(delta_atom, action.fields, &bindings)) return;
-  JoinRec(cr, rule_idx, 0, delta_term, action, &bindings, action.mult);
+  std::vector<Bindings::iterator> added;
+  if (!MatchAtom(delta_atom, action.fields, &bindings, &added)) return;
+  const std::vector<AtomProbePlan>* plans = nullptr;
+  if (opts_.use_secondary_indexes) {
+    auto pit = cr.join_plans.find(delta_term);
+    if (pit != cr.join_plans.end()) plans = &pit->second;
+  }
+  JoinRec(cr, rule_idx, 0, delta_term, plans, action, &bindings, action.mult);
 }
 
 void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
-                     size_t delta_term, const TableAction& action,
-                     Bindings* bindings, int64_t mult) {
+                     size_t delta_term, const std::vector<AtomProbePlan>* plans,
+                     const TableAction& action, Bindings* bindings,
+                     int64_t mult) {
   if (overflowed_) return;
   if (term_idx == cr.rule.body.size()) {
     EmitHead(cr, rule_idx, *bindings, mult, action.is_delete);
     return;
   }
   if (term_idx == delta_term) {
-    JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings, mult);
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, bindings,
+            mult);
     return;
   }
   const ndlog::BodyTerm& term = cr.rule.body[term_idx];
@@ -290,27 +322,64 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
     // tuple itself (self-join correctness).
     bool synthetic_needed = before_delta && same_pred && !action.is_delete &&
                             table.CountOf(action.fields) == 0;
-    for (const auto& [key, row] : table.rows()) {
+
+    // One candidate row, shared by the probe and scan paths. The undo log
+    // restores bindings after each candidate without copying the map.
+    std::vector<Bindings::iterator> added;
+    auto consider = [&](const Table::Row& row) {
       ++stats_.join_probes;
       int64_t count = row.count;
       if (before_delta && same_pred && row.fields == action.fields) {
         count += action.is_delete ? -action.mult : action.mult;
-        if (count <= 0) continue;
+        if (count <= 0) return;
       }
-      Bindings saved = *bindings;
-      if (MatchAtom(*atom, row.fields, bindings)) {
-        JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings,
-                mult * count);
+      if (MatchAtom(*atom, row.fields, bindings, &added)) {
+        JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action,
+                bindings, mult * count);
+        while (!added.empty()) {
+          bindings->erase(added.back());
+          added.pop_back();
+        }
       }
-      *bindings = std::move(saved);
+    };
+
+    const AtomProbePlan* probe =
+        plans != nullptr ? &(*plans)[term_idx] : nullptr;
+    if (probe != nullptr && probe->broadcast) {
+      // Planner-proven broadcast join: only the location is bound, which
+      // every row of a node-local table matches — full iteration is the
+      // optimal plan, not a fallback.
+      ++stats_.broadcast_probes;
+      for (const auto& [key, row] : table.rows()) consider(row);
+    } else if (probe != nullptr && probe->index_id >= 0) {
+      // All bound positions are constants or bound variables by
+      // construction of the plan; build the probe key directly.
+      ValueList key;
+      key.reserve(probe->bound_positions.size());
+      for (int p : probe->bound_positions) {
+        const ndlog::Expr& e = *atom->args[static_cast<size_t>(p)].expr;
+        key.push_back(e.is_const() ? e.const_value()
+                                   : bindings->at(e.var_name()));
+      }
+      ++stats_.index_probes;
+      const std::vector<Table::RowHandle>* rows =
+          table.Probe(probe->index_id, key);
+      if (rows != nullptr) {
+        for (Table::RowHandle row : *rows) consider(*row);
+      }
+    } else {
+      ++stats_.index_scan_fallbacks;
+      for (const auto& [key, row] : table.rows()) consider(row);
     }
     if (synthetic_needed) {
-      Bindings saved = *bindings;
-      if (MatchAtom(*atom, action.fields, bindings)) {
-        JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings,
-                mult * action.mult);
+      if (MatchAtom(*atom, action.fields, bindings, &added)) {
+        JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action,
+                bindings, mult * action.mult);
+        while (!added.empty()) {
+          bindings->erase(added.back());
+          added.pop_back();
+        }
       }
-      *bindings = std::move(saved);
     }
     return;
   }
@@ -322,7 +391,8 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
     }
     auto [it, inserted] = bindings->emplace(assign->var, std::move(v).value());
     if (!inserted) return;  // rebinding conflict: prune
-    JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings, mult);
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, bindings,
+            mult);
     bindings->erase(assign->var);
     return;
   }
@@ -333,7 +403,8 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
     return;
   }
   if (v.value().Truthy()) {
-    JoinRec(cr, rule_idx, term_idx + 1, delta_term, action, bindings, mult);
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, bindings,
+            mult);
   }
 }
 

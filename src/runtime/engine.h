@@ -34,13 +34,21 @@ struct EngineOptions {
   /// Maintain the VID -> tuple index (needed by the provenance query
   /// engine; forced on when the program has provenance).
   bool track_vid_index = true;
+  /// Probe planner-selected secondary hash indexes in the join loop instead
+  /// of scanning tables. Off is only useful for measuring the speedup
+  /// (bench_join) — results are identical either way.
+  bool use_secondary_indexes = true;
 };
 
 struct EngineStats {
   uint64_t deltas_enqueued = 0;
   uint64_t actions_processed = 0;
   uint64_t rule_firings = 0;
-  uint64_t join_probes = 0;
+  uint64_t join_probes = 0;       // candidate rows examined by the join loop
+  uint64_t index_probes = 0;      // joins answered by a secondary index
+  uint64_t broadcast_probes = 0;  // planned whole-table joins (only the
+                                  // location was bound: every row matches)
+  uint64_t index_scan_fallbacks = 0;  // unplanned scans (no probe plan)
   uint64_t messages_sent = 0;
   uint64_t send_failures = 0;
   uint64_t eval_errors = 0;
@@ -115,11 +123,19 @@ class Engine {
   /// change that seeded the evaluation.
   void EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
                          const TableAction& action);
+  /// `plans` is the per-body-term probe plan for this (rule, delta_term)
+  /// choice, or nullptr to scan every atom.
   void JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
-               size_t delta_term, const TableAction& action,
-               Bindings* bindings, int64_t mult);
+               size_t delta_term, const std::vector<AtomProbePlan>* plans,
+               const TableAction& action, Bindings* bindings, int64_t mult);
+  /// Matches `fields` against the atom's pattern, extending `bindings` with
+  /// newly bound variables. On success the new entries are appended to
+  /// `added` (the caller's undo log: erase them to restore the bindings —
+  /// cheaper than copying the whole map per candidate row); on failure
+  /// bindings are restored before returning.
   bool MatchAtom(const ndlog::Atom& atom, const ValueList& fields,
-                 Bindings* bindings) const;
+                 Bindings* bindings,
+                 std::vector<Bindings::iterator>* added) const;
   void EmitHead(const CompiledRule& cr, size_t rule_idx,
                 const Bindings& bindings, int64_t mult, bool is_delete);
   void HandleAggContribution(const CompiledRule& cr, size_t rule_idx,

@@ -1,5 +1,6 @@
 #include "src/runtime/plan.h"
 
+#include <algorithm>
 #include <set>
 
 #include "src/ndlog/localize.h"
@@ -65,6 +66,72 @@ Status CheckBuiltinsKnown(const Program& prog) {
     }
   }
   return Status::OK();
+}
+
+/// Appends the variable names of an atom's arguments to `out` (atom args
+/// are Var/Const only after analysis).
+void CollectAtomVars(const Atom& atom, std::set<std::string>* out) {
+  for (const ndlog::AtomArg& arg : atom.args) {
+    if (arg.expr && arg.expr->is_var()) out->insert(arg.expr->var_name());
+  }
+}
+
+/// Computes the probe plan for rule `cr` evaluated with `delta_term` as the
+/// delta atom, registering every needed (table, bound-position-set)
+/// secondary index in `table_indexes`. Mirrors Engine::JoinRec exactly:
+/// bindings start from the delta atom, then body terms are processed in
+/// order (skipping the delta), assignments binding their target and each
+/// probed atom binding its variables.
+void PlanJoinIndexes(
+    CompiledRule* cr, size_t delta_term,
+    const std::map<std::string, ndlog::TableInfo>& tables,
+    std::map<std::string, std::vector<std::vector<int>>>* table_indexes) {
+  const Rule& rule = cr->rule;
+  std::vector<AtomProbePlan> plans(rule.body.size());
+
+  std::set<std::string> bound;
+  CollectAtomVars(std::get<Atom>(rule.body[delta_term]), &bound);
+
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i == delta_term) continue;
+    const BodyTerm& term = rule.body[i];
+    if (const ndlog::Assign* assign = std::get_if<ndlog::Assign>(&term)) {
+      bound.insert(assign->var);
+      continue;
+    }
+    const Atom* atom = std::get_if<Atom>(&term);
+    if (atom == nullptr) continue;  // selection: binds nothing
+    auto tit = tables.find(atom->predicate);
+    if (tit != tables.end() && tit->second.materialized) {
+      bool location_bound = false;
+      std::vector<int> positions;
+      for (size_t a = 0; a < atom->args.size(); ++a) {
+        const Expr& e = *atom->args[a].expr;
+        if (e.is_const() || (e.is_var() && bound.count(e.var_name()))) {
+          // Position 0 is the location attribute: constant across a
+          // node-local table, so useless (and harmful) as an index key.
+          if (a == 0) {
+            location_bound = true;
+          } else {
+            positions.push_back(static_cast<int>(a));
+          }
+        }
+      }
+      if (!positions.empty()) {
+        std::vector<std::vector<int>>& specs =
+            (*table_indexes)[atom->predicate];
+        auto sit = std::find(specs.begin(), specs.end(), positions);
+        int id = static_cast<int>(sit - specs.begin());
+        if (sit == specs.end()) specs.push_back(positions);
+        plans[i].bound_positions = std::move(positions);
+        plans[i].index_id = id;
+      } else if (location_bound) {
+        plans[i].broadcast = true;
+      }
+    }
+    CollectAtomVars(*atom, &bound);
+  }
+  cr->join_plans.emplace(delta_term, std::move(plans));
 }
 
 }  // namespace
@@ -204,6 +271,15 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
     for (size_t pos : cr.atom_positions) {
       const Atom& atom = std::get<Atom>(cr.rule.body[pos]);
       prog->triggers[atom.predicate].emplace_back(r, pos);
+    }
+  }
+
+  // Index selection: one probe plan per trigger entry, one secondary index
+  // per distinct (table, bound-position-set) across the whole program.
+  for (const auto& [pred, entries] : prog->triggers) {
+    for (const auto& [rule_idx, delta_term] : entries) {
+      PlanJoinIndexes(&prog->rules[rule_idx], delta_term, prog->tables,
+                      &prog->table_indexes);
     }
   }
 

@@ -22,6 +22,29 @@ struct CompileOptions {
   bool provenance = true;
 };
 
+/// Probe plan for one body atom under a specific choice of delta atom:
+/// which argument positions are already bound when the join reaches it, and
+/// the table-local secondary index covering exactly those positions.
+///
+/// The location attribute (position 0) is excluded from index keys: every
+/// row of a node-local table carries that node's address there, so a
+/// location key can never discriminate — indexing it would just duplicate
+/// the table into one giant bucket (and make its maintenance quadratic).
+struct AtomProbePlan {
+  /// Sorted non-location argument positions whose values are known
+  /// (constants or variables bound by the delta atom, earlier atoms, or
+  /// assignments) when this atom is probed.
+  std::vector<int> bound_positions;
+  /// Id of the secondary index on bound_positions (Table::AddIndex
+  /// registration order per table); -1 means no index.
+  int index_id = -1;
+  /// Set when the planner proved only the location is bound: the probe
+  /// degenerates to a whole-table iteration in which every row is a
+  /// genuine join candidate (a per-node broadcast join, e.g. "all
+  /// neighbors"), as opposed to an unplanned scan fallback.
+  bool broadcast = false;
+};
+
 /// One executable rule.
 struct CompiledRule {
   ndlog::Rule rule;
@@ -33,6 +56,10 @@ struct CompiledRule {
   bool has_agg = false;
   ndlog::AggFn agg_fn = ndlog::AggFn::kMin;
   size_t agg_arg_index = 0;  // position of the aggregate in the head args
+  /// delta body-term index -> probe plan per body term (entries for
+  /// non-delta materialized atoms; everything else keeps index_id == -1).
+  /// Populated for exactly the (rule, delta) pairs in the trigger index.
+  std::map<size_t, std::vector<AtomProbePlan>> join_plans;
 };
 
 /// The reserved periodic-event predicate: periodic(@X, E, Period, Count)
@@ -63,6 +90,10 @@ struct CompiledProgram {
   std::vector<CompiledRule> rules;
   /// predicate -> [(rule index, body-term index of the triggering atom)].
   std::map<std::string, std::vector<std::pair<size_t, size_t>>> triggers;
+  /// table -> distinct sorted bound-position sets required by the join
+  /// plans; the vector index is the index id the engine registers with
+  /// Table::AddIndex (in order).
+  std::map<std::string, std::vector<std::vector<int>>> table_indexes;
   /// Distinct (period, count) timer streams the engines must run.
   std::vector<PeriodicStream> periodic_streams;
   bool provenance = false;

@@ -1,5 +1,6 @@
 #include "src/runtime/table.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace nettrails {
@@ -18,64 +19,147 @@ ValueList Table::KeyOf(const ValueList& fields) const {
   return key;
 }
 
+ValueList Table::Project(const std::vector<int>& positions,
+                         const ValueList& fields) {
+  ValueList key;
+  key.reserve(positions.size());
+  for (int p : positions) {
+    assert(static_cast<size_t>(p) < fields.size());
+    key.push_back(fields[static_cast<size_t>(p)]);
+  }
+  return key;
+}
+
 std::vector<TableAction> Table::PlanInsert(const ValueList& fields,
                                            int64_t mult) const {
   assert(mult > 0);
   std::vector<TableAction> actions;
-  auto it = rows_.find(KeyOf(fields));
-  if (it == rows_.end() || it->second.fields == fields) {
+  const Row* row = FindByKeyOf(fields);
+  if (row == nullptr || row->fields == fields) {
     actions.push_back({fields, mult, /*is_delete=*/false});
     return actions;
   }
   // Key replacement: retract the displaced tuple entirely, then insert.
-  actions.push_back({it->second.fields, it->second.count, /*is_delete=*/true});
+  actions.push_back({row->fields, row->count, /*is_delete=*/true});
   actions.push_back({fields, mult, /*is_delete=*/false});
   return actions;
 }
 
 std::vector<TableAction> Table::PlanDelete(const ValueList& fields,
-                                           int64_t mult) const {
+                                           int64_t mult) {
   assert(mult > 0);
   std::vector<TableAction> actions;
-  auto it = rows_.find(KeyOf(fields));
-  if (it == rows_.end() || it->second.fields != fields) {
+  const Row* row = FindByKeyOf(fields);
+  if (row == nullptr || row->fields != fields) {
     ++spurious_deletes_;
     return actions;
   }
-  int64_t m = std::min(mult, it->second.count);
+  int64_t m = std::min(mult, row->count);
   if (m > 0) actions.push_back({fields, m, /*is_delete=*/true});
   return actions;
 }
 
+Table::KeyIndex::iterator Table::FindKeyEntry(uint64_t hash,
+                                              const ValueList& key) {
+  auto [it, end] = key_index_.equal_range(hash);
+  for (; it != end; ++it) {
+    if (ValueListEq{}(it->second->first, key)) return it;
+  }
+  return key_index_.end();
+}
+
+Table::KeyIndex::const_iterator Table::FindKeyEntry(
+    uint64_t hash, const ValueList& key) const {
+  auto [it, end] = key_index_.equal_range(hash);
+  for (; it != end; ++it) {
+    if (ValueListEq{}(it->second->first, key)) return it;
+  }
+  return key_index_.end();
+}
+
 void Table::Apply(const TableAction& action) {
   ValueList key = KeyOf(action.fields);
+  uint64_t hash = ValueListHash{}(key);
+  auto kit = FindKeyEntry(hash, key);
   if (action.is_delete) {
-    auto it = rows_.find(key);
-    if (it == rows_.end() || it->second.fields != action.fields) return;
+    if (kit == key_index_.end() ||
+        kit->second->second.fields != action.fields) {
+      return;
+    }
+    RowMap::iterator it = kit->second;
     it->second.count -= action.mult;
-    if (it->second.count <= 0) rows_.erase(it);
+    if (it->second.count <= 0) {
+      UnindexRow(&it->second);
+      key_index_.erase(kit);
+      rows_.erase(it);
+    }
+    return;
+  }
+  if (kit != key_index_.end()) {
+    // PlanInsert issues the displacement delete first, so by the time an
+    // insert lands here the stored fields match (or the row was erased).
+    assert(kit->second->second.fields == action.fields);
+    kit->second->second.count += action.mult;
     return;
   }
   auto [it, inserted] = rows_.try_emplace(std::move(key));
-  if (inserted) {
-    it->second.fields = action.fields;
-    it->second.count = action.mult;
-  } else {
-    // PlanInsert issues the displacement delete first, so by the time an
-    // insert lands here the stored fields match (or the row was erased).
-    assert(it->second.fields == action.fields);
-    it->second.count += action.mult;
+  assert(inserted);
+  (void)inserted;
+  it->second.fields = action.fields;
+  it->second.count = action.mult;
+  key_index_.emplace(hash, it);
+  IndexRow(&it->second);
+}
+
+int Table::AddIndex(std::vector<int> positions) {
+  assert(std::is_sorted(positions.begin(), positions.end()));
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].positions == positions) return static_cast<int>(i);
+  }
+  indexes_.push_back(SecondaryIndex{std::move(positions), {}});
+  SecondaryIndex& idx = indexes_.back();
+  for (const auto& [key, row] : rows_) {
+    idx.buckets[ValueListHash{}(Project(idx.positions, row.fields))]
+        .push_back(&row);
+  }
+  return static_cast<int>(indexes_.size()) - 1;
+}
+
+const std::vector<Table::RowHandle>* Table::Probe(int index_id,
+                                                  const ValueList& key) const {
+  const SecondaryIndex& idx = indexes_[static_cast<size_t>(index_id)];
+  auto it = idx.buckets.find(ValueListHash{}(key));
+  return it == idx.buckets.end() ? nullptr : &it->second;
+}
+
+void Table::IndexRow(const Row* row) {
+  for (SecondaryIndex& idx : indexes_) {
+    idx.buckets[ValueListHash{}(Project(idx.positions, row->fields))]
+        .push_back(row);
+  }
+}
+
+void Table::UnindexRow(const Row* row) {
+  for (SecondaryIndex& idx : indexes_) {
+    auto bit =
+        idx.buckets.find(ValueListHash{}(Project(idx.positions, row->fields)));
+    assert(bit != idx.buckets.end());
+    std::vector<RowHandle>& bucket = bit->second;
+    // Ordered erase keeps probe results in insertion order (deterministic
+    // join evaluation); planner-selected buckets are selective, so linear
+    // cost is fine.
+    bucket.erase(std::find(bucket.begin(), bucket.end(), row));
+    if (bucket.empty()) idx.buckets.erase(bit);
   }
 }
 
 const Table::Row* Table::FindByKeyOf(const ValueList& fields) const {
-  auto it = rows_.find(KeyOf(fields));
-  return it == rows_.end() ? nullptr : &it->second;
+  return FindByKey(KeyOf(fields));
 }
 
 const Table::Row* Table::FindByKey(const ValueList& key) const {
-  auto it = rows_.find(key);
-  return it == rows_.end() ? nullptr : &it->second;
+  auto it = FindKeyEntry(ValueListHash{}(key), key);
+  return it == key_index_.end() ? nullptr : &it->second->second;
 }
 
 int64_t Table::CountOf(const ValueList& fields) const {

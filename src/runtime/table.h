@@ -7,14 +7,23 @@
 //  * keys are a proper subset -> key replacement (P2/RapidNet semantics):
 //    inserting a tuple with an existing key retracts the previous tuple for
 //    that key with cascade. Used for base state and aggregate outputs.
+//
+// Lookup structure: the ordered primary map (rows()) provides deterministic
+// iteration for snapshots and full scans; every point lookup (FindByKey,
+// PlanInsert/PlanDelete, Apply) goes through an O(1) hash index on the key
+// projection. Planner-selected secondary hash indexes (AddIndex/Probe) map a
+// projection of argument positions to the row handles matching it, so the
+// engine's join loop probes instead of scanning.
 #ifndef NETTRAILS_RUNTIME_TABLE_H_
 #define NETTRAILS_RUNTIME_TABLE_H_
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/tuple.h"
 #include "src/common/value.h"
 #include "src/ndlog/analysis.h"
@@ -41,6 +50,29 @@ struct ValueListLess {
   }
 };
 
+/// Hash over a value list. Value::Hash guarantees Compare()==0 implies equal
+/// hashes across numeric kinds, so this is consistent with ValueListEq.
+struct ValueListHash {
+  size_t operator()(const ValueList& v) const {
+    Hasher h;
+    h.AddU64(v.size());
+    for (const Value& x : v) h.AddU64(x.Hash());
+    return static_cast<size_t>(h.Digest());
+  }
+};
+
+/// Element-wise Value equality (numeric kinds compare by value, matching the
+/// engine's MatchAtom semantics).
+struct ValueListEq {
+  bool operator()(const ValueList& a, const ValueList& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+};
+
 class Table {
  public:
   struct Row {
@@ -48,7 +80,19 @@ class Table {
     int64_t count = 0;
   };
 
+  /// Stable handle to a visible row. Handles stay valid until the row's
+  /// derivation count reaches zero (node-based primary storage).
+  using RowHandle = const Row*;
+
   explicit Table(ndlog::TableInfo info);
+
+  // Secondary indexes hold pointers into rows_; copying would alias the
+  // source's nodes. Moves transfer map nodes wholesale, keeping handles
+  // valid.
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
 
   const ndlog::TableInfo& info() const { return info_; }
   const std::string& name() const { return info_.name; }
@@ -61,11 +105,12 @@ class Table {
 
   /// Plans the visible actions for a delete delta. A delete of a tuple that
   /// is not present (e.g. an in-flight retraction racing a replacement) is
-  /// dropped; the multiplicity is clamped to the stored count.
-  std::vector<TableAction> PlanDelete(const ValueList& fields,
-                                      int64_t mult) const;
+  /// dropped and counted in spurious_deletes(). Non-const only for that
+  /// counter bump; the stored rows are never mutated.
+  std::vector<TableAction> PlanDelete(const ValueList& fields, int64_t mult);
 
-  /// Applies one planned action to the stored counts.
+  /// Applies one planned action to the stored counts, maintaining the key
+  /// index and every secondary index.
   void Apply(const TableAction& action);
 
   /// Stored rows, keyed by their key projection.
@@ -89,13 +134,60 @@ class Table {
   /// Key projection of a fields vector under this table's key.
   ValueList KeyOf(const ValueList& fields) const;
 
+  /// Registers a secondary hash index on the given argument positions
+  /// (sorted, each < arity) and returns its id; re-registering an existing
+  /// position set returns the original id. Existing rows are indexed.
+  int AddIndex(std::vector<int> positions);
+
+  size_t num_indexes() const { return indexes_.size(); }
+
+  /// Bound-position set of an index (for diagnostics and tests).
+  const std::vector<int>& IndexPositions(int index_id) const {
+    return indexes_[static_cast<size_t>(index_id)].positions;
+  }
+
+  /// Rows whose projection onto the index's positions hashes like `key`,
+  /// or nullptr when none match. Buckets are keyed by the 64-bit key hash
+  /// alone (no stored key copies); a hash collision can therefore surface a
+  /// non-matching row, which the engine's per-candidate MatchAtom filters
+  /// out. The returned vector is invalidated by the next Apply().
+  const std::vector<RowHandle>* Probe(int index_id, const ValueList& key) const;
+
+  /// Projection of `fields` onto `positions`.
+  static ValueList Project(const std::vector<int>& positions,
+                           const ValueList& fields);
+
   /// Count of dropped spurious deletes (see PlanDelete).
   uint64_t spurious_deletes() const { return spurious_deletes_; }
 
  private:
+  struct SecondaryIndex {
+    std::vector<int> positions;
+    /// projected-key hash -> matching rows (collision false-positives are
+    /// the engine's MatchAtom's job).
+    std::unordered_map<uint64_t, std::vector<RowHandle>> buckets;
+  };
+
+  void IndexRow(const Row* row);
+  void UnindexRow(const Row* row);
+
+  using RowMap = std::map<ValueList, Row, ValueListLess>;
+  using KeyIndex = std::unordered_multimap<uint64_t, RowMap::iterator>;
+
+  /// Entry whose pointed-to row key equals `key` (hash pre-computed), or
+  /// end(). Multimap + verification makes 64-bit collisions harmless.
+  KeyIndex::iterator FindKeyEntry(uint64_t hash, const ValueList& key);
+  KeyIndex::const_iterator FindKeyEntry(uint64_t hash,
+                                        const ValueList& key) const;
+
   ndlog::TableInfo info_;
-  std::map<ValueList, Row, ValueListLess> rows_;
-  mutable uint64_t spurious_deletes_ = 0;
+  RowMap rows_;
+  /// O(1) key-projection lookup, keyed by hash only (no key copies).
+  /// Holding iterators (not just Row*) lets Apply erase without a second
+  /// O(log n) Compare-chain descent.
+  KeyIndex key_index_;
+  std::vector<SecondaryIndex> indexes_;
+  uint64_t spurious_deletes_ = 0;
 };
 
 }  // namespace runtime

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace nettrails {
 namespace {
 
@@ -110,6 +112,29 @@ TEST(ValueTest, SerializedSizeGrowsWithContent) {
   Value small = Value::List({Value::Int(1)});
   Value big = Value::List({Value::Int(1), Value::Int(2), Value::Int(3)});
   EXPECT_LT(small.SerializedSize(), big.SerializedSize());
+}
+
+// The table hash indexes rely on Compare()==0 implying equal hashes, even
+// across numeric kinds. Beyond 2^53 Compare promotes ints to double, so
+// Hash must follow the same conversion (regression: Int(2^62+1) compared
+// equal to Double(2^62) but hashed differently, desynchronizing the hash
+// key index from the Compare-ordered row map).
+TEST(ValueTest, HashAgreesWithCompareForLargeNumerics) {
+  const int64_t big = (int64_t{1} << 62) + 1;
+  Value i = Value::Int(big);
+  Value d = Value::Double(static_cast<double>(big));
+  ASSERT_EQ(i.Compare(d), 0);
+  EXPECT_EQ(i.Hash(), d.Hash());
+
+  // INT64_MAX rounds to 2^63, outside the double path's int64-cast guard.
+  Value imax = Value::Int(std::numeric_limits<int64_t>::max());
+  Value dmax = Value::Double(static_cast<double>(
+      std::numeric_limits<int64_t>::max()));
+  ASSERT_EQ(imax.Compare(dmax), 0);
+  EXPECT_EQ(imax.Hash(), dmax.Hash());
+
+  // Small ints keep their exact-value hashes.
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
 }
 
 TEST(ValueTest, ListsAreImmutableShared) {

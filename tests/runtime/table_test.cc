@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 namespace nettrails {
 namespace runtime {
 namespace {
@@ -92,6 +94,25 @@ TEST(TableTest, SpuriousDeleteDropped) {
   Table r(ReplacingInfo());
   ApplyAll(&r, r.PlanInsert(Row(1, 2, 3), 1));
   EXPECT_TRUE(r.PlanDelete(Row(1, 2, 4), 1).empty());
+  EXPECT_EQ(r.spurious_deletes(), 1u);
+}
+
+// Regression: spurious_deletes_ used to be `mutable` and bumped inside a
+// const PlanDelete. PlanDelete is now non-const (only for the counter);
+// planning must still leave the stored rows untouched.
+TEST(TableTest, PlanDeleteCountsSpuriousWithoutMutatingRows) {
+  Table t(CountingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 2, 3), 2));
+  EXPECT_TRUE(t.PlanDelete(Row(4, 5, 6), 1).empty());
+  EXPECT_TRUE(t.PlanDelete(Row(4, 5, 6), 1).empty());
+  EXPECT_EQ(t.spurious_deletes(), 2u);
+  // Planning (spurious or not) never changes visible state.
+  (void)t.PlanDelete(Row(1, 2, 3), 1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.CountOf(Row(1, 2, 3)), 2);
+  static_assert(!std::is_invocable_v<decltype(&Table::PlanDelete),
+                                     const Table*, const ValueList&, int64_t>,
+                "PlanDelete must not be callable on a const Table");
 }
 
 TEST(TableTest, DeleteClampsToStoredCount) {
