@@ -5,6 +5,14 @@
 // MINCOST is the primary workload (it scales to the larger networks);
 // path-vector runs at small sizes, where its loop-free path enumeration
 // stays tractable.
+//
+// The flap benchmarks take (nodes, batch_size) so one run compares the
+// serial pipeline (batch_size=1) against batched delta processing: the
+// dispatches_per_flap counter (trigger-index dispatches per converged
+// flap) is the amortization headline — batch_size>=8 must cut it >=2x —
+// with msgs_per_flap showing the per-destination frame win on the wire
+// (tuples_per_flap stays constant: framing changes packaging, not
+// content).
 #include <benchmark/benchmark.h>
 
 #include "src/net/topology.h"
@@ -19,10 +27,18 @@ runtime::CompiledProgramPtr CompileCached(const char* source) {
   return r.ok() ? *r : nullptr;
 }
 
+uint64_t TotalDispatches(
+    const std::vector<std::unique_ptr<runtime::Engine>>& engines) {
+  uint64_t total = 0;
+  for (const auto& e : engines) total += e->stats().trigger_dispatches;
+  return total;
+}
+
 // One link flap (fail + recover) on a converged network, incremental.
 void RunIncrementalFlap(benchmark::State& state, const char* program,
                         double p) {
   const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t batch_size = static_cast<uint32_t>(state.range(1));
   runtime::CompiledProgramPtr prog = CompileCached(program);
   if (prog == nullptr) {
     state.SkipWithError("compile failed");
@@ -31,7 +47,9 @@ void RunIncrementalFlap(benchmark::State& state, const char* program,
   Rng rng(1);
   net::Topology topo = net::MakeRandomConnected(n, p, &rng, 4);
   net::Simulator sim;
-  auto engines = protocols::MakeEngines(&sim, topo, prog);
+  runtime::EngineOptions opts;
+  opts.batch_size = batch_size;
+  auto engines = protocols::MakeEngines(&sim, topo, prog, opts);
   if (!protocols::InstallLinks(topo, &engines, &sim).ok()) {
     state.SkipWithError("install failed");
     return;
@@ -40,15 +58,24 @@ void RunIncrementalFlap(benchmark::State& state, const char* program,
 
   uint64_t flaps = 0;
   uint64_t base_msgs = sim.total_traffic().messages;
+  uint64_t base_tuples = sim.total_traffic().tuples;
+  uint64_t base_disp = TotalDispatches(engines);
   for (auto _ : state) {
     (void)protocols::FailLink(flap.a, flap.b, flap.cost, &engines, &sim);
     (void)protocols::RecoverLink(flap.a, flap.b, flap.cost, &engines, &sim);
     ++flaps;
   }
   state.counters["nodes"] = static_cast<double>(n);
+  state.counters["batch_size"] = static_cast<double>(batch_size);
   if (flaps > 0) {
     state.counters["msgs_per_flap"] =
         static_cast<double>(sim.total_traffic().messages - base_msgs) /
+        static_cast<double>(flaps);
+    state.counters["tuples_per_flap"] =
+        static_cast<double>(sim.total_traffic().tuples - base_tuples) /
+        static_cast<double>(flaps);
+    state.counters["dispatches_per_flap"] =
+        static_cast<double>(TotalDispatches(engines) - base_disp) /
         static_cast<double>(flaps);
   }
 }
@@ -60,9 +87,16 @@ void BM_Churn_PathVector_IncrementalFlap(benchmark::State& state) {
   RunIncrementalFlap(state, protocols::PathVectorProgram(), 0.04);
 }
 
-BENCHMARK(BM_Churn_Mincost_IncrementalFlap)->Arg(8)->Arg(16)->Arg(24)->Arg(32)
+BENCHMARK(BM_Churn_Mincost_IncrementalFlap)
+    ->Args({8, 1})->Args({8, 8})->Args({8, 64})
+    ->Args({16, 1})->Args({16, 8})->Args({16, 64})
+    ->Args({24, 1})->Args({24, 64})
+    ->Args({32, 1})->Args({32, 64})
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Churn_PathVector_IncrementalFlap)->Arg(6)->Arg(8)->Arg(10)
+BENCHMARK(BM_Churn_PathVector_IncrementalFlap)
+    ->Args({6, 1})->Args({6, 8})->Args({6, 64})
+    ->Args({8, 1})->Args({8, 8})->Args({8, 64})
+    ->Args({10, 1})->Args({10, 64})
     ->Unit(benchmark::kMillisecond);
 
 // Recompute-from-scratch baseline: rebuild the whole network per "event".

@@ -67,11 +67,12 @@ void Simulator::MarkOverlayChannel(const std::string& channel, Time latency) {
 
 bool Simulator::Send(Message msg) {
   size_t nbytes = msg.SerializedSize();
+  size_t ntuples = msg.TupleCount();
   Time delay = 1;  // local hop: 1us
   if (msg.src != msg.dst) {
     auto oit = overlay_channels_.find(msg.channel);
     if (oit != overlay_channels_.end()) {
-      channel_traffic_[msg.channel].Add(nbytes);
+      channel_traffic_[msg.channel].Add(nbytes, ntuples);
       delay = oit->second;
     } else {
       auto it = links_.find(Key(msg.src, msg.dst));
@@ -79,8 +80,8 @@ bool Simulator::Send(Message msg) {
         ++dropped_messages_;
         return false;
       }
-      it->second.traffic.Add(nbytes);
-      channel_traffic_[msg.channel].Add(nbytes);
+      it->second.traffic.Add(nbytes, ntuples);
+      channel_traffic_[msg.channel].Add(nbytes, ntuples);
       delay = it->second.latency;
     }
   }
@@ -135,6 +136,7 @@ TrafficStats Simulator::total_traffic() const {
   for (const auto& [ch, ts] : channel_traffic_) {
     total.messages += ts.messages;
     total.bytes += ts.bytes;
+    total.tuples += ts.tuples;
   }
   return total;
 }

@@ -26,9 +26,23 @@ using Time = uint64_t;
 inline constexpr Time kMillisecond = 1000;
 inline constexpr Time kSecond = 1000 * kMillisecond;
 
+/// One tuple delta inside a batched "tuple" message.
+struct BatchedTuple {
+  Tuple payload;
+  bool is_delete = false;
+  int64_t multiplicity = 1;
+};
+
 /// A message in flight between two nodes. The payload is a tuple; every
 /// NetTrails subsystem (rule deltas, provenance queries, BGP updates)
 /// serializes into tuples, so one message type covers the whole platform.
+///
+/// A batched engine frames all deltas shipped to one destination during one
+/// delta batch into a single message (`batch` non-empty, `payload` unused):
+/// the 17-byte-plus-channel header is paid once per frame instead of once
+/// per tuple, which is the per-tuple framing amortization of the batch
+/// pipeline. Receivers unpack entries in order, so per-destination delta
+/// order is identical to per-tuple shipping.
 struct Message {
   NodeId src = 0;
   NodeId dst = 0;
@@ -39,21 +53,37 @@ struct Message {
   bool is_delete = false;
   /// Derivation-count delta carried by a "tuple" message (bag semantics).
   int64_t multiplicity = 1;
+  /// Batched tuple deltas (empty for a single-tuple message).
+  std::vector<BatchedTuple> batch;
 
-  /// Wire size used by the traffic accounting.
+  size_t TupleCount() const { return batch.empty() ? 1 : batch.size(); }
+
+  /// Wire size used by the traffic accounting. Each batched entry pays its
+  /// serialized tuple plus a 9-byte (flags + multiplicity) record header;
+  /// the message header is shared across the frame.
   size_t SerializedSize() const {
-    return 16 + channel.size() + payload.SerializedSize() + 1;
+    if (batch.empty()) {
+      return 16 + channel.size() + payload.SerializedSize() + 1;
+    }
+    size_t n = 16 + channel.size() + 4;  // shared header + entry count
+    for (const BatchedTuple& b : batch) {
+      n += b.payload.SerializedSize() + 9;
+    }
+    return n;
   }
 };
 
-/// Cumulative traffic counters.
+/// Cumulative traffic counters. `tuples` counts payload tuples, so with
+/// batched framing messages <= tuples (the gap is the framing win).
 struct TrafficStats {
   uint64_t messages = 0;
   uint64_t bytes = 0;
+  uint64_t tuples = 0;
 
-  void Add(size_t nbytes) {
+  void Add(size_t nbytes, size_t ntuples = 1) {
     ++messages;
     bytes += nbytes;
+    tuples += ntuples;
   }
 };
 

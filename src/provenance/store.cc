@@ -1,5 +1,7 @@
 #include "src/provenance/store.h"
 
+#include <algorithm>
+
 #include "src/provenance/rewrite.h"
 #include "src/runtime/builtins.h"
 
@@ -102,6 +104,35 @@ size_t ProvStore::edge_count() const {
   size_t n = 0;
   for (const auto& [vid, edges] : edges_) n += edges.size();
   return n;
+}
+
+std::string ProvStore::CanonicalGraph() const {
+  std::vector<std::string> lines;
+  lines.reserve(edges_.size() + execs_.size());
+  for (const auto& [vid, edges] : edges_) {
+    for (const ProvEdge& e : edges) {
+      lines.push_back("edge " + std::to_string(vid) + " <- rid=" +
+                      std::to_string(e.rid) + " @" + std::to_string(e.rloc) +
+                      (e.maybe ? " maybe" : "") + " x" +
+                      std::to_string(e.count));
+    }
+  }
+  for (const auto& [rid, exec] : execs_) {
+    std::string line = "exec " + std::to_string(rid) + " " + exec.rule + "(";
+    for (size_t i = 0; i < exec.inputs.size(); ++i) {
+      if (i > 0) line += ",";
+      line += std::to_string(exec.inputs[i]);
+    }
+    line += ") x" + std::to_string(exec.count);
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace provenance

@@ -56,6 +56,14 @@ class ProvStore {
   /// caches validate their entries against it.
   uint64_t version() const { return version_; }
 
+  /// Canonical text serialization of this node's provenance slice: every
+  /// edge and rule execution with its derivation count, sorted. Two stores
+  /// hold the same graph iff their canonical forms are equal, independent
+  /// of the order deltas arrived in — the batched-vs-serial equivalence
+  /// suite compares engines through it (and its diff is readable on
+  /// failure).
+  std::string CanonicalGraph() const;
+
   size_t edge_count() const;
   size_t exec_count() const { return execs_.size(); }
 

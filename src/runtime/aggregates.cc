@@ -5,9 +5,23 @@ namespace runtime {
 
 void AggGroup::Adjust(const Value& value, const Value& vids, int64_t mult) {
   ContribKey key{value, vids};
-  int64_t& count = contribs_[key];
-  count += mult;
-  if (count <= 0) contribs_.erase(key);
+  auto it = contribs_.try_emplace(std::move(key), 0).first;
+  int64_t before = it->second;
+  int64_t after = before + mult;
+  // Applied derivation-count change: an over-delete clamps at erasure, so
+  // the running totals track what the multiset actually holds.
+  int64_t applied = after <= 0 ? -before : mult;
+  if (after <= 0) {
+    contribs_.erase(it);
+  } else {
+    it->second = after;
+  }
+  total_count_ += applied;
+  if (value.is_int()) {
+    int_sum_ += value.as_int() * applied;
+  } else if (value.is_double()) {
+    double_weight_ += applied;
+  }
 }
 
 std::optional<Value> AggGroup::Output(ndlog::AggFn fn) const {
@@ -17,25 +31,19 @@ std::optional<Value> AggGroup::Output(ndlog::AggFn fn) const {
       return contribs_.begin()->first.value;
     case ndlog::AggFn::kMax:
       return contribs_.rbegin()->first.value;
-    case ndlog::AggFn::kCount: {
-      int64_t total = 0;
-      for (const auto& [key, mult] : contribs_) total += mult;
-      return Value::Int(total);
-    }
+    case ndlog::AggFn::kCount:
+      return Value::Int(total_count_);
     case ndlog::AggFn::kSum: {
-      bool any_double = false;
-      int64_t isum = 0;
+      if (double_weight_ == 0) return Value::Int(int_sum_);
       double dsum = 0;
       for (const auto& [key, mult] : contribs_) {
         if (key.value.is_int()) {
-          isum += key.value.as_int() * mult;
           dsum += static_cast<double>(key.value.as_int()) * mult;
         } else if (key.value.is_double()) {
-          any_double = true;
           dsum += key.value.as_double() * mult;
         }
       }
-      return any_double ? Value::Double(dsum) : Value::Int(isum);
+      return Value::Double(dsum);
     }
   }
   return std::nullopt;

@@ -54,6 +54,15 @@ class AggGroup {
 
  private:
   std::map<ContribKey, int64_t> contribs_;
+  /// Running totals so a_count and integer a_sum answer in O(1) instead of
+  /// rescanning the multiset per Output call. Integer arithmetic only —
+  /// exact under any insert/delete interleaving. Groups holding double
+  /// contributions fall back to the full scan (floating-point addition is
+  /// not exactly invertible, and an incremental double sum would drift from
+  /// the rescanned value).
+  int64_t total_count_ = 0;
+  int64_t int_sum_ = 0;
+  int64_t double_weight_ = 0;  // derivation count held by double contributions
 };
 
 }  // namespace runtime

@@ -131,6 +131,15 @@ Status Engine::InsertEvent(const Tuple& tuple) {
 }
 
 void Engine::OnTupleMessage(const net::Message& msg) {
+  if (!msg.batch.empty()) {
+    // Batch frame: unpack in order. deltas_enqueued stays per tuple.
+    for (const net::BatchedTuple& b : msg.batch) {
+      EnqueueLocal({b.payload.name(), b.payload.fields(), b.multiplicity,
+                    b.is_delete});
+    }
+    DrainQueue();
+    return;
+  }
   EnqueueLocal({msg.payload.name(), msg.payload.fields(), msg.multiplicity,
                 msg.is_delete});
   DrainQueue();
@@ -146,15 +155,159 @@ void Engine::DrainQueue() {
   draining_ = true;
   actions_this_trigger_ = 0;
   while (!queue_.empty()) {
-    Delta delta = std::move(queue_.front());
-    queue_.pop_front();
-    ProcessDelta(delta);
+    bool serial = opts_.batch_size <= 1;
+    if (!serial) {
+      // Soft-state tables drain serially even in batched mode: FIFO
+      // eviction and expiry-timer bookkeeping are defined against the
+      // per-action store (e.g. an eviction victim re-inserted later in the
+      // same batch must be evicted at its pre-re-insert count), so only
+      // per-delta processing is serial-exact for them. The batching win
+      // lives in the infinite-lifetime protocol and provenance tables.
+      auto it = tables_.find(queue_.front().table);
+      if (it != tables_.end()) {
+        const ndlog::TableInfo& info = it->second.info();
+        serial = info.lifetime_secs >= 0 || info.max_size >= 0;
+      }
+    }
+    if (serial) {
+      Delta delta = std::move(queue_.front());
+      queue_.pop_front();
+      ProcessDelta(delta);
+    } else {
+      ProcessBatch();
+    }
     if (overflowed_) {
       queue_.clear();
       break;
     }
   }
   draining_ = false;
+}
+
+void Engine::ProcessBatch() {
+  // Form the batch: the run of consecutive same-table deltas at the queue
+  // front (mixed inserts and deletes; runs never reorder the queue, so
+  // cross-table and insert/delete ordering is exactly the serial order).
+  const std::string table_name = queue_.front().table;
+  std::vector<Delta> deltas;
+  while (!queue_.empty() && deltas.size() < opts_.batch_size &&
+         queue_.front().table == table_name) {
+    deltas.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  ++stats_.batches_processed;
+  stats_.batched_tuples += deltas.size();
+  ++stats_.trigger_dispatches;
+
+  auto tit = tables_.find(table_name);
+  if (tit == tables_.end()) {
+    ProcessEventBatch(table_name, &deltas);
+    return;
+  }
+  Table& table = tit->second;
+
+  // Plan + apply the whole run through the table in one pass. Evaluation
+  // below runs against the post-batch store; per-action suffix overlays
+  // reconstruct each action's exact serial-mode visibility.
+  std::vector<DeltaRequest> reqs;
+  reqs.reserve(deltas.size());
+  for (Delta& d : deltas) {
+    if (d.is_eviction) --pending_evictions_[table_name];
+    reqs.push_back({std::move(d.fields), d.mult, d.is_delete});
+  }
+  std::vector<TableAction> actions;
+  table.ApplyBatch(reqs, &actions);
+  if (actions.empty()) return;
+
+  actions_this_trigger_ += actions.size();
+  stats_.actions_processed += actions.size();
+  if (actions_this_trigger_ > opts_.max_actions_per_trigger) {
+    // Valve tripped: skip evaluation, but fall through to the per-tuple
+    // epilogue — the store was already mutated, so observers and the VID
+    // index must still see every applied action (as serial mode does).
+    overflowed_ = true;
+    last_error_ = "max_actions_per_trigger exceeded on " + table_name;
+  } else {
+    batching_ = true;
+    auto trig = prog_->triggers.find(table_name);
+    if (trig != prog_->triggers.end()) {
+      BatchOverlay suffix;
+      for (const auto& [rule_idx, term_idx] : trig->second) {
+        // The overlay starts as the net effect of the whole batch and
+        // shrinks as evaluation advances: when action i evaluates it holds
+        // the summed effects of actions [i..n).
+        suffix.Clear();
+        for (const TableAction& a : actions) {
+          suffix.Add(a.fields, a.is_delete ? -a.mult : a.mult);
+        }
+        // The store is frozen during evaluation, so which batch-touched
+        // tuples are absent from it (the synthetic-candidate pool) is
+        // computed once per rule pass, not per probe.
+        suffix.absent.clear();
+        for (const ValueList* fields : suffix.order) {
+          if (table.CountOf(*fields) == 0) suffix.absent.push_back(fields);
+        }
+        for (const TableAction& a : actions) {
+          EvalRuleWithDelta(rule_idx, term_idx, a, &suffix);
+          if (overflowed_) break;
+          suffix.Add(a.fields, a.is_delete ? a.mult : -a.mult);
+        }
+        if (overflowed_) break;
+      }
+    }
+    FlushDirtyAggregates();
+    batching_ = false;
+  }
+
+  // Per-tuple post-processing in application order: exactly the serial
+  // per-action bookkeeping (provenance observers still see every tuple).
+  for (const TableAction& action : actions) {
+    if (opts_.track_vid_index && !action.is_delete) {
+      RegisterVid(Tuple(table_name, action.fields));
+    }
+    for (const ActionObserver& obs : observers_) obs(table_name, action);
+    if (!action.is_delete) HandleSoftState(table, action);
+  }
+
+  FlushOutbox();
+}
+
+void Engine::ProcessEventBatch(const std::string& name,
+                               std::vector<Delta>* deltas) {
+  // Events fire triggers and register VIDs but are never stored; retraction
+  // deltas are dropped (as in serial mode). Event predicates cannot appear
+  // as non-delta body atoms, so no overlay is needed.
+  std::vector<TableAction> actions;
+  actions.reserve(deltas->size());
+  for (Delta& d : *deltas) {
+    if (d.is_delete) continue;
+    if (opts_.track_vid_index) RegisterVid(Tuple(name, d.fields));
+    actions.push_back({std::move(d.fields), d.mult, /*is_delete=*/false});
+  }
+  if (actions.empty()) return;
+
+  actions_this_trigger_ += actions.size();
+  stats_.actions_processed += actions.size();
+  if (actions_this_trigger_ > opts_.max_actions_per_trigger) {
+    overflowed_ = true;
+    last_error_ = "max_actions_per_trigger exceeded on " + name;
+    return;
+  }
+
+  batching_ = true;
+  auto trig = prog_->triggers.find(name);
+  if (trig != prog_->triggers.end()) {
+    for (const auto& [rule_idx, term_idx] : trig->second) {
+      for (const TableAction& a : actions) {
+        EvalRuleWithDelta(rule_idx, term_idx, a, /*suffix=*/nullptr);
+        if (overflowed_) break;
+      }
+      if (overflowed_) break;
+    }
+  }
+  FlushDirtyAggregates();
+  batching_ = false;
+  FlushOutbox();
 }
 
 void Engine::ProcessDelta(const Delta& delta) {
@@ -241,10 +394,11 @@ void Engine::FireTriggers(const std::string& pred, const TableAction& action) {
     return;
   }
   ++stats_.actions_processed;
+  ++stats_.trigger_dispatches;
   auto it = prog_->triggers.find(pred);
   if (it == prog_->triggers.end()) return;
   for (const auto& [rule_idx, term_idx] : it->second) {
-    EvalRuleWithDelta(rule_idx, term_idx, action);
+    EvalRuleWithDelta(rule_idx, term_idx, action, /*suffix=*/nullptr);
   }
 }
 
@@ -279,7 +433,8 @@ bool Engine::MatchAtom(const Atom& atom, const ValueList& fields,
 }
 
 void Engine::EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
-                               const TableAction& action) {
+                               const TableAction& action,
+                               const BatchOverlay* suffix) {
   const CompiledRule& cr = prog_->rules[rule_idx];
   const Atom& delta_atom = std::get<Atom>(cr.rule.body[delta_term]);
   Bindings bindings;
@@ -290,21 +445,22 @@ void Engine::EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
     auto pit = cr.join_plans.find(delta_term);
     if (pit != cr.join_plans.end()) plans = &pit->second;
   }
-  JoinRec(cr, rule_idx, 0, delta_term, plans, action, &bindings, action.mult);
+  JoinRec(cr, rule_idx, 0, delta_term, plans, action, suffix, &bindings,
+          action.mult);
 }
 
 void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
                      size_t delta_term, const std::vector<AtomProbePlan>* plans,
-                     const TableAction& action, Bindings* bindings,
-                     int64_t mult) {
+                     const TableAction& action, const BatchOverlay* suffix,
+                     Bindings* bindings, int64_t mult) {
   if (overflowed_) return;
   if (term_idx == cr.rule.body.size()) {
     EmitHead(cr, rule_idx, *bindings, mult, action.is_delete);
     return;
   }
   if (term_idx == delta_term) {
-    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, bindings,
-            mult);
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
+            bindings, mult);
     return;
   }
   const ndlog::BodyTerm& term = cr.rule.body[term_idx];
@@ -312,29 +468,40 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
     auto tit = tables_.find(atom->predicate);
     if (tit == tables_.end()) return;  // event atom: only ever the delta
     const Table& table = tit->second;
-    const std::string& delta_pred =
-        std::get<Atom>(cr.rule.body[delta_term]).predicate;
-    const bool same_pred = atom->predicate == delta_pred;
+    const AtomProbePlan* probe =
+        plans != nullptr ? &(*plans)[term_idx] : nullptr;
+    const bool same_pred =
+        probe != nullptr
+            ? probe->same_pred_as_delta
+            : atom->predicate ==
+                  std::get<Atom>(cr.rule.body[delta_term]).predicate;
     const bool before_delta = term_idx < delta_term;
 
-    // Atoms before the delta position see the post-action state; the store
-    // is pre-action during evaluation, so adjust matches of the action
-    // tuple itself (self-join correctness).
-    bool synthetic_needed = before_delta && same_pred && !action.is_delete &&
+    // Semi-naive visibility for self-join atoms. Serial mode: the store is
+    // pre-action, so atoms before the delta position (which must see the
+    // post-action state) adjust matches of the action tuple itself. Batched
+    // mode: the store is post-batch, so matches of any tuple the batch
+    // touched subtract the suffix overlay (the summed effects of this and
+    // all later actions), which reconstructs the pre-action store; atoms
+    // before the delta add the action's own effect back on top.
+    bool synthetic_needed = suffix == nullptr && before_delta && same_pred &&
+                            !action.is_delete &&
                             table.CountOf(action.fields) == 0;
 
     // One candidate row, shared by the probe and scan paths. The undo log
     // restores bindings after each candidate without copying the map.
     std::vector<Bindings::iterator> added;
-    auto consider = [&](const Table::Row& row) {
+    auto consider = [&](const ValueList& fields, int64_t count) {
       ++stats_.join_probes;
-      int64_t count = row.count;
-      if (before_delta && same_pred && row.fields == action.fields) {
-        count += action.is_delete ? -action.mult : action.mult;
+      if (same_pred) {
+        if (suffix != nullptr) count -= suffix->Net(fields);
+        if (before_delta && fields == action.fields) {
+          count += action.is_delete ? -action.mult : action.mult;
+        }
         if (count <= 0) return;
       }
-      if (MatchAtom(*atom, row.fields, bindings, &added)) {
-        JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action,
+      if (MatchAtom(*atom, fields, bindings, &added)) {
+        JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
                 bindings, mult * count);
         while (!added.empty()) {
           bindings->erase(added.back());
@@ -343,14 +510,12 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
       }
     };
 
-    const AtomProbePlan* probe =
-        plans != nullptr ? &(*plans)[term_idx] : nullptr;
     if (probe != nullptr && probe->broadcast) {
       // Planner-proven broadcast join: only the location is bound, which
       // every row of a node-local table matches — full iteration is the
       // optimal plan, not a fallback.
       ++stats_.broadcast_probes;
-      for (const auto& [key, row] : table.rows()) consider(row);
+      for (const auto& [key, row] : table.rows()) consider(row.fields, row.count);
     } else if (probe != nullptr && probe->index_id >= 0) {
       // All bound positions are constants or bound variables by
       // construction of the plan; build the probe key directly.
@@ -365,15 +530,23 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
       const std::vector<Table::RowHandle>* rows =
           table.Probe(probe->index_id, key);
       if (rows != nullptr) {
-        for (Table::RowHandle row : *rows) consider(*row);
+        for (Table::RowHandle row : *rows) consider(row->fields, row->count);
       }
     } else {
       ++stats_.index_scan_fallbacks;
-      for (const auto& [key, row] : table.rows()) consider(row);
+      for (const auto& [key, row] : table.rows()) consider(row.fields, row.count);
     }
-    if (synthetic_needed) {
+    if (same_pred && suffix != nullptr) {
+      // Synthetic candidates: tuples this batch touched that are absent
+      // from the post-batch store (inserted then displaced, or deleted by a
+      // later action) but visible to this action's serial-mode evaluation.
+      // `consider` re-applies the overlay, so pass a zero store count.
+      for (const ValueList* fields : suffix->absent) {
+        consider(*fields, 0);
+      }
+    } else if (synthetic_needed) {
       if (MatchAtom(*atom, action.fields, bindings, &added)) {
-        JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action,
+        JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
                 bindings, mult * action.mult);
         while (!added.empty()) {
           bindings->erase(added.back());
@@ -391,8 +564,8 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
     }
     auto [it, inserted] = bindings->emplace(assign->var, std::move(v).value());
     if (!inserted) return;  // rebinding conflict: prune
-    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, bindings,
-            mult);
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
+            bindings, mult);
     bindings->erase(assign->var);
     return;
   }
@@ -403,8 +576,8 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
     return;
   }
   if (v.value().Truthy()) {
-    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, bindings,
-            mult);
+    JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
+            bindings, mult);
   }
 }
 
@@ -433,15 +606,54 @@ void Engine::EmitHead(const CompiledRule& cr, size_t rule_idx,
                   is_delete});
     return;
   }
+  ShipRemote(dst, Tuple(cr.rule.head.predicate, std::move(fields).value()),
+             mult, is_delete);
+}
+
+void Engine::ShipRemote(NodeId dst, Tuple tuple, int64_t mult,
+                        bool is_delete) {
+  if (batching_) {
+    auto [it, inserted] = outbox_.try_emplace(dst);
+    if (inserted) outbox_order_.push_back(dst);
+    it->second.push_back({std::move(tuple), is_delete, mult});
+    return;
+  }
   net::Message msg;
   msg.src = id_;
   msg.dst = dst;
   msg.channel = kTupleChannel;
-  msg.payload = Tuple(cr.rule.head.predicate, std::move(fields).value());
+  msg.payload = std::move(tuple);
   msg.is_delete = is_delete;
   msg.multiplicity = mult;
   ++stats_.messages_sent;
+  ++stats_.tuples_shipped;
   if (!sim_->Send(std::move(msg))) ++stats_.send_failures;
+}
+
+void Engine::FlushOutbox() {
+  for (NodeId dst : outbox_order_) {
+    std::vector<net::BatchedTuple>& items = outbox_[dst];
+    net::Message msg;
+    msg.src = id_;
+    msg.dst = dst;
+    msg.channel = kTupleChannel;
+    const size_t n = items.size();
+    if (n == 1) {
+      // Single delta: ship the legacy frame (identical wire size to serial
+      // mode).
+      msg.payload = std::move(items[0].payload);
+      msg.is_delete = items[0].is_delete;
+      msg.multiplicity = items[0].multiplicity;
+    } else {
+      msg.batch = std::move(items);
+      ++stats_.batch_messages_sent;
+    }
+    ++stats_.messages_sent;
+    stats_.tuples_shipped += n;
+    if (!sim_->Send(std::move(msg))) stats_.send_failures += n;
+  }
+  outbox_.clear();
+  outbox_order_.clear();
 }
 
 void Engine::HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
@@ -488,11 +700,30 @@ void Engine::HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
   ++stats_.rule_firings;
   AggGroupState& state = agg_state_[{rule_idx, group}];
   state.group.Adjust(agg_value, vids, is_delete ? -mult : mult);
+  if (batching_) {
+    // Defer: the batch recomputes each touched group's output once, so a
+    // cascade that adjusts a group N times pays one recomputation (and
+    // enqueues no intermediate outputs — the fixpoint is unchanged, only
+    // the transient churn).
+    if (dirty_agg_set_.emplace(rule_idx, group).second) {
+      dirty_aggs_.emplace_back(rule_idx, std::move(group));
+    }
+    return;
+  }
   RecomputeAggGroup(cr, rule_idx, group);
+}
+
+void Engine::FlushDirtyAggregates() {
+  for (const auto& [rule_idx, group] : dirty_aggs_) {
+    RecomputeAggGroup(prog_->rules[rule_idx], rule_idx, group);
+  }
+  dirty_aggs_.clear();
+  dirty_agg_set_.clear();
 }
 
 void Engine::RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
                                const ValueList& group_key) {
+  ++stats_.agg_recomputes;
   AggGroupState& state = agg_state_[{rule_idx, group_key}];
   std::optional<Value> output = state.group.Output(cr.agg_fn);
 

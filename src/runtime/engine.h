@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,19 +39,41 @@ struct EngineOptions {
   /// of scanning tables. Off is only useful for measuring the speedup
   /// (bench_join) — results are identical either way.
   bool use_secondary_indexes = true;
+  /// Maximum tuples drained from the local queue into one DeltaBatch (a run
+  /// of consecutive same-table deltas processed together: one trigger
+  /// dispatch, one Table::ApplyBatch, one aggregate recomputation per
+  /// touched group, and per-destination batch message frames). 1 selects
+  /// the serial pre-batching pipeline exactly — per-tuple dispatch,
+  /// immediate aggregate recomputation, per-tuple shipping — and anchors
+  /// the batched-vs-serial equivalence suite
+  /// (tests/runtime/batch_equivalence_test.cc). Both modes converge to
+  /// identical table fixpoints, aggregate values, and provenance graphs.
+  uint32_t batch_size = 64;
 };
 
 struct EngineStats {
+  /// Tuples entering the local delta queue. Always counted per tuple —
+  /// batch frames arriving from the network are unpacked before counting —
+  /// so the value is batch_size-independent.
   uint64_t deltas_enqueued = 0;
+  uint64_t batches_processed = 0;  // DeltaBatches drained (batched mode)
+  uint64_t batched_tuples = 0;     // tuples those batches carried
+  /// Trigger-index dispatches: one per visible action in serial mode, one
+  /// per DeltaBatch in batched mode (the dispatch-amortization metric
+  /// bench_churn reports per converged link flap).
+  uint64_t trigger_dispatches = 0;
   uint64_t actions_processed = 0;
   uint64_t rule_firings = 0;
+  uint64_t agg_recomputes = 0;    // aggregate-group output recomputations
   uint64_t join_probes = 0;       // candidate rows examined by the join loop
   uint64_t index_probes = 0;      // joins answered by a secondary index
   uint64_t broadcast_probes = 0;  // planned whole-table joins (only the
                                   // location was bound: every row matches)
   uint64_t index_scan_fallbacks = 0;  // unplanned scans (no probe plan)
-  uint64_t messages_sent = 0;
-  uint64_t send_failures = 0;
+  uint64_t messages_sent = 0;     // network sends (a batch frame counts once)
+  uint64_t tuples_shipped = 0;    // tuple deltas shipped to remote nodes
+  uint64_t batch_messages_sent = 0;  // frames carrying more than one tuple
+  uint64_t send_failures = 0;     // per shipped tuple, batched or not
   uint64_t eval_errors = 0;
   uint64_t expirations = 0;      // soft-state lifetime retractions
   uint64_t evictions = 0;        // max-size FIFO evictions
@@ -114,20 +137,60 @@ class Engine {
     bool is_eviction = false;  // decrement the pending-eviction counter
   };
 
+  /// Net per-tuple count adjustments carried by a suffix of a batch's
+  /// actions, with first-touch enumeration order for determinism. During
+  /// batched evaluation of action i the overlay holds the summed effects of
+  /// actions [i..n): subtracting it from the post-batch store reconstructs
+  /// exactly the store action i saw in serial mode. Entries are kept at
+  /// net 0 so every tuple the batch touches stays enumerable (the
+  /// synthetic-candidate sweep in JoinRec relies on it).
+  struct BatchOverlay {
+    std::unordered_map<ValueList, int64_t, ValueListHash, ValueListEq> net;
+    std::vector<const ValueList*> order;  // keys of net, first-touch order
+    /// Subset of `order` absent from the post-batch store: the synthetic
+    /// join candidates. The store is frozen during batch evaluation, so
+    /// ProcessBatch computes this once per rule pass.
+    std::vector<const ValueList*> absent;
+
+    void Add(const ValueList& fields, int64_t delta) {
+      auto [it, inserted] = net.try_emplace(fields, 0);
+      it->second += delta;
+      if (inserted) order.push_back(&it->first);
+    }
+    int64_t Net(const ValueList& fields) const {
+      auto it = net.find(fields);
+      return it == net.end() ? 0 : it->second;
+    }
+    void Clear() {
+      net.clear();
+      order.clear();
+      absent.clear();
+    }
+  };
+
   void OnTupleMessage(const net::Message& msg);
   void EnqueueLocal(Delta delta);
   void DrainQueue();
   void ProcessDelta(const Delta& delta);
+  /// Batched pipeline: drains a run of consecutive same-table deltas from
+  /// the queue front and processes them as one DeltaBatch (one-pass
+  /// ApplyBatch, rule-major evaluation under suffix overlays, one aggregate
+  /// recomputation per touched group, per-destination batch shipping).
+  void ProcessBatch();
+  void ProcessEventBatch(const std::string& name, std::vector<Delta>* deltas);
   void FireTriggers(const std::string& pred, const TableAction& action);
   /// Joins the rule body around the delta atom; `action` is the visible
-  /// change that seeded the evaluation.
+  /// change that seeded the evaluation. `suffix` is the batch overlay for
+  /// this action (nullptr in serial mode and for event deltas).
   void EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
-                         const TableAction& action);
+                         const TableAction& action,
+                         const BatchOverlay* suffix);
   /// `plans` is the per-body-term probe plan for this (rule, delta_term)
   /// choice, or nullptr to scan every atom.
   void JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
                size_t delta_term, const std::vector<AtomProbePlan>* plans,
-               const TableAction& action, Bindings* bindings, int64_t mult);
+               const TableAction& action, const BatchOverlay* suffix,
+               Bindings* bindings, int64_t mult);
   /// Matches `fields` against the atom's pattern, extending `bindings` with
   /// newly bound variables. On success the new entries are appended to
   /// `added` (the caller's undo log: erase them to restore the bindings —
@@ -138,11 +201,19 @@ class Engine {
                  std::vector<Bindings::iterator>* added) const;
   void EmitHead(const CompiledRule& cr, size_t rule_idx,
                 const Bindings& bindings, int64_t mult, bool is_delete);
+  /// Ships one tuple delta to a remote node: immediately in serial mode,
+  /// buffered into the per-destination outbox during batch processing.
+  void ShipRemote(NodeId dst, Tuple tuple, int64_t mult, bool is_delete);
+  /// Sends each destination's buffered deltas as one batch frame.
+  void FlushOutbox();
   void HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
                              const Bindings& bindings, int64_t mult,
                              bool is_delete);
   void RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
                          const ValueList& group_key);
+  /// Recomputes (once each) the aggregate groups touched by the current
+  /// batch, in first-touch order.
+  void FlushDirtyAggregates();
   void RegisterVid(const Tuple& tuple);
   void NoteEvalError(const Status& status);
   /// Soft-state bookkeeping after a visible insert: refresh the expiry
@@ -180,6 +251,15 @@ class Engine {
   };
   // (rule index, group key) -> state
   std::map<std::pair<size_t, ValueList>, AggGroupState, AggKeyLess> agg_state_;
+
+  // Batch-scoped state: true while a DeltaBatch is being evaluated (routes
+  // remote shipping into the outbox and aggregate recomputation into the
+  // dirty set).
+  bool batching_ = false;
+  std::vector<std::pair<size_t, ValueList>> dirty_aggs_;  // first-touch order
+  std::set<std::pair<size_t, ValueList>, AggKeyLess> dirty_agg_set_;
+  std::vector<NodeId> outbox_order_;  // destinations, first-use order
+  std::unordered_map<NodeId, std::vector<net::BatchedTuple>> outbox_;
 
   // Soft state: per-key insertion generation (a re-insertion refreshes the
   // expiry timer and invalidates stale timers) and FIFO insertion order.

@@ -101,6 +101,8 @@ void PlanJoinIndexes(
     }
     const Atom* atom = std::get_if<Atom>(&term);
     if (atom == nullptr) continue;  // selection: binds nothing
+    plans[i].same_pred_as_delta =
+        atom->predicate == std::get<Atom>(rule.body[delta_term]).predicate;
     auto tit = tables.find(atom->predicate);
     if (tit != tables.end() && tit->second.materialized) {
       bool location_bound = false;

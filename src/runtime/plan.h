@@ -43,6 +43,11 @@ struct AtomProbePlan {
   /// genuine join candidate (a per-node broadcast join, e.g. "all
   /// neighbors"), as opposed to an unplanned scan fallback.
   bool broadcast = false;
+  /// This atom's predicate equals the delta atom's predicate (a self-join).
+  /// The engine's semi-naive visibility adjustments — and, in batched mode,
+  /// the per-batch overlay — apply only to such atoms; precomputing the
+  /// flag removes a per-probe string comparison from the join loop.
+  bool same_pred_as_delta = false;
 };
 
 /// One executable rule.

@@ -77,6 +77,27 @@ Table::KeyIndex::const_iterator Table::FindKeyEntry(
   return key_index_.end();
 }
 
+void Table::DecrementAt(KeyIndex::iterator kit, int64_t mult) {
+  RowMap::iterator it = kit->second;
+  it->second.count -= mult;
+  if (it->second.count <= 0) {
+    UnindexRow(&it->second);
+    key_index_.erase(kit);
+    rows_.erase(it);
+  }
+}
+
+void Table::InsertNewRow(uint64_t hash, ValueList key, const ValueList& fields,
+                         int64_t mult) {
+  auto [it, inserted] = rows_.try_emplace(std::move(key));
+  assert(inserted);
+  (void)inserted;
+  it->second.fields = fields;
+  it->second.count = mult;
+  key_index_.emplace(hash, it);
+  IndexRow(&it->second);
+}
+
 void Table::Apply(const TableAction& action) {
   ValueList key = KeyOf(action.fields);
   uint64_t hash = ValueListHash{}(key);
@@ -86,13 +107,7 @@ void Table::Apply(const TableAction& action) {
         kit->second->second.fields != action.fields) {
       return;
     }
-    RowMap::iterator it = kit->second;
-    it->second.count -= action.mult;
-    if (it->second.count <= 0) {
-      UnindexRow(&it->second);
-      key_index_.erase(kit);
-      rows_.erase(it);
-    }
+    DecrementAt(kit, action.mult);
     return;
   }
   if (kit != key_index_.end()) {
@@ -102,13 +117,41 @@ void Table::Apply(const TableAction& action) {
     kit->second->second.count += action.mult;
     return;
   }
-  auto [it, inserted] = rows_.try_emplace(std::move(key));
-  assert(inserted);
-  (void)inserted;
-  it->second.fields = action.fields;
-  it->second.count = action.mult;
-  key_index_.emplace(hash, it);
-  IndexRow(&it->second);
+  InsertNewRow(hash, std::move(key), action.fields, action.mult);
+}
+
+void Table::ApplyBatch(const std::vector<DeltaRequest>& deltas,
+                       std::vector<TableAction>* out) {
+  for (const DeltaRequest& d : deltas) {
+    assert(d.mult > 0);
+    ValueList key = KeyOf(d.fields);
+    uint64_t hash = ValueListHash{}(key);
+    auto kit = FindKeyEntry(hash, key);
+    if (d.is_delete) {
+      if (kit == key_index_.end() || kit->second->second.fields != d.fields) {
+        ++spurious_deletes_;  // matches PlanDelete on a missing tuple
+        continue;
+      }
+      int64_t m = std::min(d.mult, kit->second->second.count);
+      if (m <= 0) continue;
+      out->push_back({d.fields, m, /*is_delete=*/true});
+      DecrementAt(kit, m);
+      continue;
+    }
+    if (kit != key_index_.end()) {
+      Row& row = kit->second->second;
+      if (row.fields == d.fields) {
+        out->push_back({d.fields, d.mult, /*is_delete=*/false});
+        row.count += d.mult;
+        continue;
+      }
+      // Key replacement: retract the displaced tuple entirely, then insert.
+      out->push_back({row.fields, row.count, /*is_delete=*/true});
+      DecrementAt(kit, row.count);
+    }
+    out->push_back({d.fields, d.mult, /*is_delete=*/false});
+    InsertNewRow(hash, std::move(key), d.fields, d.mult);
+  }
 }
 
 int Table::AddIndex(std::vector<int> positions) {

@@ -38,6 +38,14 @@ struct TableAction {
   bool is_delete = false;
 };
 
+/// One unplanned delta (an insert or delete request before key-replacement
+/// and count-clamping planning), as drained from an engine queue.
+struct DeltaRequest {
+  ValueList fields;
+  int64_t mult = 1;  // always positive; is_delete selects the sign
+  bool is_delete = false;
+};
+
 /// Lexicographic ordering on value lists (Value::Compare per element).
 struct ValueListLess {
   bool operator()(const ValueList& a, const ValueList& b) const {
@@ -113,6 +121,18 @@ class Table {
   /// index and every secondary index.
   void Apply(const TableAction& action);
 
+  /// Plans and applies a batch of deltas in order, appending the visible
+  /// actions (in application order) to `out`. Behaviourally identical to N
+  /// sequential PlanInsert/PlanDelete + Apply round-trips — including key
+  /// replacement, count clamping, spurious-delete accounting, and
+  /// count-to-zero retraction — but runs in one pass: the key hash is
+  /// computed once per delta and shared between planning and primary +
+  /// secondary index maintenance (sequential round-trips hash each key at
+  /// least twice). Property-tested against the serial path in
+  /// tests/runtime/apply_batch_test.cc.
+  void ApplyBatch(const std::vector<DeltaRequest>& deltas,
+                  std::vector<TableAction>* out);
+
   /// Stored rows, keyed by their key projection.
   const std::map<ValueList, Row, ValueListLess>& rows() const { return rows_; }
 
@@ -168,11 +188,18 @@ class Table {
     std::unordered_map<uint64_t, std::vector<RowHandle>> buckets;
   };
 
+  using RowMap = std::map<ValueList, Row, ValueListLess>;
+  using KeyIndex = std::unordered_multimap<uint64_t, RowMap::iterator>;
+
   void IndexRow(const Row* row);
   void UnindexRow(const Row* row);
 
-  using RowMap = std::map<ValueList, Row, ValueListLess>;
-  using KeyIndex = std::unordered_multimap<uint64_t, RowMap::iterator>;
+  /// Shared mutation primitives behind Apply and ApplyBatch. `kit` is the
+  /// key-index entry for the affected key; `hash` is its precomputed 64-bit
+  /// key hash.
+  void DecrementAt(KeyIndex::iterator kit, int64_t mult);
+  void InsertNewRow(uint64_t hash, ValueList key, const ValueList& fields,
+                    int64_t mult);
 
   /// Entry whose pointed-to row key equals `key` (hash pre-computed), or
   /// end(). Multimap + verification makes 64-bit collisions harmless.
