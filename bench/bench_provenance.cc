@@ -1,0 +1,135 @@
+// Provenance hot-path microbench: VID digesting (f_mkvid / TupleVid over
+// value lists) and eh_* view materialization. Profiles after PR 1/2 show
+// these dominate convergence wall time — every rule firing re-digests its
+// body tuples into VIDs and materializes an eh_<rule> row whose fields
+// include the (often long) path list and the VID list.
+//
+// MkVidRepeat measures the hot pattern: the SAME path list digested once
+// per firing (cacheable — with hashes cached in the shared list rep this
+// is O(1) amortized). MkVidFresh digests a list built from scratch each
+// iteration (the mandatory once-per-distinct-list cost, a cache cannot
+// help beyond the first walk). EhMaterialization drives the full rewrite
+// through a converged-network link flap and reports provenance table
+// sizes, so storage-layer changes (hash-primary rows) show up here too.
+#include <benchmark/benchmark.h>
+
+#include "src/net/topology.h"
+#include "src/protocols/programs.h"
+#include "src/runtime/builtins.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace {
+
+ValueList MakePath(int64_t len) {
+  ValueList path;
+  path.reserve(static_cast<size_t>(len));
+  for (int64_t i = 0; i < len; ++i) {
+    path.push_back(Value::Address(static_cast<NodeId>(i)));
+  }
+  return path;
+}
+
+// f_mkvid("path", @0, Dst, [path...], Cost) with one shared list value,
+// re-digested every iteration — the per-firing pattern of the eh_* rules.
+void BM_Provenance_MkVidRepeat(benchmark::State& state) {
+  const int64_t len = state.range(0);
+  const runtime::BuiltinFn* fn = runtime::FindBuiltin("f_mkvid");
+  std::vector<Value> args{Value::Str("path"), Value::Address(0),
+                          Value::Address(static_cast<NodeId>(len)),
+                          Value::List(MakePath(len)), Value::Int(7)};
+  for (auto _ : state) {
+    Result<Value> v = (*fn)(args);
+    if (!v.ok()) {
+      state.SkipWithError("f_mkvid failed");
+      return;
+    }
+    benchmark::DoNotOptimize(v.value());
+  }
+  state.counters["path_len"] = static_cast<double>(len);
+}
+BENCHMARK(BM_Provenance_MkVidRepeat)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// Same digest over a list constructed fresh per iteration: the unavoidable
+// first-walk cost per distinct list (plus construction, paid identically
+// before and after caching).
+void BM_Provenance_MkVidFresh(benchmark::State& state) {
+  const int64_t len = state.range(0);
+  const runtime::BuiltinFn* fn = runtime::FindBuiltin("f_mkvid");
+  for (auto _ : state) {
+    std::vector<Value> args{Value::Str("path"), Value::Address(0),
+                            Value::Address(static_cast<NodeId>(len)),
+                            Value::List(MakePath(len)), Value::Int(7)};
+    Result<Value> v = (*fn)(args);
+    if (!v.ok()) {
+      state.SkipWithError("f_mkvid failed");
+      return;
+    }
+    benchmark::DoNotOptimize(v.value());
+  }
+  state.counters["path_len"] = static_cast<double>(len);
+}
+BENCHMARK(BM_Provenance_MkVidFresh)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// Engine-side VID digest (TupleVid) over a tuple whose fields include a
+// shared path list — the aggregate-provenance and vid-index pattern.
+void BM_Provenance_TupleVid(benchmark::State& state) {
+  const int64_t len = state.range(0);
+  ValueList fields{Value::Address(0), Value::Address(static_cast<NodeId>(len)),
+                   Value::List(MakePath(len)), Value::Int(7)};
+  for (auto _ : state) {
+    Vid vid = runtime::TupleVid("path", fields);
+    benchmark::DoNotOptimize(vid);
+  }
+  state.counters["path_len"] = static_cast<double>(len);
+}
+BENCHMARK(BM_Provenance_TupleVid)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+// Full eh_* materialization cost: a converged MINCOST network with the
+// provenance rewrite, one link flap per iteration. Dominated by digesting
+// VIDs and inserting/retracting eh_<rule> / prov / ruleExec rows.
+void BM_Provenance_EhMaterializationFlap(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const uint32_t batch_size = static_cast<uint32_t>(state.range(1));
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(protocols::MincostProgram());
+  if (!prog.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  Rng rng(1);
+  net::Topology topo = net::MakeRandomConnected(n, 0.08, &rng, 4);
+  net::Simulator sim;
+  runtime::EngineOptions opts;
+  opts.batch_size = batch_size;
+  auto engines = protocols::MakeEngines(&sim, topo, *prog, opts);
+  if (!protocols::InstallLinks(topo, &engines, &sim).ok()) {
+    state.SkipWithError("install failed");
+    return;
+  }
+  const net::CostedLink& flap = topo.links[topo.links.size() / 2];
+  for (auto _ : state) {
+    (void)protocols::FailLink(flap.a, flap.b, flap.cost, &engines, &sim);
+    (void)protocols::RecoverLink(flap.a, flap.b, flap.cost, &engines, &sim);
+  }
+  size_t prov_tuples = 0;
+  uint64_t hash_cache_hits = 0, vid_intern_hits = 0;
+  for (const auto& e : engines) {
+    prov_tuples += e->TotalTuples(true);
+    hash_cache_hits += e->stats().hash_cache_hits;
+    vid_intern_hits += e->stats().vid_intern_hits;
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+  state.counters["batch_size"] = static_cast<double>(batch_size);
+  state.counters["prov_tuples"] = static_cast<double>(prov_tuples);
+  state.counters["hash_cache_hits"] = static_cast<double>(hash_cache_hits);
+  state.counters["vid_intern_hits"] = static_cast<double>(vid_intern_hits);
+}
+BENCHMARK(BM_Provenance_EhMaterializationFlap)
+    ->Args({8, 1})->Args({8, 64})
+    ->Args({16, 1})->Args({16, 64})
+    ->Args({24, 64})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nettrails

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Runs every bench binary with --benchmark_format=json, writing
 # BENCH_<name>.json next to this repo's build directory — the perf
-# trajectory artifacts (scan-vs-index evidence lives in BENCH_join.json).
+# trajectory artifacts (scan-vs-index evidence lives in BENCH_join.json,
+# batch amortization in BENCH_churn.json, VID-digest caching / hash-primary
+# storage in BENCH_provenance.json). New bench/bench_<name>.cc files are
+# picked up automatically (and by the bench_json CMake target).
 #
 # Usage: scripts/run_benches.sh [build-dir] [bench-name...]
 #   scripts/run_benches.sh                 # all benches, build/ directory

@@ -10,13 +10,6 @@ void Hasher::AddBytes(const void* data, size_t len) {
   }
 }
 
-void Hasher::AddU64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    state_ ^= (v >> (i * 8)) & 0xff;
-    state_ *= kFnvPrime;
-  }
-}
-
 void Hasher::AddString(const std::string& s) {
   AddU64(s.size());
   AddBytes(s.data(), s.size());

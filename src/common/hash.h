@@ -19,7 +19,24 @@ class Hasher {
   Hasher() : state_(kFnvOffset) {}
 
   void AddBytes(const void* data, size_t len);
-  void AddU64(uint64_t v);
+
+  /// Feeds the 8 little-endian bytes of `v`. This is the innermost call of
+  /// every digest (each hashed scalar funnels through it), so it is inlined
+  /// and unrolled; the math is byte-for-byte the FNV-1a loop AddBytes runs,
+  /// keeping digests stable across the change.
+  void AddU64(uint64_t v) {
+    uint64_t s = state_;
+    s = (s ^ (v & 0xff)) * kFnvPrime;
+    s = (s ^ ((v >> 8) & 0xff)) * kFnvPrime;
+    s = (s ^ ((v >> 16) & 0xff)) * kFnvPrime;
+    s = (s ^ ((v >> 24) & 0xff)) * kFnvPrime;
+    s = (s ^ ((v >> 32) & 0xff)) * kFnvPrime;
+    s = (s ^ ((v >> 40) & 0xff)) * kFnvPrime;
+    s = (s ^ ((v >> 48) & 0xff)) * kFnvPrime;
+    s = (s ^ ((v >> 56) & 0xff)) * kFnvPrime;
+    state_ = s;
+  }
+
   void AddString(const std::string& s);
 
   /// Finalized digest (fmix64 from MurmurHash3 for avalanche).

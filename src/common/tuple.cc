@@ -19,8 +19,7 @@ bool Tuple::operator<(const Tuple& other) const {
 Vid Tuple::Hash() const {
   Hasher h;
   h.AddString(name_);
-  h.AddU64(fields_.size());
-  for (const Value& v : fields_) h.AddU64(v.Hash());
+  AddValueRange(&h, fields_.data(), fields_.data() + fields_.size());
   return h.Digest();
 }
 

@@ -57,7 +57,16 @@ void HashNumericAsDouble(double d, Hasher* h) {
   }
 }
 
+/// List-hash cache counters. The runtime is single-threaded (everything
+/// runs under one discrete-event simulator loop), so plain counters are
+/// exact; engines snapshot deltas around their drains.
+uint64_t g_list_hash_cache_hits = 0;
+uint64_t g_list_hash_cache_misses = 0;
+
 }  // namespace
+
+uint64_t Value::ListHashCacheHits() { return g_list_hash_cache_hits; }
+uint64_t Value::ListHashCacheMisses() { return g_list_hash_cache_misses; }
 
 int Value::Compare(const Value& other) const {
   // Numeric kinds compare against each other by value.
@@ -84,6 +93,8 @@ int Value::Compare(const Value& other) const {
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     case Kind::kList: {
+      // Shared-rep shortcut: copies of a list value alias one immutable rep.
+      if (std::get<5>(rep_) == std::get<5>(other.rep_)) return 0;
       const ValueList& a = as_list();
       const ValueList& b = other.as_list();
       size_t n = std::min(a.size(), b.size());
@@ -145,11 +156,18 @@ uint64_t Value::Hash() const {
       h.AddU64(as_address());
       break;
     case Kind::kList: {
+      const std::shared_ptr<const ListRep>& rep = std::get<5>(rep_);
+      if (rep->hash_valid) {
+        ++g_list_hash_cache_hits;
+        return rep->hash;
+      }
       h.AddU64(5);
-      const ValueList& xs = as_list();
-      h.AddU64(xs.size());
-      for (const Value& x : xs) h.AddU64(x.Hash());
-      break;
+      h.AddU64(rep->items.size());
+      for (const Value& x : rep->items) h.AddU64(x.Hash());
+      rep->hash = h.Digest();
+      rep->hash_valid = true;
+      ++g_list_hash_cache_misses;
+      return rep->hash;
     }
   }
   return h.Digest();

@@ -8,6 +8,7 @@
 #include <variant>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/status.h"
 
 namespace nettrails {
@@ -39,8 +40,9 @@ class Value {
     return Value(Rep(std::in_place_index<4>, v));
   }
   static Value List(ValueList v) {
-    return Value(Rep(std::in_place_index<5>,
-                     std::make_shared<const ValueList>(std::move(v))));
+    auto rep = std::make_shared<ListRep>();
+    rep->items = std::move(v);
+    return Value(Rep(std::in_place_index<5>, std::move(rep)));
   }
   static Value Bool(bool v) { return Int(v ? 1 : 0); }
 
@@ -57,7 +59,7 @@ class Value {
   double as_double() const { return std::get<2>(rep_); }
   const std::string& as_string() const { return std::get<3>(rep_); }
   NodeId as_address() const { return std::get<4>(rep_); }
-  const ValueList& as_list() const { return *std::get<5>(rep_); }
+  const ValueList& as_list() const { return std::get<5>(rep_)->items; }
 
   /// Numeric promotion: int or double as double. Asserts numeric.
   double NumericAsDouble() const {
@@ -82,7 +84,16 @@ class Value {
   int Compare(const Value& other) const;
 
   /// Stable 64-bit hash (FNV-1a over kind + canonical bytes). Used for VIDs.
+  /// For lists the digest is computed once per shared immutable rep and
+  /// cached inside it, so re-hashing a path vector or VID list on every
+  /// rule firing is O(1) after the first walk. The cached digest is
+  /// bit-identical to the uncached computation (property-tested).
   uint64_t Hash() const;
+
+  /// Process-wide list-hash cache counters (the runtime is single-threaded;
+  /// the engine attributes per-drain deltas into its EngineStats).
+  static uint64_t ListHashCacheHits();
+  static uint64_t ListHashCacheMisses();
 
   /// Render for logs and the visualizer, e.g. `"abc"`, `@3`, `[1,2]`.
   std::string ToString() const;
@@ -95,8 +106,19 @@ class Value {
   static Result<Value> Parse(const std::string& text);
 
  private:
+  /// Shared immutable rep of a list value. The items never change after
+  /// construction, so the structural hash is computed at most once and
+  /// cached here; every copy of the Value shares the cache. The cache
+  /// fields are mutable because caching is semantically transparent —
+  /// logically the rep is const.
+  struct ListRep {
+    ValueList items;
+    mutable uint64_t hash = 0;
+    mutable bool hash_valid = false;
+  };
+
   using Rep = std::variant<std::monostate, int64_t, double, std::string,
-                           NodeId, std::shared_ptr<const ValueList>>;
+                           NodeId, std::shared_ptr<const ListRep>>;
   explicit Value(Rep rep) : rep_(std::move(rep)) {}
 
   Rep rep_;
@@ -104,6 +126,16 @@ class Value {
 
 /// Human-readable kind name ("int", "list", ...).
 const char* KindName(Value::Kind kind);
+
+/// Appends the canonical digest of a value sequence — element count, then
+/// each element's Value::Hash — to `h`. Every keyed digest in the system
+/// (Tuple::Hash, ValueListHash, f_mkvid/TupleVid, aggregate-group keys)
+/// shares this one layout; do not hand-roll it, VID stability depends on
+/// every producer staying bit-identical.
+inline void AddValueRange(Hasher* h, const Value* begin, const Value* end) {
+  h->AddU64(static_cast<uint64_t>(end - begin));
+  for (const Value* v = begin; v != end; ++v) h->AddU64(v->Hash());
+}
 
 }  // namespace nettrails
 

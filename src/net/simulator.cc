@@ -110,8 +110,11 @@ void Simulator::ScheduleAfter(Time delay, std::function<void()> fn) {
 void Simulator::Run() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    // Copy out: fn may schedule new events.
-    Event ev = queue_.top();
+    // Move out before pop (fn may schedule new events). top() is const, but
+    // the element is discarded immediately, so moving from it is safe and
+    // avoids copying the closure — delivery closures capture the full
+    // Message, a per-event deep copy otherwise.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.time;
     ++events_executed_;
@@ -122,7 +125,7 @@ void Simulator::Run() {
 void Simulator::RunUntil(Time t) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
-    Event ev = queue_.top();
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.time;
     ++events_executed_;

@@ -16,8 +16,8 @@ ProvStore::ProvStore(runtime::Engine* engine) : engine_(engine) {
   for (const char* table : {kProvTable, kRuleExecTable}) {
     const runtime::Table* t = engine_->GetTable(table);
     if (t == nullptr) continue;
-    for (const auto& [key, row] : t->rows()) {
-      OnAction(table, {row.fields, row.count, /*is_delete=*/false});
+    for (runtime::Table::RowHandle row : t->OrderedView()) {
+      OnAction(table, {row->fields, row->count, /*is_delete=*/false});
     }
   }
   engine_->AddActionObserver(
@@ -36,23 +36,36 @@ void ProvStore::OnAction(const std::string& table, const TableAction& action) {
                                                 : engine_->id();
     bool maybe = action.fields[4].Truthy();
     ++version_;
-    std::vector<ProvEdge>& edges = edges_[vid];
-    for (size_t i = 0; i < edges.size(); ++i) {
-      ProvEdge& e = edges[i];
-      if (e.rid == rid && e.rloc == rloc && e.maybe == maybe) {
-        e.count += action.is_delete ? -action.mult : action.mult;
-        if (e.count <= 0) {
-          edges.erase(edges.begin() + static_cast<long>(i));
-          if (edges.empty()) edges_.erase(vid);
+    if (action.is_delete) {
+      // A retraction of an unknown vertex allocates nothing: the interner
+      // is append-only, so dead handles would accumulate otherwise.
+      VidInterner::Handle vh = interner()->Find(vid);
+      if (vh == VidInterner::kInvalidHandle) return;
+      auto eit = edges_.find(vh);
+      if (eit == edges_.end()) return;
+      std::vector<ProvEdge>& edges = eit->second;
+      for (size_t i = 0; i < edges.size(); ++i) {
+        ProvEdge& e = edges[i];
+        if (e.rid == rid && e.rloc == rloc && e.maybe == maybe) {
+          e.count -= action.mult;
+          if (e.count <= 0) {
+            edges.erase(edges.begin() + static_cast<long>(i));
+            if (edges.empty()) edges_.erase(eit);
+          }
+          return;
         }
+      }
+      return;
+    }
+    VidInterner::Handle vh = interner()->Intern(vid);
+    std::vector<ProvEdge>& edges = edges_[vh];
+    for (ProvEdge& e : edges) {
+      if (e.rid == rid && e.rloc == rloc && e.maybe == maybe) {
+        e.count += action.mult;
         return;
       }
     }
-    if (!action.is_delete) {
-      edges.push_back(ProvEdge{rid, rloc, maybe, action.mult});
-    } else if (edges.empty()) {
-      edges_.erase(vid);
-    }
+    edges.push_back(ProvEdge{rid, rloc, maybe, action.mult});
     return;
   }
   if (table == kRuleExecTable) {
@@ -61,14 +74,16 @@ void ProvStore::OnAction(const std::string& table, const TableAction& action) {
     Vid rid = ValueToVid(action.fields[1]);
     ++version_;
     if (action.is_delete) {
-      auto it = execs_.find(rid);
+      VidInterner::Handle rh = interner()->Find(rid);
+      if (rh == VidInterner::kInvalidHandle) return;
+      auto it = execs_.find(rh);
       if (it != execs_.end()) {
         it->second.count -= action.mult;
         if (it->second.count <= 0) execs_.erase(it);
       }
       return;
     }
-    ExecEntry& entry = execs_[rid];
+    ExecEntry& entry = execs_[interner()->Intern(rid)];
     if (entry.count == 0) {
       entry.rule =
           action.fields[2].is_string() ? action.fields[2].as_string() : "?";
@@ -84,19 +99,23 @@ void ProvStore::OnAction(const std::string& table, const TableAction& action) {
 }
 
 const std::vector<ProvEdge>* ProvStore::EdgesFor(Vid vid) const {
-  auto it = edges_.find(vid);
+  VidInterner::Handle h = interner()->Find(vid);
+  if (h == VidInterner::kInvalidHandle) return nullptr;
+  auto it = edges_.find(h);
   return it == edges_.end() ? nullptr : &it->second;
 }
 
 const ExecEntry* ProvStore::ExecFor(Vid rid) const {
-  auto it = execs_.find(rid);
+  VidInterner::Handle h = interner()->Find(rid);
+  if (h == VidInterner::kInvalidHandle) return nullptr;
+  auto it = execs_.find(h);
   return it == execs_.end() ? nullptr : &it->second;
 }
 
 std::vector<Vid> ProvStore::AllVids() const {
   std::vector<Vid> out;
   out.reserve(edges_.size());
-  for (const auto& [vid, edges] : edges_) out.push_back(vid);
+  for (const auto& [vh, edges] : edges_) out.push_back(interner()->ToVid(vh));
   return out;
 }
 
@@ -109,7 +128,8 @@ size_t ProvStore::edge_count() const {
 std::string ProvStore::CanonicalGraph() const {
   std::vector<std::string> lines;
   lines.reserve(edges_.size() + execs_.size());
-  for (const auto& [vid, edges] : edges_) {
+  for (const auto& [vh, edges] : edges_) {
+    Vid vid = interner()->ToVid(vh);
     for (const ProvEdge& e : edges) {
       lines.push_back("edge " + std::to_string(vid) + " <- rid=" +
                       std::to_string(e.rid) + " @" + std::to_string(e.rloc) +
@@ -117,8 +137,9 @@ std::string ProvStore::CanonicalGraph() const {
                       std::to_string(e.count));
     }
   }
-  for (const auto& [rid, exec] : execs_) {
-    std::string line = "exec " + std::to_string(rid) + " " + exec.rule + "(";
+  for (const auto& [rh, exec] : execs_) {
+    std::string line = "exec " + std::to_string(interner()->ToVid(rh)) + " " +
+                       exec.rule + "(";
     for (size_t i = 0; i < exec.inputs.size(); ++i) {
       if (i > 0) line += ",";
       line += std::to_string(exec.inputs[i]);

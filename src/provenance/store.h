@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/tuple.h"
+#include "src/provenance/interner.h"
 #include "src/runtime/engine.h"
 
 namespace nettrails {
@@ -70,9 +71,16 @@ class ProvStore {
  private:
   void OnAction(const std::string& table, const runtime::TableAction& action);
 
+  VidInterner* interner() const { return engine_->vid_interner(); }
+
   runtime::Engine* engine_;
-  std::unordered_map<Vid, std::vector<ProvEdge>> edges_;
-  std::unordered_map<Vid, ExecEntry> execs_;
+  /// Adjacency keyed by interned 32-bit VID handles (the engine's interner,
+  /// shared with the VID index): provenance churn re-touches the same
+  /// vertices constantly, so entries key on a dense 4-byte handle and the
+  /// re-touch rate is visible in EngineStats::vid_intern_hits. Public
+  /// lookups (EdgesFor/ExecFor) translate Vid -> handle without allocating.
+  std::unordered_map<VidInterner::Handle, std::vector<ProvEdge>> edges_;
+  std::unordered_map<VidInterner::Handle, ExecEntry> execs_;
   uint64_t version_ = 0;
 };
 

@@ -11,6 +11,20 @@ namespace runtime {
 
 namespace {
 
+/// Digest of name(values...) over a contiguous Value range. Byte-identical
+/// to Tuple::Hash by construction (same AddValueRange layout) — the
+/// provenance graph's declaratively computed VIDs (f_mkvid) and the
+/// engine's (TupleVid) both come from here, and tests pin all three
+/// against each other. List values reuse the hash cached in their shared
+/// rep.
+Vid DigestTuple(const std::string& name, const Value* begin,
+                const Value* end) {
+  Hasher h;
+  h.AddString(name);
+  AddValueRange(&h, begin, end);
+  return h.Digest();
+}
+
 Status ArityError(const char* fn, size_t want, size_t got) {
   return Status::TypeError(std::string(fn) + " expects " +
                            std::to_string(want) + " argument(s), got " +
@@ -185,12 +199,15 @@ Result<Value> FIsExtend(const std::vector<Value>& args) {
 }
 
 // f_mkvid("pred", field0, field1, ...): the VID of tuple pred(fields...).
+// Digests the argument values in place instead of copying them into a
+// ValueList and re-walking every element (this runs once per rule firing
+// per body atom under the provenance rewrite).
 Result<Value> FMkVid(const std::vector<Value>& args) {
   if (args.empty() || !args[0].is_string()) {
     return Status::TypeError("f_mkvid expects a predicate name first");
   }
-  ValueList fields(args.begin() + 1, args.end());
-  return VidToValue(TupleVid(args[0].as_string(), fields));
+  return VidToValue(
+      DigestTuple(args[0].as_string(), args.data() + 1, args.data() + args.size()));
 }
 
 // f_mkrid("rule", Loc, VidList): the RID of a rule execution.
@@ -251,7 +268,9 @@ std::vector<std::string> BuiltinNames() {
 }
 
 Vid TupleVid(const std::string& name, const ValueList& fields) {
-  return Tuple(name, fields).Hash();
+  // Same digest as Tuple(name, fields).Hash(), without constructing (and
+  // copying into) a Tuple first — this is the engine's per-action VID path.
+  return DigestTuple(name, fields.data(), fields.data() + fields.size());
 }
 
 Vid RuleExecRid(const std::string& rule_name, NodeId loc,

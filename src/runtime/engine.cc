@@ -154,6 +154,12 @@ void Engine::DrainQueue() {
   if (draining_) return;
   draining_ = true;
   actions_this_trigger_ = 0;
+  // List-hash cache hits are process-wide (the cache lives in the shared
+  // value reps); attribute the ones accrued during this drain to this
+  // engine. Cross-engine message delivery goes through the simulator's
+  // event queue, so drains never nest across engines and the attribution is
+  // exact.
+  const uint64_t hash_hits_before = Value::ListHashCacheHits();
   while (!queue_.empty()) {
     bool serial = opts_.batch_size <= 1;
     if (!serial) {
@@ -181,6 +187,8 @@ void Engine::DrainQueue() {
       break;
     }
   }
+  stats_.hash_cache_hits += Value::ListHashCacheHits() - hash_hits_before;
+  stats_.vid_intern_hits = vid_interner_.hits();
   draining_ = false;
 }
 
@@ -261,9 +269,17 @@ void Engine::ProcessBatch() {
 
   // Per-tuple post-processing in application order: exactly the serial
   // per-action bookkeeping (provenance observers still see every tuple).
+  // Under the rewrite, its own views (eh_* / prov / ruleExec) are never
+  // provenance vertices — the graph references program-tuple VIDs and
+  // RIDs, both digested by f_mkvid/f_mkrid — so their rows skip VID
+  // registration. Gated on prog_->provenance: without the rewrite those
+  // names are ordinary user tables.
+  const bool track_vids =
+      opts_.track_vid_index &&
+      !(prog_->provenance && provenance::IsProvenancePredicate(table_name));
   for (const TableAction& action : actions) {
-    if (opts_.track_vid_index && !action.is_delete) {
-      RegisterVid(Tuple(table_name, action.fields));
+    if (track_vids && !action.is_delete) {
+      RegisterVid(table_name, action.fields);
     }
     for (const ActionObserver& obs : observers_) obs(table_name, action);
     if (!action.is_delete) HandleSoftState(table, action);
@@ -281,7 +297,7 @@ void Engine::ProcessEventBatch(const std::string& name,
   actions.reserve(deltas->size());
   for (Delta& d : *deltas) {
     if (d.is_delete) continue;
-    if (opts_.track_vid_index) RegisterVid(Tuple(name, d.fields));
+    if (opts_.track_vid_index) RegisterVid(name, d.fields);
     actions.push_back({std::move(d.fields), d.mult, /*is_delete=*/false});
   }
   if (actions.empty()) return;
@@ -316,7 +332,7 @@ void Engine::ProcessDelta(const Delta& delta) {
     // Event: fire triggers, register the VID, never store.
     if (delta.is_delete) return;  // events have no retraction
     if (opts_.track_vid_index) {
-      RegisterVid(Tuple(delta.table, delta.fields));
+      RegisterVid(delta.table, delta.fields);
     }
     TableAction action{delta.fields, delta.mult, /*is_delete=*/false};
     FireTriggers(delta.table, action);
@@ -328,13 +344,18 @@ void Engine::ProcessDelta(const Delta& delta) {
   std::vector<TableAction> actions =
       delta.is_delete ? table.PlanDelete(delta.fields, delta.mult)
                       : table.PlanInsert(delta.fields, delta.mult);
+  // See ProcessBatch: under the rewrite, its own views never need VID
+  // registration.
+  const bool track_vids =
+      opts_.track_vid_index &&
+      !(prog_->provenance && provenance::IsProvenancePredicate(delta.table));
   for (const TableAction& action : actions) {
     // Rules see the pre-action store; atoms positioned before the delta
     // atom adjust by the action's effect (exact semi-naive maintenance).
     FireTriggers(delta.table, action);
     table.Apply(action);
-    if (opts_.track_vid_index && !action.is_delete) {
-      RegisterVid(Tuple(delta.table, action.fields));
+    if (track_vids && !action.is_delete) {
+      RegisterVid(delta.table, action.fields);
     }
     for (const ActionObserver& obs : observers_) obs(delta.table, action);
     if (!action.is_delete) HandleSoftState(table, action);
@@ -515,7 +536,9 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
       // every row of a node-local table matches — full iteration is the
       // optimal plan, not a fallback.
       ++stats_.broadcast_probes;
-      for (const auto& [key, row] : table.rows()) consider(row.fields, row.count);
+      for (Table::RowHandle row : table.OrderedView()) {
+        consider(row->fields, row->count);
+      }
     } else if (probe != nullptr && probe->index_id >= 0) {
       // All bound positions are constants or bound variables by
       // construction of the plan; build the probe key directly.
@@ -534,7 +557,9 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
       }
     } else {
       ++stats_.index_scan_fallbacks;
-      for (const auto& [key, row] : table.rows()) consider(row.fields, row.count);
+      for (Table::RowHandle row : table.OrderedView()) {
+        consider(row->fields, row->count);
+      }
     }
     if (same_pred && suffix != nullptr) {
       // Synthetic candidates: tuples this batch touched that are absent
@@ -790,8 +815,13 @@ void Engine::RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
   state.last_output = std::move(new_fields);
 }
 
-void Engine::RegisterVid(const Tuple& tuple) {
-  vid_index_.emplace(tuple.Hash(), tuple);
+void Engine::RegisterVid(const std::string& name, const ValueList& fields) {
+  Vid vid = TupleVid(name, fields);
+  vid_interner_.Intern(vid);
+  // Re-derivations re-register the same VID constantly; try_emplace
+  // constructs the Tuple only when the VID is new (one lookup, no copy on
+  // the hit path).
+  vid_index_.try_emplace(vid, name, fields);
 }
 
 void Engine::NoteEvalError(const Status& status) {

@@ -15,11 +15,15 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
+
+#include "src/common/hash.h"
 
 #include "src/common/status.h"
 #include "src/common/tuple.h"
 #include "src/net/simulator.h"
+#include "src/provenance/interner.h"
 #include "src/runtime/aggregates.h"
 #include "src/runtime/expr_eval.h"
 #include "src/runtime/plan.h"
@@ -78,6 +82,14 @@ struct EngineStats {
   uint64_t expirations = 0;      // soft-state lifetime retractions
   uint64_t evictions = 0;        // max-size FIFO evictions
   uint64_t periodic_firings = 0; // timer events injected
+  /// Structural list-hash digests answered from the cache inside the shared
+  /// list rep while this engine was draining (Value::Hash on a kList whose
+  /// hash was already computed). The cached-hash win: re-digest count per
+  /// distinct list drops to <= 1.
+  uint64_t hash_cache_hits = 0;
+  /// VidInterner lookups that found an already-interned VID (eh_* / prov /
+  /// ruleExec churn re-touching known vertices).
+  uint64_t vid_intern_hits = 0;
 };
 
 /// The "tuple" message channel used for shipped deltas.
@@ -117,6 +129,11 @@ class Engine {
   /// VID -> tuple for local state (and locally observed events). Entries
   /// for deleted state are retained while provenance references them.
   const Tuple* FindTupleByVid(Vid vid) const;
+
+  /// This node's VID interner, shared with the provenance store so engine
+  /// and store agree on handles. Stats land in EngineStats::vid_intern_hits.
+  provenance::VidInterner* vid_interner() { return &vid_interner_; }
+  const provenance::VidInterner& vid_interner() const { return vid_interner_; }
 
   void AddActionObserver(ActionObserver obs) {
     observers_.push_back(std::move(obs));
@@ -214,7 +231,11 @@ class Engine {
   /// Recomputes (once each) the aggregate groups touched by the current
   /// batch, in first-touch order.
   void FlushDirtyAggregates();
-  void RegisterVid(const Tuple& tuple);
+  /// Interns the tuple's VID and indexes the tuple on first sight. Takes
+  /// (name, fields) so repeat registrations (every re-derivation) skip the
+  /// Tuple construction entirely — the VID digest itself reuses cached list
+  /// hashes.
+  void RegisterVid(const std::string& name, const ValueList& fields);
   void NoteEvalError(const Status& status);
   /// Soft-state bookkeeping after a visible insert: refresh the expiry
   /// timer and enforce FIFO max-size eviction.
@@ -235,6 +256,7 @@ class Engine {
   bool overflowed_ = false;
 
   std::unordered_map<Vid, Tuple> vid_index_;
+  provenance::VidInterner vid_interner_;
 
   struct AggGroupState {
     AggGroup group;
@@ -242,22 +264,37 @@ class Engine {
     ValueList last_output;
     std::vector<Tuple> last_prov;  // emitted prov + ruleExec tuples
   };
-  struct AggKeyLess {
+  /// Hash/equality over (rule index, group key). Group-key hashing reuses
+  /// the digests cached in shared list reps. Both agg containers are pure
+  /// lookup structures — never iterated — so hash layout cannot leak into
+  /// evaluation order (dirty_aggs_ keeps the deterministic first-touch
+  /// order).
+  struct AggKeyHash {
+    size_t operator()(const std::pair<size_t, ValueList>& k) const {
+      Hasher h;
+      h.AddU64(k.first);
+      AddValueRange(&h, k.second.data(), k.second.data() + k.second.size());
+      return static_cast<size_t>(h.Digest());
+    }
+  };
+  struct AggKeyEq {
     bool operator()(const std::pair<size_t, ValueList>& a,
                     const std::pair<size_t, ValueList>& b) const {
-      if (a.first != b.first) return a.first < b.first;
-      return ValueListLess{}(a.second, b.second);
+      return a.first == b.first && ValueListEq{}(a.second, b.second);
     }
   };
   // (rule index, group key) -> state
-  std::map<std::pair<size_t, ValueList>, AggGroupState, AggKeyLess> agg_state_;
+  std::unordered_map<std::pair<size_t, ValueList>, AggGroupState, AggKeyHash,
+                     AggKeyEq>
+      agg_state_;
 
   // Batch-scoped state: true while a DeltaBatch is being evaluated (routes
   // remote shipping into the outbox and aggregate recomputation into the
   // dirty set).
   bool batching_ = false;
   std::vector<std::pair<size_t, ValueList>> dirty_aggs_;  // first-touch order
-  std::set<std::pair<size_t, ValueList>, AggKeyLess> dirty_agg_set_;
+  std::unordered_set<std::pair<size_t, ValueList>, AggKeyHash, AggKeyEq>
+      dirty_agg_set_;
   std::vector<NodeId> outbox_order_;  // destinations, first-use order
   std::unordered_map<NodeId, std::vector<net::BatchedTuple>> outbox_;
 

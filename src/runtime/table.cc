@@ -6,6 +6,26 @@
 namespace nettrails {
 namespace runtime {
 
+namespace {
+
+/// Hash of `fields` projected onto `positions`, computed in place.
+/// Bit-identical to ValueListHash{}(Table::Project(positions, fields))
+/// without materializing the projection — the projected elements are not
+/// contiguous, so this replays AddValueRange's layout (count, then element
+/// digests) by position.
+uint64_t ProjectionHash(const std::vector<int>& positions,
+                        const ValueList& fields) {
+  Hasher h;
+  h.AddU64(positions.size());
+  for (int p : positions) {
+    assert(static_cast<size_t>(p) < fields.size());
+    h.AddU64(fields[static_cast<size_t>(p)].Hash());
+  }
+  return h.Digest();
+}
+
+}  // namespace
+
 Table::Table(ndlog::TableInfo info) : info_(std::move(info)) {}
 
 ValueList Table::KeyOf(const ValueList& fields) const {
@@ -17,6 +37,22 @@ ValueList Table::KeyOf(const ValueList& fields) const {
     key.push_back(fields[static_cast<size_t>(k)]);
   }
   return key;
+}
+
+uint64_t Table::KeyHashOf(const ValueList& fields) const {
+  return info_.keys.empty() ? ValueListHash{}(fields)
+                            : ProjectionHash(info_.keys, fields);
+}
+
+bool Table::SlotKeyMatchesProjection(const Slot& slot,
+                                     const ValueList& fields) const {
+  if (info_.keys.empty()) return ValueListEq{}(slot.row.fields, fields);
+  const ValueList& key = slot.key;
+  assert(key.size() == info_.keys.size());
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (key[i] != fields[static_cast<size_t>(info_.keys[i])]) return false;
+  }
+  return true;
 }
 
 ValueList Table::Project(const std::vector<int>& positions,
@@ -59,87 +95,84 @@ std::vector<TableAction> Table::PlanDelete(const ValueList& fields,
   return actions;
 }
 
-Table::KeyIndex::iterator Table::FindKeyEntry(uint64_t hash,
-                                              const ValueList& key) {
-  auto [it, end] = key_index_.equal_range(hash);
+Table::PrimaryMap::iterator Table::FindSlot(uint64_t hash,
+                                            const ValueList& fields) {
+  auto [it, end] = primary_.equal_range(hash);
   for (; it != end; ++it) {
-    if (ValueListEq{}(it->second->first, key)) return it;
+    if (SlotKeyMatchesProjection(it->second, fields)) return it;
   }
-  return key_index_.end();
+  return primary_.end();
 }
 
-Table::KeyIndex::const_iterator Table::FindKeyEntry(
-    uint64_t hash, const ValueList& key) const {
-  auto [it, end] = key_index_.equal_range(hash);
+Table::PrimaryMap::const_iterator Table::FindSlot(
+    uint64_t hash, const ValueList& fields) const {
+  auto [it, end] = primary_.equal_range(hash);
   for (; it != end; ++it) {
-    if (ValueListEq{}(it->second->first, key)) return it;
+    if (SlotKeyMatchesProjection(it->second, fields)) return it;
   }
-  return key_index_.end();
+  return primary_.end();
 }
 
-void Table::DecrementAt(KeyIndex::iterator kit, int64_t mult) {
-  RowMap::iterator it = kit->second;
-  it->second.count -= mult;
-  if (it->second.count <= 0) {
-    UnindexRow(&it->second);
-    key_index_.erase(kit);
-    rows_.erase(it);
+void Table::DecrementAt(PrimaryMap::iterator it, int64_t mult) {
+  Row& row = it->second.row;
+  row.count -= mult;
+  if (row.count <= 0) {
+    UnindexRow(&row);
+    primary_.erase(it);
+    ordered_view_valid_ = false;
   }
 }
 
-void Table::InsertNewRow(uint64_t hash, ValueList key, const ValueList& fields,
+void Table::InsertNewRow(uint64_t hash, const ValueList& fields,
                          int64_t mult) {
-  auto [it, inserted] = rows_.try_emplace(std::move(key));
-  assert(inserted);
-  (void)inserted;
-  it->second.fields = fields;
-  it->second.count = mult;
-  key_index_.emplace(hash, it);
-  IndexRow(&it->second);
+  Slot slot;
+  if (!info_.keys.empty()) slot.key = KeyOf(fields);
+  slot.row.fields = fields;
+  slot.row.count = mult;
+  auto it = primary_.emplace(hash, std::move(slot));
+  IndexRow(&it->second.row);
+  ordered_view_valid_ = false;
 }
 
 void Table::Apply(const TableAction& action) {
-  ValueList key = KeyOf(action.fields);
-  uint64_t hash = ValueListHash{}(key);
-  auto kit = FindKeyEntry(hash, key);
+  uint64_t hash = KeyHashOf(action.fields);
+  auto it = FindSlot(hash, action.fields);
   if (action.is_delete) {
-    if (kit == key_index_.end() ||
-        kit->second->second.fields != action.fields) {
+    if (it == primary_.end() || it->second.row.fields != action.fields) {
       return;
     }
-    DecrementAt(kit, action.mult);
+    DecrementAt(it, action.mult);
     return;
   }
-  if (kit != key_index_.end()) {
+  if (it != primary_.end()) {
     // PlanInsert issues the displacement delete first, so by the time an
     // insert lands here the stored fields match (or the row was erased).
-    assert(kit->second->second.fields == action.fields);
-    kit->second->second.count += action.mult;
+    assert(it->second.row.fields == action.fields);
+    it->second.row.count += action.mult;
     return;
   }
-  InsertNewRow(hash, std::move(key), action.fields, action.mult);
+  InsertNewRow(hash, action.fields, action.mult);
 }
 
 void Table::ApplyBatch(const std::vector<DeltaRequest>& deltas,
                        std::vector<TableAction>* out) {
   for (const DeltaRequest& d : deltas) {
     assert(d.mult > 0);
-    ValueList key = KeyOf(d.fields);
-    uint64_t hash = ValueListHash{}(key);
-    auto kit = FindKeyEntry(hash, key);
+    uint64_t hash = KeyHashOf(d.fields);
+    auto it = FindSlot(hash, d.fields);
     if (d.is_delete) {
-      if (kit == key_index_.end() || kit->second->second.fields != d.fields) {
+      if (it == primary_.end() || it->second.row.fields != d.fields) {
         ++spurious_deletes_;  // matches PlanDelete on a missing tuple
         continue;
       }
-      int64_t m = std::min(d.mult, kit->second->second.count);
+      int64_t m = std::min(d.mult, it->second.row.count);
       if (m <= 0) continue;
       out->push_back({d.fields, m, /*is_delete=*/true});
-      DecrementAt(kit, m);
+      DecrementAt(it, m);
       continue;
     }
-    if (kit != key_index_.end()) {
-      Row& row = kit->second->second;
+    if (it != primary_.end()) {
+      Row& row = it->second.row;
       if (row.fields == d.fields) {
         out->push_back({d.fields, d.mult, /*is_delete=*/false});
         row.count += d.mult;
@@ -147,11 +180,43 @@ void Table::ApplyBatch(const std::vector<DeltaRequest>& deltas,
       }
       // Key replacement: retract the displaced tuple entirely, then insert.
       out->push_back({row.fields, row.count, /*is_delete=*/true});
-      DecrementAt(kit, row.count);
+      DecrementAt(it, row.count);
     }
     out->push_back({d.fields, d.mult, /*is_delete=*/false});
-    InsertNewRow(hash, std::move(key), d.fields, d.mult);
+    InsertNewRow(hash, d.fields, d.mult);
   }
+}
+
+const std::vector<Table::RowHandle>& Table::OrderedView() const {
+  if (!ordered_view_valid_) {
+    ++ordered_view_rebuilds_;
+    ordered_view_.clear();
+    ordered_view_.reserve(primary_.size());
+    for (const auto& [hash, slot] : primary_) {
+      ordered_view_.push_back(&slot.row);
+    }
+    // Sort by key projection: exactly the old ordered-map order. Keys are
+    // unique within a table (key replacement guarantees it), so the sort is
+    // a total order and the result is independent of the hash layout.
+    if (KeyIsAllFields()) {
+      std::sort(ordered_view_.begin(), ordered_view_.end(),
+                [](RowHandle a, RowHandle b) {
+                  return ValueListLess{}(a->fields, b->fields);
+                });
+    } else {
+      std::sort(ordered_view_.begin(), ordered_view_.end(),
+                [this](RowHandle a, RowHandle b) {
+                  for (int k : info_.keys) {
+                    size_t i = static_cast<size_t>(k);
+                    int c = a->fields[i].Compare(b->fields[i]);
+                    if (c != 0) return c < 0;
+                  }
+                  return false;
+                });
+    }
+    ordered_view_valid_ = true;
+  }
+  return ordered_view_;
 }
 
 int Table::AddIndex(std::vector<int> positions) {
@@ -161,9 +226,11 @@ int Table::AddIndex(std::vector<int> positions) {
   }
   indexes_.push_back(SecondaryIndex{std::move(positions), {}});
   SecondaryIndex& idx = indexes_.back();
-  for (const auto& [key, row] : rows_) {
-    idx.buckets[ValueListHash{}(Project(idx.positions, row.fields))]
-        .push_back(&row);
+  // Existing rows are indexed in deterministic (sorted) order so bucket
+  // contents — and therefore probe iteration order — do not depend on the
+  // primary hash layout.
+  for (RowHandle row : OrderedView()) {
+    idx.buckets[ProjectionHash(idx.positions, row->fields)].push_back(row);
   }
   return static_cast<int>(indexes_.size()) - 1;
 }
@@ -177,15 +244,13 @@ const std::vector<Table::RowHandle>* Table::Probe(int index_id,
 
 void Table::IndexRow(const Row* row) {
   for (SecondaryIndex& idx : indexes_) {
-    idx.buckets[ValueListHash{}(Project(idx.positions, row->fields))]
-        .push_back(row);
+    idx.buckets[ProjectionHash(idx.positions, row->fields)].push_back(row);
   }
 }
 
 void Table::UnindexRow(const Row* row) {
   for (SecondaryIndex& idx : indexes_) {
-    auto bit =
-        idx.buckets.find(ValueListHash{}(Project(idx.positions, row->fields)));
+    auto bit = idx.buckets.find(ProjectionHash(idx.positions, row->fields));
     assert(bit != idx.buckets.end());
     std::vector<RowHandle>& bucket = bit->second;
     // Ordered erase keeps probe results in insertion order (deterministic
@@ -197,12 +262,17 @@ void Table::UnindexRow(const Row* row) {
 }
 
 const Table::Row* Table::FindByKeyOf(const ValueList& fields) const {
-  return FindByKey(KeyOf(fields));
+  auto it = FindSlot(KeyHashOf(fields), fields);
+  return it == primary_.end() ? nullptr : &it->second.row;
 }
 
 const Table::Row* Table::FindByKey(const ValueList& key) const {
-  auto it = FindKeyEntry(ValueListHash{}(key), key);
-  return it == key_index_.end() ? nullptr : &it->second->second;
+  uint64_t hash = ValueListHash{}(key);
+  auto [it, end] = primary_.equal_range(hash);
+  for (; it != end; ++it) {
+    if (ValueListEq{}(SlotKey(it->second), key)) return &it->second.row;
+  }
+  return nullptr;
 }
 
 int64_t Table::CountOf(const ValueList& fields) const {
@@ -212,9 +282,9 @@ int64_t Table::CountOf(const ValueList& fields) const {
 
 std::vector<Tuple> Table::Contents() const {
   std::vector<Tuple> out;
-  out.reserve(rows_.size());
-  for (const auto& [key, row] : rows_) {
-    out.emplace_back(info_.name, row.fields);
+  out.reserve(primary_.size());
+  for (RowHandle row : OrderedView()) {
+    out.emplace_back(info_.name, row->fields);
   }
   return out;
 }

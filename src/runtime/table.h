@@ -8,17 +8,22 @@
 //    inserting a tuple with an existing key retracts the previous tuple for
 //    that key with cascade. Used for base state and aggregate outputs.
 //
-// Lookup structure: the ordered primary map (rows()) provides deterministic
-// iteration for snapshots and full scans; every point lookup (FindByKey,
-// PlanInsert/PlanDelete, Apply) goes through an O(1) hash index on the key
-// projection. Planner-selected secondary hash indexes (AddIndex/Probe) map a
-// projection of argument positions to the row handles matching it, so the
-// engine's join loop probes instead of scanning.
+// Storage layout: hash-primary. Rows live in an unordered multimap keyed by
+// the 64-bit hash of their key projection (the multimap plus an equality
+// walk makes 64-bit collisions harmless), so every structural insert,
+// point lookup (FindByKey, PlanInsert/PlanDelete, Apply) and erase is O(1)
+// — no ordered-map Compare descent. Deterministic iteration (broadcast
+// joins, snapshots, scans) goes through OrderedView(), a lazily built,
+// cached sorted view whose order is exactly the old ordered-map order
+// (sorted by key projection); it is only rebuilt after an insert or erase,
+// and the hot-churn tables (eh_* / prov / ruleExec) are never iterated.
+// Planner-selected secondary hash indexes (AddIndex/Probe) map a projection
+// of argument positions to the row handles matching it, so the engine's
+// join loop probes instead of scanning.
 #ifndef NETTRAILS_RUNTIME_TABLE_H_
 #define NETTRAILS_RUNTIME_TABLE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -60,11 +65,11 @@ struct ValueListLess {
 
 /// Hash over a value list. Value::Hash guarantees Compare()==0 implies equal
 /// hashes across numeric kinds, so this is consistent with ValueListEq.
+/// List elements reuse the digest cached in their shared rep.
 struct ValueListHash {
   size_t operator()(const ValueList& v) const {
     Hasher h;
-    h.AddU64(v.size());
-    for (const Value& x : v) h.AddU64(x.Hash());
+    AddValueRange(&h, v.data(), v.data() + v.size());
     return static_cast<size_t>(h.Digest());
   }
 };
@@ -89,14 +94,15 @@ class Table {
   };
 
   /// Stable handle to a visible row. Handles stay valid until the row's
-  /// derivation count reaches zero (node-based primary storage).
+  /// derivation count reaches zero (node-based primary storage; unordered
+  /// containers never move elements on rehash).
   using RowHandle = const Row*;
 
   explicit Table(ndlog::TableInfo info);
 
-  // Secondary indexes hold pointers into rows_; copying would alias the
-  // source's nodes. Moves transfer map nodes wholesale, keeping handles
-  // valid.
+  // Secondary indexes hold pointers into the primary store; copying would
+  // alias the source's nodes. Moves transfer map nodes wholesale, keeping
+  // handles valid.
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
   Table(Table&&) = default;
@@ -117,8 +123,8 @@ class Table {
   /// counter bump; the stored rows are never mutated.
   std::vector<TableAction> PlanDelete(const ValueList& fields, int64_t mult);
 
-  /// Applies one planned action to the stored counts, maintaining the key
-  /// index and every secondary index.
+  /// Applies one planned action to the stored counts, maintaining every
+  /// secondary index.
   void Apply(const TableAction& action);
 
   /// Plans and applies a batch of deltas in order, appending the visible
@@ -133,8 +139,18 @@ class Table {
   void ApplyBatch(const std::vector<DeltaRequest>& deltas,
                   std::vector<TableAction>* out);
 
-  /// Stored rows, keyed by their key projection.
-  const std::map<ValueList, Row, ValueListLess>& rows() const { return rows_; }
+  /// All visible rows sorted by key projection — bit-for-bit the iteration
+  /// order of the ordered-map storage this table used to keep, which the
+  /// golden derivation trace and snapshot determinism depend on. Built
+  /// lazily and cached; any insert or erase invalidates the cache (count
+  /// adjustments that leave the row set unchanged do not). The returned
+  /// vector is invalidated by the next insert or erase, like Probe()
+  /// results.
+  const std::vector<RowHandle>& OrderedView() const;
+
+  /// Ordered-view rebuilds so far (diagnostics: hot-churn tables should
+  /// never pay one).
+  uint64_t ordered_view_rebuilds() const { return ordered_view_rebuilds_; }
 
   /// Row whose key projection matches `fields`' projection, else nullptr.
   const Row* FindByKeyOf(const ValueList& fields) const;
@@ -146,9 +162,10 @@ class Table {
   int64_t CountOf(const ValueList& fields) const;
 
   /// Number of visible (distinct) tuples.
-  size_t size() const { return rows_.size(); }
+  size_t size() const { return primary_.size(); }
 
-  /// All visible tuples as Tuple objects (for tests and snapshots).
+  /// All visible tuples as Tuple objects, in OrderedView() order (for tests
+  /// and snapshots).
   std::vector<Tuple> Contents() const;
 
   /// Key projection of a fields vector under this table's key.
@@ -181,6 +198,49 @@ class Table {
   uint64_t spurious_deletes() const { return spurious_deletes_; }
 
  private:
+  /// One stored row plus its key projection. `key` is materialized only for
+  /// proper-subset keys; when the declared keys cover all fields the key IS
+  /// row.fields, and storing it again would double the footprint of the
+  /// all-fields provenance tables (eh_* / prov / ruleExec).
+  struct Slot {
+    ValueList key;
+    Row row;
+  };
+
+  /// Hash-primary storage: 64-bit key-projection hash -> slot. A multimap
+  /// so a 64-bit collision degrades to an equality walk instead of a wrong
+  /// merge; node-based, so Row handles stay valid until erase.
+  using PrimaryMap = std::unordered_multimap<uint64_t, Slot>;
+
+  bool KeyIsAllFields() const { return info_.keys.empty(); }
+  const ValueList& SlotKey(const Slot& slot) const {
+    return KeyIsAllFields() ? slot.row.fields : slot.key;
+  }
+
+  /// Hash of `fields`' key projection, computed in place (no projection
+  /// copy). Bit-identical to ValueListHash{}(KeyOf(fields)).
+  uint64_t KeyHashOf(const ValueList& fields) const;
+
+  /// Does `slot`'s key equal `fields`' key projection? Compares in place.
+  bool SlotKeyMatchesProjection(const Slot& slot,
+                                const ValueList& fields) const;
+
+  void IndexRow(const Row* row);
+  void UnindexRow(const Row* row);
+
+  /// Shared mutation primitives behind Apply and ApplyBatch. `it` is the
+  /// primary entry for the affected key; `hash` is its precomputed 64-bit
+  /// key hash.
+  void DecrementAt(PrimaryMap::iterator it, int64_t mult);
+  void InsertNewRow(uint64_t hash, const ValueList& fields, int64_t mult);
+
+  /// Primary entry whose slot key equals `fields`' key projection (hash
+  /// pre-computed), or end(). Multimap + verification makes 64-bit
+  /// collisions harmless.
+  PrimaryMap::iterator FindSlot(uint64_t hash, const ValueList& fields);
+  PrimaryMap::const_iterator FindSlot(uint64_t hash,
+                                      const ValueList& fields) const;
+
   struct SecondaryIndex {
     std::vector<int> positions;
     /// projected-key hash -> matching rows (collision false-positives are
@@ -188,33 +248,15 @@ class Table {
     std::unordered_map<uint64_t, std::vector<RowHandle>> buckets;
   };
 
-  using RowMap = std::map<ValueList, Row, ValueListLess>;
-  using KeyIndex = std::unordered_multimap<uint64_t, RowMap::iterator>;
-
-  void IndexRow(const Row* row);
-  void UnindexRow(const Row* row);
-
-  /// Shared mutation primitives behind Apply and ApplyBatch. `kit` is the
-  /// key-index entry for the affected key; `hash` is its precomputed 64-bit
-  /// key hash.
-  void DecrementAt(KeyIndex::iterator kit, int64_t mult);
-  void InsertNewRow(uint64_t hash, ValueList key, const ValueList& fields,
-                    int64_t mult);
-
-  /// Entry whose pointed-to row key equals `key` (hash pre-computed), or
-  /// end(). Multimap + verification makes 64-bit collisions harmless.
-  KeyIndex::iterator FindKeyEntry(uint64_t hash, const ValueList& key);
-  KeyIndex::const_iterator FindKeyEntry(uint64_t hash,
-                                        const ValueList& key) const;
-
   ndlog::TableInfo info_;
-  RowMap rows_;
-  /// O(1) key-projection lookup, keyed by hash only (no key copies).
-  /// Holding iterators (not just Row*) lets Apply erase without a second
-  /// O(log n) Compare-chain descent.
-  KeyIndex key_index_;
+  PrimaryMap primary_;
   std::vector<SecondaryIndex> indexes_;
   uint64_t spurious_deletes_ = 0;
+
+  /// Lazily built sorted view over primary_ (see OrderedView()).
+  mutable std::vector<RowHandle> ordered_view_;
+  mutable bool ordered_view_valid_ = false;
+  mutable uint64_t ordered_view_rebuilds_ = 0;
 };
 
 }  // namespace runtime

@@ -144,5 +144,88 @@ TEST(ValueTest, ListsAreImmutableShared) {
   EXPECT_EQ(&a.as_list(), &b.as_list());
 }
 
+
+// --- Cached list hashes -------------------------------------------------
+// The structural hash of a list is computed once per shared rep and cached;
+// the cached digest must be bit-identical to a fresh computation over a
+// structurally equal value (separate rep, cold cache), and the invariant
+// Compare()==0 => Hash equality must survive the caching.
+
+namespace {
+
+/// Deep copy through fresh reps, so the copy's hash cache is cold.
+Value DeepRebuild(const Value& v) {
+  if (!v.is_list()) return v;
+  ValueList items;
+  items.reserve(v.as_list().size());
+  for (const Value& x : v.as_list()) items.push_back(DeepRebuild(x));
+  return Value::List(std::move(items));
+}
+
+/// Pseudo-random nested value from a seed (deterministic, no RNG state).
+Value MakeNested(uint64_t seed, int depth) {
+  switch (seed % 5) {
+    case 0:
+      return Value::Int(static_cast<int64_t>(seed) - 50);
+    case 1:
+      return Value::Double(static_cast<double>(seed % 17));
+    case 2:
+      return Value::Str("s" + std::to_string(seed % 13));
+    case 3:
+      return Value::Address(static_cast<NodeId>(seed % 7));
+    default: {
+      ValueList items;
+      if (depth > 0) {
+        size_t n = seed % 4;
+        for (size_t i = 0; i < n; ++i) {
+          items.push_back(MakeNested(seed * 31 + i + 1, depth - 1));
+        }
+      }
+      return Value::List(std::move(items));
+    }
+  }
+}
+
+}  // namespace
+
+TEST(ValueTest, CachedListHashMatchesFreshComputation) {
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    Value v = MakeNested(seed, 3);
+    uint64_t first = v.Hash();   // cold: computes and caches
+    uint64_t second = v.Hash();  // cached
+    EXPECT_EQ(first, second) << "seed " << seed;
+    Value rebuilt = DeepRebuild(v);  // structurally equal, cold cache
+    ASSERT_EQ(v.Compare(rebuilt), 0) << "seed " << seed;
+    EXPECT_EQ(rebuilt.Hash(), first) << "seed " << seed;
+  }
+}
+
+TEST(ValueTest, CachedHashStaysConsistentWithCompare) {
+  // Compare()==0 across distinct values (numeric promotion, nested lists)
+  // must still imply equal hashes when one side is cached and the other is
+  // not.
+  Value li = Value::List({Value::Int(7), Value::List({Value::Int(1)})});
+  Value ld = Value::List({Value::Double(7.0), Value::List({Value::Double(1.0)})});
+  (void)li.Hash();  // warm li's cache only
+  ASSERT_EQ(li.Compare(ld), 0);
+  EXPECT_EQ(li.Hash(), ld.Hash());
+  EXPECT_NE(li.Hash(),
+            Value::List({Value::Int(7), Value::List({Value::Int(2)})}).Hash());
+}
+
+TEST(ValueTest, ListHashCacheCountsHits) {
+  uint64_t hits0 = Value::ListHashCacheHits();
+  uint64_t misses0 = Value::ListHashCacheMisses();
+  Value v = Value::List({Value::Int(1), Value::Int(2)});
+  (void)v.Hash();
+  EXPECT_EQ(Value::ListHashCacheMisses(), misses0 + 1);
+  Value copy = v;  // shares the rep and therefore the cache
+  (void)copy.Hash();
+  (void)v.Hash();
+  EXPECT_EQ(Value::ListHashCacheHits(), hits0 + 2);
+  // Re-digest count per distinct list stays at one.
+  EXPECT_EQ(Value::ListHashCacheMisses(), misses0 + 1);
+}
+
 }  // namespace
 }  // namespace nettrails

@@ -42,9 +42,9 @@ ValueList Row(int64_t a, int64_t b, int64_t c) {
 
 std::string Dump(const Table& t) {
   std::string out;
-  for (const auto& [key, row] : t.rows()) {
-    out += Tuple(t.name(), row.fields).ToString() + " x" +
-           std::to_string(row.count) + "\n";
+  for (Table::RowHandle row : t.OrderedView()) {
+    out += Tuple(t.name(), row->fields).ToString() + " x" +
+           std::to_string(row->count) + "\n";
   }
   return out;
 }
@@ -80,12 +80,12 @@ std::vector<TableAction> SerialApply(Table* t,
 void ExpectIndexesConsistent(const Table& t) {
   for (size_t idx = 0; idx < t.num_indexes(); ++idx) {
     int id = static_cast<int>(idx);
-    for (const auto& [key, row] : t.rows()) {
-      ValueList probe_key = Table::Project(t.IndexPositions(id), row.fields);
+    for (Table::RowHandle row : t.OrderedView()) {
+      ValueList probe_key = Table::Project(t.IndexPositions(id), row->fields);
       const std::vector<Table::RowHandle>* rows = t.Probe(id, probe_key);
       ASSERT_NE(rows, nullptr);
       bool found = false;
-      for (Table::RowHandle h : *rows) found |= (h == &row);
+      for (Table::RowHandle h : *rows) found |= (h == row);
       EXPECT_TRUE(found) << "row missing from index " << id;
     }
   }

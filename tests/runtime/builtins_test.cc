@@ -105,6 +105,18 @@ TEST(BuiltinsTest, MkVidMatchesTupleHash) {
   EXPECT_EQ(TupleVid("link", t.fields()), t.Hash());
 }
 
+TEST(BuiltinsTest, MkVidMatchesTupleHashForListFields) {
+  // A path-vector tuple: the list field's digest comes from the cache in
+  // its shared rep, and all three VID computations must agree bit-for-bit.
+  Value path = L({Value::Address(1), Value::Address(2), Value::Address(3)});
+  (void)path.Hash();  // warm the cache before any of the three digests
+  Tuple t("path", {Value::Address(1), Value::Address(3), path, Value::Int(4)});
+  Value vid = *Call("f_mkvid", {Value::Str("path"), Value::Address(1),
+                                Value::Address(3), path, Value::Int(4)});
+  EXPECT_EQ(ValueToVid(vid), t.Hash());
+  EXPECT_EQ(TupleVid("path", t.fields()), t.Hash());
+}
+
 TEST(BuiltinsTest, MkRidDeterministic) {
   Value vids = L({VidToValue(1), VidToValue(2)});
   Value r1 =

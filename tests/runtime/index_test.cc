@@ -35,15 +35,15 @@ void ExpectIndexesConsistent(const Table& table) {
     const std::vector<int>& positions =
         table.IndexPositions(static_cast<int>(id));
     std::set<ValueList, ValueListLess> distinct_keys;
-    for (const auto& [key, row] : table.rows()) {
-      ValueList probe_key = Table::Project(positions, row.fields);
+    for (Table::RowHandle row : table.OrderedView()) {
+      ValueList probe_key = Table::Project(positions, row->fields);
       const std::vector<Table::RowHandle>* hits =
           table.Probe(static_cast<int>(id), probe_key);
       ASSERT_NE(hits, nullptr)
           << table.name() << " index " << id << ": stored row not probeable";
       bool found = false;
       for (Table::RowHandle h : *hits) {
-        if (h == &row) found = true;
+        if (h == row) found = true;
         EXPECT_EQ(Table::Project(positions, h->fields), probe_key);
       }
       EXPECT_TRUE(found) << table.name() << " index " << id
@@ -54,7 +54,7 @@ void ExpectIndexesConsistent(const Table& table) {
     for (const ValueList& key : distinct_keys) {
       total += table.Probe(static_cast<int>(id), key)->size();
     }
-    EXPECT_EQ(total, table.rows().size())
+    EXPECT_EQ(total, table.size())
         << table.name() << " index " << id << ": stale handles";
   }
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <type_traits>
 
 namespace nettrails {
@@ -164,6 +165,147 @@ TEST(TableTest, MixedValueKindsInKeys) {
   ApplyAll(&t, t.PlanInsert({Value::Address(1), Value::Str("c")}, 1));
   EXPECT_EQ(t.size(), 2u);
   EXPECT_EQ(t.CountOf({Value::Address(1), Value::Str("c")}), 1);
+}
+
+
+// --- OrderedView determinism --------------------------------------------
+// The hash-primary store must expose iteration in exactly the order the old
+// std::map<ValueList, Row, ValueListLess> primary produced: sorted by key
+// projection. A reference ordered map is maintained alongside a randomized
+// insert/delete workload and the orders are compared after every step.
+
+namespace {
+
+/// Deterministic xorshift64 (no global RNG state).
+uint64_t NextRand(uint64_t* s) {
+  *s ^= *s << 13;
+  *s ^= *s >> 7;
+  *s ^= *s << 17;
+  return *s;
+}
+
+void CheckOrderedViewAgainstReference(const Table& t,
+                                      const std::map<ValueList, int64_t,
+                                                     ValueListLess>& ref) {
+  const std::vector<Table::RowHandle>& view = t.OrderedView();
+  ASSERT_EQ(view.size(), ref.size());
+  size_t i = 0;
+  for (const auto& [key, count] : ref) {
+    ASSERT_LT(i, view.size());
+    EXPECT_TRUE(ValueListEq{}(t.KeyOf(view[i]->fields), key))
+        << "position " << i << ": view order diverges from ordered-map order";
+    EXPECT_EQ(view[i]->count, count) << "position " << i;
+    ++i;
+  }
+}
+
+}  // namespace
+
+TEST(TableTest, OrderedViewMatchesOrderedMapCountingSemantics) {
+  Table t(CountingInfo());
+  std::map<ValueList, int64_t, ValueListLess> ref;
+  uint64_t rng = 2024;
+  for (int step = 0; step < 500; ++step) {
+    ValueList fields = Row(static_cast<int64_t>(NextRand(&rng) % 13),
+                           static_cast<int64_t>(NextRand(&rng) % 7),
+                           static_cast<int64_t>(NextRand(&rng) % 3));
+    bool del = NextRand(&rng) % 3 == 0;
+    if (del) {
+      ApplyAll(&t, t.PlanDelete(fields, 1));
+      auto it = ref.find(fields);
+      if (it != ref.end() && --it->second <= 0) ref.erase(it);
+    } else {
+      ApplyAll(&t, t.PlanInsert(fields, 1));
+      ++ref[fields];
+    }
+    CheckOrderedViewAgainstReference(t, ref);
+  }
+  EXPECT_GT(t.size(), 0u);
+}
+
+TEST(TableTest, OrderedViewMatchesOrderedMapKeyReplacement) {
+  Table t(ReplacingInfo());  // keys {0, 1}: key replacement
+  std::map<ValueList, int64_t, ValueListLess> ref;  // key projection -> count
+  uint64_t rng = 7;
+  for (int step = 0; step < 500; ++step) {
+    ValueList fields = Row(static_cast<int64_t>(NextRand(&rng) % 5),
+                           static_cast<int64_t>(NextRand(&rng) % 5),
+                           static_cast<int64_t>(NextRand(&rng) % 4));
+    ValueList key = t.KeyOf(fields);
+    if (NextRand(&rng) % 4 == 0) {
+      // Reference: a delete only lands when the stored fields match.
+      // Evaluated before applying — the handle dies with the row.
+      const Table::Row* row = t.FindByKey(key);
+      const bool lands = row != nullptr && ValueListEq{}(row->fields, fields);
+      ApplyAll(&t, t.PlanDelete(fields, 1));
+      if (lands) {
+        auto it = ref.find(key);
+        if (it != ref.end() && --it->second <= 0) ref.erase(it);
+      }
+    } else {
+      ApplyAll(&t, t.PlanInsert(fields, 1));
+      const Table::Row* row = t.FindByKey(key);
+      ASSERT_NE(row, nullptr);
+      ref[key] = row->count;
+    }
+    CheckOrderedViewAgainstReference(t, ref);
+  }
+}
+
+TEST(TableTest, OrderedViewMatchesOrderedMapUnderApplyBatch) {
+  Table t(CountingInfo());
+  std::map<ValueList, int64_t, ValueListLess> ref;
+  uint64_t rng = 99;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<DeltaRequest> deltas;
+    for (int i = 0; i < 16; ++i) {
+      ValueList fields = Row(static_cast<int64_t>(NextRand(&rng) % 11),
+                             static_cast<int64_t>(NextRand(&rng) % 5),
+                             static_cast<int64_t>(NextRand(&rng) % 2));
+      bool del = NextRand(&rng) % 3 == 0;
+      deltas.push_back({fields, 1, del});
+      if (del) {
+        auto it = ref.find(fields);
+        if (it != ref.end() && --it->second <= 0) ref.erase(it);
+      } else {
+        ++ref[fields];
+      }
+    }
+    std::vector<TableAction> actions;
+    t.ApplyBatch(deltas, &actions);
+    CheckOrderedViewAgainstReference(t, ref);
+  }
+}
+
+TEST(TableTest, OrderedViewCachesUntilRowSetChanges) {
+  Table t(CountingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 1, 1), 1));
+  ApplyAll(&t, t.PlanInsert(Row(2, 2, 2), 1));
+  uint64_t rebuilds0 = t.ordered_view_rebuilds();
+  (void)t.OrderedView();
+  (void)t.OrderedView();
+  EXPECT_EQ(t.ordered_view_rebuilds(), rebuilds0 + 1);
+  // A pure count bump keeps the row set (and the cached view) intact.
+  ApplyAll(&t, t.PlanInsert(Row(1, 1, 1), 1));
+  (void)t.OrderedView();
+  EXPECT_EQ(t.ordered_view_rebuilds(), rebuilds0 + 1);
+  // An erase invalidates.
+  ApplyAll(&t, t.PlanDelete(Row(2, 2, 2), 1));
+  (void)t.OrderedView();
+  EXPECT_EQ(t.ordered_view_rebuilds(), rebuilds0 + 2);
+}
+
+TEST(TableTest, RowHandlesStableAcrossGrowth) {
+  // Handles must survive arbitrary growth (rehashes move no nodes).
+  Table t(CountingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(0, 0, 0), 1));
+  const Table::Row* first = t.FindByKeyOf(Row(0, 0, 0));
+  ASSERT_NE(first, nullptr);
+  for (int64_t i = 1; i < 2000; ++i) {
+    ApplyAll(&t, t.PlanInsert(Row(i, i % 9, i % 4), 1));
+  }
+  EXPECT_EQ(t.FindByKeyOf(Row(0, 0, 0)), first);
+  EXPECT_EQ(first->count, 1);
 }
 
 }  // namespace
