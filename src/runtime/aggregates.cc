@@ -18,7 +18,14 @@ void AggGroup::Adjust(const Value& value, const Value& vids, int64_t mult) {
   }
   total_count_ += applied;
   if (value.is_int()) {
-    int_sum_ += value.as_int() * applied;
+    // Accumulate mod 2^64: exact whenever the true sum fits int64, and
+    // well-defined wraparound (no signed-overflow UB) when a crafted
+    // program pushes a_sum past the range — inserts and deletes stay
+    // exactly inverse either way, so the running total never drifts.
+    int_sum_ = static_cast<int64_t>(
+        static_cast<uint64_t>(int_sum_) +
+        static_cast<uint64_t>(value.as_int()) *
+            static_cast<uint64_t>(applied));
   } else if (value.is_double()) {
     double_weight_ += applied;
   }

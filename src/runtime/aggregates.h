@@ -56,10 +56,12 @@ class AggGroup {
   std::map<ContribKey, int64_t> contribs_;
   /// Running totals so a_count and integer a_sum answer in O(1) instead of
   /// rescanning the multiset per Output call. Integer arithmetic only —
-  /// exact under any insert/delete interleaving. Groups holding double
-  /// contributions fall back to the full scan (floating-point addition is
-  /// not exactly invertible, and an incremental double sum would drift from
-  /// the rescanned value).
+  /// exact under any insert/delete interleaving (int_sum_ accumulates in
+  /// unsigned arithmetic, so even an out-of-range crafted sum wraps
+  /// deterministically instead of hitting signed-overflow UB). Groups
+  /// holding double contributions fall back to the full scan
+  /// (floating-point addition is not exactly invertible, and an
+  /// incremental double sum would drift from the rescanned value).
   int64_t total_count_ = 0;
   int64_t int_sum_ = 0;
   int64_t double_weight_ = 0;  // derivation count held by double contributions

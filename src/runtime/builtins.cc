@@ -1,6 +1,7 @@
 #include "src/runtime/builtins.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <map>
 
@@ -166,7 +167,14 @@ Result<Value> FMax(const std::vector<Value>& args) {
 
 Result<Value> FAbs(const std::vector<Value>& args) {
   if (args.size() != 1) return ArityError("f_abs", 1, args.size());
-  if (args[0].is_int()) return Value::Int(std::llabs(args[0].as_int()));
+  if (args[0].is_int()) {
+    int64_t x = args[0].as_int();
+    // llabs(INT64_MIN) is undefined: the magnitude is not representable.
+    if (x == INT64_MIN) {
+      return Status::RuntimeError("integer overflow in f_abs");
+    }
+    return Value::Int(x < 0 ? -x : x);
+  }
   if (args[0].is_double()) return Value::Double(std::fabs(args[0].as_double()));
   return Status::TypeError("f_abs expects a number");
 }
@@ -223,30 +231,31 @@ Result<Value> FMkRid(const std::vector<Value>& args) {
   return VidToValue(RuleExecRid(args[0].as_string(), args[1].as_address(), vids));
 }
 
-const std::map<std::string, BuiltinFn>& Registry() {
-  static const std::map<std::string, BuiltinFn>* reg = [] {
-    auto* m = new std::map<std::string, BuiltinFn>();
-    (*m)["f_list"] = FList;
-    (*m)["f_empty"] = FEmpty;
-    (*m)["f_append"] = FAppend;
-    (*m)["f_prepend"] = FPrepend;
-    (*m)["f_concat"] = FConcat;
-    (*m)["f_member"] = FMember;
-    (*m)["f_size"] = FSize;
-    (*m)["f_first"] = FFirst;
-    (*m)["f_last"] = FLast;
-    (*m)["f_nth"] = FNth;
-    (*m)["f_indexof"] = FIndexOf;
-    (*m)["f_reverse"] = FReverse;
-    (*m)["f_removeLast"] = FRemoveLast;
-    (*m)["f_min"] = FMin;
-    (*m)["f_max"] = FMax;
-    (*m)["f_abs"] = FAbs;
-    (*m)["f_tostr"] = FToStr;
-    (*m)["f_sha1"] = FSha1;
-    (*m)["f_isExtend"] = FIsExtend;
-    (*m)["f_mkvid"] = FMkVid;
-    (*m)["f_mkrid"] = FMkRid;
+const std::map<std::string, BuiltinInfo>& Registry() {
+  static const std::map<std::string, BuiltinInfo>* reg = [] {
+    auto* m = new std::map<std::string, BuiltinInfo>();
+    // {fn, min_args, max_args}; max -1 = variadic.
+    (*m)["f_list"] = {FList, 0, -1};
+    (*m)["f_empty"] = {FEmpty, 0, 0};
+    (*m)["f_append"] = {FAppend, 2, 2};
+    (*m)["f_prepend"] = {FPrepend, 2, 2};
+    (*m)["f_concat"] = {FConcat, 2, 2};
+    (*m)["f_member"] = {FMember, 2, 2};
+    (*m)["f_size"] = {FSize, 1, 1};
+    (*m)["f_first"] = {FFirst, 1, 1};
+    (*m)["f_last"] = {FLast, 1, 1};
+    (*m)["f_nth"] = {FNth, 2, 2};
+    (*m)["f_indexof"] = {FIndexOf, 2, 2};
+    (*m)["f_reverse"] = {FReverse, 1, 1};
+    (*m)["f_removeLast"] = {FRemoveLast, 1, 1};
+    (*m)["f_min"] = {FMin, 2, 2};
+    (*m)["f_max"] = {FMax, 2, 2};
+    (*m)["f_abs"] = {FAbs, 1, 1};
+    (*m)["f_tostr"] = {FToStr, 1, 1};
+    (*m)["f_sha1"] = {FSha1, 1, 1};
+    (*m)["f_isExtend"] = {FIsExtend, 3, 3};
+    (*m)["f_mkvid"] = {FMkVid, 1, -1};
+    (*m)["f_mkrid"] = {FMkRid, 3, 3};
     return m;
   }();
   return *reg;
@@ -255,6 +264,11 @@ const std::map<std::string, BuiltinFn>& Registry() {
 }  // namespace
 
 const BuiltinFn* FindBuiltin(const std::string& name) {
+  const BuiltinInfo* info = FindBuiltinInfo(name);
+  return info == nullptr ? nullptr : &info->fn;
+}
+
+const BuiltinInfo* FindBuiltinInfo(const std::string& name) {
   auto it = Registry().find(name);
   return it == Registry().end() ? nullptr : &it->second;
 }

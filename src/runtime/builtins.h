@@ -18,8 +18,22 @@ namespace runtime {
 
 using BuiltinFn = std::function<Result<Value>(const std::vector<Value>&)>;
 
+/// A registered builtin: the callable plus its arity contract. The planner
+/// lowers Call expressions against this at compile time, so unknown-builtin
+/// and arity errors are rejected when a program is compiled instead of on
+/// the first rule firing (the functions still validate arity themselves for
+/// direct invocations, e.g. from tests).
+struct BuiltinInfo {
+  BuiltinFn fn;
+  int min_args = 0;
+  int max_args = -1;  // -1 = unbounded (variadic)
+};
+
 /// Looks up a builtin by name ("f_append", ...). Returns nullptr if unknown.
 const BuiltinFn* FindBuiltin(const std::string& name);
+
+/// Looks up a builtin with its arity contract. Returns nullptr if unknown.
+const BuiltinInfo* FindBuiltinInfo(const std::string& name);
 
 /// True if `name` is a registered builtin.
 bool IsBuiltin(const std::string& name);

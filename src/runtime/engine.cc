@@ -13,14 +13,19 @@ namespace {
 
 using ndlog::Atom;
 
-/// Evaluates all fields of an atom under full bindings (used to compute the
-/// concrete tuple an atom matched, e.g. for aggregate provenance VIDs).
-Result<ValueList> AtomFields(const Atom& atom, const Bindings& bindings) {
+/// Rebuilds the concrete tuple a lowered atom matched from a full frame
+/// (used e.g. for aggregate provenance VIDs).
+Result<ValueList> AtomFields(const CompiledAtom& atom, const Frame& frame) {
   ValueList out;
   out.reserve(atom.args.size());
-  for (const ndlog::AtomArg& arg : atom.args) {
-    NT_ASSIGN_OR_RETURN(Value v, Eval(*arg.expr, bindings));
-    out.push_back(std::move(v));
+  for (const SlotArg& arg : atom.args) {
+    if (arg.is_const()) {
+      out.push_back(arg.constant);
+    } else if (frame.IsBound(arg.slot)) {
+      out.push_back(frame.Get(arg.slot));
+    } else {
+      return Status::RuntimeError("unbound variable " + arg.name);
+    }
   }
   return out;
 }
@@ -43,6 +48,18 @@ Engine::Engine(net::Simulator* sim, NodeId id, CompiledProgramPtr prog,
       for (const std::vector<int>& positions : specs) {
         it->second.AddIndex(positions);
       }
+    }
+  }
+  // Resolve each body atom's table once: the join loop indexes
+  // term_tables_ instead of probing the string-keyed table map per visit.
+  term_tables_.resize(prog_->rules.size());
+  for (size_t r = 0; r < prog_->rules.size(); ++r) {
+    const CompiledRule& cr = prog_->rules[r];
+    term_tables_[r].assign(cr.rule.body.size(), nullptr);
+    for (size_t pos : cr.atom_positions) {
+      const Atom& atom = std::get<Atom>(cr.rule.body[pos]);
+      auto it = tables_.find(atom.predicate);
+      if (it != tables_.end()) term_tables_[r][pos] = &it->second;
     }
   }
   sim_->RegisterHandler(id_, kTupleChannel,
@@ -423,31 +440,26 @@ void Engine::FireTriggers(const std::string& pred, const TableAction& action) {
   }
 }
 
-bool Engine::MatchAtom(const Atom& atom, const ValueList& fields,
-                       Bindings* bindings,
-                       std::vector<Bindings::iterator>* added) const {
+bool Engine::MatchAtom(const CompiledAtom& atom, const ValueList& fields,
+                       Frame* frame, std::vector<int>* added) const {
   const size_t undo_mark = added->size();
   auto fail = [&]() {
     while (added->size() > undo_mark) {
-      bindings->erase(added->back());
+      frame->Unset(added->back());
       added->pop_back();
     }
     return false;
   };
   if (atom.args.size() != fields.size()) return fail();
   for (size_t i = 0; i < atom.args.size(); ++i) {
-    const ndlog::Expr& e = *atom.args[i].expr;
-    if (e.is_const()) {
-      if (e.const_value() != fields[i]) return fail();
-    } else if (e.is_var()) {
-      auto [it, inserted] = bindings->emplace(e.var_name(), fields[i]);
-      if (inserted) {
-        added->push_back(it);
-      } else if (it->second != fields[i]) {
-        return fail();
-      }
-    } else {
-      return fail();  // analysis guarantees Var/Const only
+    const SlotArg& arg = atom.args[i];
+    if (arg.is_const()) {
+      if (arg.constant != fields[i]) return fail();
+    } else if (!frame->IsBound(arg.slot)) {
+      frame->Set(arg.slot, fields[i]);
+      added->push_back(arg.slot);
+    } else if (frame->Get(arg.slot) != fields[i]) {
+      return fail();
     }
   }
   return true;
@@ -457,44 +469,45 @@ void Engine::EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
                                const TableAction& action,
                                const BatchOverlay* suffix) {
   const CompiledRule& cr = prog_->rules[rule_idx];
-  const Atom& delta_atom = std::get<Atom>(cr.rule.body[delta_term]);
-  Bindings bindings;
-  std::vector<Bindings::iterator> added;
-  if (!MatchAtom(delta_atom, action.fields, &bindings, &added)) return;
+  const CompiledAtom& delta_atom = cr.body[delta_term].atom;
+  frame_.Reset(cr.slots.size());
+  std::vector<int> added;
+  if (!MatchAtom(delta_atom, action.fields, &frame_, &added)) return;
   const std::vector<AtomProbePlan>* plans = nullptr;
   if (opts_.use_secondary_indexes) {
     auto pit = cr.join_plans.find(delta_term);
     if (pit != cr.join_plans.end()) plans = &pit->second;
   }
-  JoinRec(cr, rule_idx, 0, delta_term, plans, action, suffix, &bindings,
+  JoinRec(cr, rule_idx, 0, delta_term, plans, action, suffix, &frame_,
           action.mult);
 }
 
 void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
                      size_t delta_term, const std::vector<AtomProbePlan>* plans,
                      const TableAction& action, const BatchOverlay* suffix,
-                     Bindings* bindings, int64_t mult) {
+                     Frame* frame, int64_t mult) {
   if (overflowed_) return;
   if (term_idx == cr.rule.body.size()) {
-    EmitHead(cr, rule_idx, *bindings, mult, action.is_delete);
+    EmitHead(cr, rule_idx, *frame, mult, action.is_delete);
     return;
   }
   if (term_idx == delta_term) {
     JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
-            bindings, mult);
+            frame, mult);
     return;
   }
-  const ndlog::BodyTerm& term = cr.rule.body[term_idx];
-  if (const Atom* atom = std::get_if<Atom>(&term)) {
-    auto tit = tables_.find(atom->predicate);
-    if (tit == tables_.end()) return;  // event atom: only ever the delta
-    const Table& table = tit->second;
+  const CompiledTerm& term = cr.body[term_idx];
+  if (term.kind == CompiledTerm::Kind::kAtom) {
+    const CompiledAtom& atom = term.atom;
+    const Table* tptr = term_tables_[rule_idx][term_idx];
+    if (tptr == nullptr) return;  // event atom: only ever the delta
+    const Table& table = *tptr;
     const AtomProbePlan* probe =
         plans != nullptr ? &(*plans)[term_idx] : nullptr;
     const bool same_pred =
         probe != nullptr
             ? probe->same_pred_as_delta
-            : atom->predicate ==
+            : std::get<Atom>(cr.rule.body[term_idx]).predicate ==
                   std::get<Atom>(cr.rule.body[delta_term]).predicate;
     const bool before_delta = term_idx < delta_term;
 
@@ -510,8 +523,9 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
                             table.CountOf(action.fields) == 0;
 
     // One candidate row, shared by the probe and scan paths. The undo log
-    // restores bindings after each candidate without copying the map.
-    std::vector<Bindings::iterator> added;
+    // restores the frame after each candidate with one bit clear per
+    // newly bound slot.
+    std::vector<int> added;
     auto consider = [&](const ValueList& fields, int64_t count) {
       ++stats_.join_probes;
       if (same_pred) {
@@ -521,11 +535,11 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
         }
         if (count <= 0) return;
       }
-      if (MatchAtom(*atom, fields, bindings, &added)) {
+      if (MatchAtom(atom, fields, frame, &added)) {
         JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
-                bindings, mult * count);
+                frame, mult * count);
         while (!added.empty()) {
-          bindings->erase(added.back());
+          frame->Unset(added.back());
           added.pop_back();
         }
       }
@@ -540,14 +554,22 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
         consider(row->fields, row->count);
       }
     } else if (probe != nullptr && probe->index_id >= 0) {
-      // All bound positions are constants or bound variables by
-      // construction of the plan; build the probe key directly.
+      // All bound positions are constants or bound slots by construction
+      // of the plan; build the probe key directly from the frame. An
+      // unbound slot here would mean PlanJoinIndexes diverged from
+      // JoinRec's binding order — fail loud (as the old name-keyed at()
+      // lookup did) rather than silently probing with a stale slot value.
       ValueList key;
       key.reserve(probe->bound_positions.size());
       for (int p : probe->bound_positions) {
-        const ndlog::Expr& e = *atom->args[static_cast<size_t>(p)].expr;
-        key.push_back(e.is_const() ? e.const_value()
-                                   : bindings->at(e.var_name()));
+        const SlotArg& arg = atom.args[static_cast<size_t>(p)];
+        if (!arg.is_const() && !frame->IsBound(arg.slot)) {
+          NoteEvalError(Status::RuntimeError(
+              "internal: planner-proven probe slot for " + arg.name +
+              " is unbound in rule " + cr.rule.name));
+          return;
+        }
+        key.push_back(arg.is_const() ? arg.constant : frame->Get(arg.slot));
       }
       ++stats_.index_probes;
       const std::vector<Table::RowHandle>* rows =
@@ -570,51 +592,59 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
         consider(*fields, 0);
       }
     } else if (synthetic_needed) {
-      if (MatchAtom(*atom, action.fields, bindings, &added)) {
+      if (MatchAtom(atom, action.fields, frame, &added)) {
         JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
-                bindings, mult * action.mult);
+                frame, mult * action.mult);
         while (!added.empty()) {
-          bindings->erase(added.back());
+          frame->Unset(added.back());
           added.pop_back();
         }
       }
     }
     return;
   }
-  if (const ndlog::Assign* assign = std::get_if<ndlog::Assign>(&term)) {
-    Result<Value> v = Eval(*assign->expr, *bindings);
+  if (term.kind == CompiledTerm::Kind::kAssign) {
+    Result<Value> v = Eval(term.expr, *frame);
     if (!v.ok()) {
       NoteEvalError(v.status());
       return;
     }
-    auto [it, inserted] = bindings->emplace(assign->var, std::move(v).value());
-    if (!inserted) return;  // rebinding conflict: prune
+    if (frame->IsBound(term.assign_slot)) return;  // rebinding conflict: prune
+    frame->Set(term.assign_slot, std::move(v).value());
     JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
-            bindings, mult);
-    bindings->erase(assign->var);
+            frame, mult);
+    frame->Unset(term.assign_slot);
     return;
   }
-  const ndlog::Select& select = std::get<ndlog::Select>(term);
-  Result<Value> v = Eval(*select.expr, *bindings);
+  Result<Value> v = Eval(term.expr, *frame);  // selection
   if (!v.ok()) {
     NoteEvalError(v.status());
     return;
   }
   if (v.value().Truthy()) {
     JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
-            bindings, mult);
+            frame, mult);
   }
 }
 
 void Engine::EmitHead(const CompiledRule& cr, size_t rule_idx,
-                      const Bindings& bindings, int64_t mult, bool is_delete) {
+                      const Frame& frame, int64_t mult, bool is_delete) {
   if (cr.has_agg) {
-    HandleAggContribution(cr, rule_idx, bindings, mult, is_delete);
+    HandleAggContribution(cr, rule_idx, frame, mult, is_delete);
     return;
   }
   if (cr.head_is_event && is_delete) return;  // no event retraction
 
-  Result<ValueList> fields = AtomFields(cr.rule.head, bindings);
+  auto eval_head = [&]() -> Result<ValueList> {
+    ValueList out;
+    out.reserve(cr.head_exprs.size());
+    for (const CompiledExpr& e : cr.head_exprs) {
+      NT_ASSIGN_OR_RETURN(Value v, Eval(e, frame));
+      out.push_back(std::move(v));
+    }
+    return out;
+  };
+  Result<ValueList> fields = eval_head();
   if (!fields.ok()) {
     NoteEvalError(fields.status());
     return;
@@ -682,24 +712,23 @@ void Engine::FlushOutbox() {
 }
 
 void Engine::HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
-                                   const Bindings& bindings, int64_t mult,
+                                   const Frame& frame, int64_t mult,
                                    bool is_delete) {
   // Group key: head args except the aggregate, in order.
   ValueList group;
-  for (size_t i = 0; i < cr.rule.head.args.size(); ++i) {
+  for (size_t i = 0; i < cr.head_exprs.size(); ++i) {
     if (i == cr.agg_arg_index) continue;
-    Result<Value> v = Eval(*cr.rule.head.args[i].expr, bindings);
+    Result<Value> v = Eval(cr.head_exprs[i], frame);
     if (!v.ok()) {
       NoteEvalError(v.status());
       return;
     }
     group.push_back(std::move(v).value());
   }
-  // Aggregated value (a_count<*> contributes 1).
+  // Aggregated value (a_count<*> has no expression and contributes 1).
   Value agg_value = Value::Int(1);
-  if (cr.rule.head.args[cr.agg_arg_index].expr) {
-    Result<Value> v =
-        Eval(*cr.rule.head.args[cr.agg_arg_index].expr, bindings);
+  if (cr.head_exprs[cr.agg_arg_index].valid()) {
+    Result<Value> v = Eval(cr.head_exprs[cr.agg_arg_index], frame);
     if (!v.ok()) {
       NoteEvalError(v.status());
       return;
@@ -712,7 +741,7 @@ void Engine::HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
     ValueList vid_list;
     for (size_t pos : cr.atom_positions) {
       const Atom& atom = std::get<Atom>(cr.rule.body[pos]);
-      Result<ValueList> fields = AtomFields(atom, bindings);
+      Result<ValueList> fields = AtomFields(cr.body[pos].atom, frame);
       if (!fields.ok()) {
         NoteEvalError(fields.status());
         return;

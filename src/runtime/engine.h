@@ -207,24 +207,23 @@ class Engine {
   void JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
                size_t delta_term, const std::vector<AtomProbePlan>* plans,
                const TableAction& action, const BatchOverlay* suffix,
-               Bindings* bindings, int64_t mult);
-  /// Matches `fields` against the atom's pattern, extending `bindings` with
-  /// newly bound variables. On success the new entries are appended to
-  /// `added` (the caller's undo log: erase them to restore the bindings —
-  /// cheaper than copying the whole map per candidate row); on failure
-  /// bindings are restored before returning.
-  bool MatchAtom(const ndlog::Atom& atom, const ValueList& fields,
-                 Bindings* bindings,
-                 std::vector<Bindings::iterator>* added) const;
-  void EmitHead(const CompiledRule& cr, size_t rule_idx,
-                const Bindings& bindings, int64_t mult, bool is_delete);
+               Frame* frame, int64_t mult);
+  /// Matches `fields` against the lowered atom pattern, binding previously
+  /// unbound frame slots. On success the newly bound slots are appended to
+  /// `added` (the caller's undo log: Unset them to restore the frame — an
+  /// O(1) bit clear per slot); on failure the frame is restored before
+  /// returning.
+  bool MatchAtom(const CompiledAtom& atom, const ValueList& fields,
+                 Frame* frame, std::vector<int>* added) const;
+  void EmitHead(const CompiledRule& cr, size_t rule_idx, const Frame& frame,
+                int64_t mult, bool is_delete);
   /// Ships one tuple delta to a remote node: immediately in serial mode,
   /// buffered into the per-destination outbox during batch processing.
   void ShipRemote(NodeId dst, Tuple tuple, int64_t mult, bool is_delete);
   /// Sends each destination's buffered deltas as one batch frame.
   void FlushOutbox();
   void HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
-                             const Bindings& bindings, int64_t mult,
+                             const Frame& frame, int64_t mult,
                              bool is_delete);
   void RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
                          const ValueList& group_key);
@@ -250,6 +249,16 @@ class Engine {
   EngineOptions opts_;
 
   std::map<std::string, Table> tables_;
+  /// Per (rule, body-term) table resolution: term_tables_[rule][term] is
+  /// the materialized table backing that body atom (nullptr for events and
+  /// non-atom terms), resolved once at construction so the join loop never
+  /// does a string-keyed map lookup. Pointers into tables_ are stable
+  /// (node-based map, populated before this).
+  std::vector<std::vector<const Table*>> term_tables_;
+  /// Scratch evaluation frame, reset per EvalRuleWithDelta. Safe as a
+  /// member because rule evaluation never nests: derived heads are
+  /// enqueued, not evaluated inline, and drains do not re-enter.
+  Frame frame_;
   std::deque<Delta> queue_;
   bool draining_ = false;
   uint64_t actions_this_trigger_ = 0;

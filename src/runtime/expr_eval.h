@@ -1,23 +1,135 @@
-// Expression evaluation over variable bindings.
+// Slot-compiled expression evaluation over flat variable frames.
+//
+// Rule variables are interned into dense per-rule slot ids at plan time
+// (SlotMap), and every ndlog::Expr is lowered once into a CompiledExpr
+// whose Var nodes hold a slot index and whose Call nodes hold a
+// pre-resolved builtin pointer — unknown builtins and arity mismatches are
+// compile-time errors, not first-firing surprises. Evaluation runs over a
+// Frame: a flat vector of slot values plus a bound bitmask, so binding,
+// probing, and undo in the join loop are O(1) slot stores with no string
+// compares or map-node allocations (this replaced the old
+// std::map<std::string, Value> Bindings that dominated the convergence
+// profile).
 #ifndef NETTRAILS_RUNTIME_EXPR_EVAL_H_
 #define NETTRAILS_RUNTIME_EXPR_EVAL_H_
 
-#include <map>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/common/value.h"
 #include "src/ndlog/ast.h"
+#include "src/runtime/builtins.h"
 
 namespace nettrails {
 namespace runtime {
 
-/// Variable bindings accumulated while evaluating a rule body.
-using Bindings = std::map<std::string, Value>;
+/// Interns variable names into dense slot ids (one namespace per rule).
+/// Compile-time only; lookups are a linear scan because rules hold a
+/// handful of variables and nothing at evaluation time touches names.
+class SlotMap {
+ public:
+  /// Returns the slot of `name`, interning it on first sight.
+  int Intern(const std::string& name) {
+    int found = Find(name);
+    if (found >= 0) return found;
+    names_.push_back(name);
+    return static_cast<int>(names_.size()) - 1;
+  }
 
-/// Evaluates `expr` under `bindings`. Unbound variables, type mismatches,
-/// and unknown builtins are errors.
-Result<Value> Eval(const ndlog::Expr& expr, const Bindings& bindings);
+  /// Slot of `name`, or -1 if it was never interned.
+  int Find(const std::string& name) const {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  size_t size() const { return names_.size(); }
+  const std::string& name(int slot) const {
+    return names_[static_cast<size_t>(slot)];
+  }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// The evaluation frame for one rule: slot values plus a bound bitmask.
+/// Reset keeps vector capacity, so a reused frame allocates nothing in
+/// steady state; stale slot values are simply left behind (IsBound gates
+/// every read, and Unset is a single bit clear — no Value destruction on
+/// the undo path).
+class Frame {
+ public:
+  Frame() = default;
+  explicit Frame(size_t num_slots) { Reset(num_slots); }
+
+  void Reset(size_t num_slots) {
+    if (slots_.size() < num_slots) slots_.resize(num_slots);
+    bound_.assign((num_slots + 63) / 64, 0);
+    size_ = num_slots;
+  }
+
+  size_t size() const { return size_; }
+
+  bool IsBound(int slot) const {
+    return (bound_[static_cast<size_t>(slot) >> 6] >> (slot & 63)) & 1;
+  }
+  const Value& Get(int slot) const { return slots_[static_cast<size_t>(slot)]; }
+  void Set(int slot, const Value& v) {
+    slots_[static_cast<size_t>(slot)] = v;
+    bound_[static_cast<size_t>(slot) >> 6] |= uint64_t{1} << (slot & 63);
+  }
+  void Set(int slot, Value&& v) {
+    slots_[static_cast<size_t>(slot)] = std::move(v);
+    bound_[static_cast<size_t>(slot) >> 6] |= uint64_t{1} << (slot & 63);
+  }
+  void Unset(int slot) {
+    bound_[static_cast<size_t>(slot) >> 6] &= ~(uint64_t{1} << (slot & 63));
+  }
+
+ private:
+  std::vector<Value> slots_;
+  std::vector<uint64_t> bound_;
+  size_t size_ = 0;
+};
+
+/// A lowered expression: a flat node pool plus the root node id. Produced
+/// by CompileExpr at plan time, evaluated by Eval on the firing path.
+struct CompiledExpr {
+  enum class Op : uint8_t { kConst, kSlot, kCall, kBinary, kUnary, kList };
+
+  struct Node {
+    Op op = Op::kConst;
+    ndlog::BinOp bin_op = ndlog::BinOp::kAdd;  // kBinary
+    ndlog::UnOp un_op = ndlog::UnOp::kNot;     // kUnary
+    int slot = -1;                             // kSlot
+    Value constant;                            // kConst
+    const BuiltinFn* fn = nullptr;             // kCall (plan-time resolved)
+    std::vector<uint32_t> children;            // operand node ids
+    /// kSlot: variable name; kCall: builtin name. Error paths only.
+    std::string name;
+  };
+
+  std::vector<Node> nodes;
+  uint32_t root = 0;
+
+  /// False for a default-constructed (never lowered) expression, e.g. the
+  /// head slot of an a_count<*> aggregate argument.
+  bool valid() const { return !nodes.empty(); }
+};
+
+/// Lowers `expr` against `slots`, interning every variable and resolving
+/// every builtin call. Unknown builtins and arity violations are
+/// PlanErrors.
+Result<CompiledExpr> CompileExpr(const ndlog::Expr& expr, SlotMap* slots);
+
+/// Evaluates a compiled expression under `frame`. Unbound slots and type
+/// mismatches are errors; integer arithmetic is overflow-checked (overflow,
+/// INT64_MIN / -1, and negation of INT64_MIN are RuntimeErrors rather than
+/// undefined behavior; INT64_MIN % -1 yields the mathematical result 0).
+Result<Value> Eval(const CompiledExpr& expr, const Frame& frame);
 
 }  // namespace runtime
 }  // namespace nettrails

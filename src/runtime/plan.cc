@@ -6,7 +6,6 @@
 #include "src/ndlog/localize.h"
 #include "src/ndlog/parser.h"
 #include "src/provenance/rewrite.h"
-#include "src/runtime/builtins.h"
 
 namespace nettrails {
 namespace runtime {
@@ -20,49 +19,60 @@ using ndlog::Expr;
 using ndlog::Program;
 using ndlog::Rule;
 
-/// Collects every f_* call name in an expression tree.
-void CollectCalls(const Expr& expr, std::set<std::string>* out) {
-  struct Visitor {
-    std::set<std::string>* out;
-    void operator()(const Expr::Const&) {}
-    void operator()(const Expr::Var&) {}
-    void operator()(const Expr::Call& c) {
-      out->insert(c.fn);
-      for (const auto& a : c.args) CollectCalls(*a, out);
+/// Lowers a rule to its slot-frame form: every variable interned into
+/// cr->slots, body atoms lowered to slot/constant patterns, assignments and
+/// selections (and every head argument) lowered to CompiledExprs with
+/// builtins resolved and arity-checked — so unknown-builtin and arity
+/// errors surface here, at compile time, not on the first firing.
+Status LowerRule(CompiledRule* cr) {
+  const Rule& rule = cr->rule;
+  auto lower_expr = [&](const Expr& e) -> Result<CompiledExpr> {
+    Result<CompiledExpr> ce = CompileExpr(e, &cr->slots);
+    if (!ce.ok()) {
+      return Status::PlanError("rule " + rule.name + ": " +
+                               ce.status().message());
     }
-    void operator()(const Expr::Binary& b) {
-      CollectCalls(*b.lhs, out);
-      CollectCalls(*b.rhs, out);
-    }
-    void operator()(const Expr::Unary& u) { CollectCalls(*u.operand, out); }
-    void operator()(const Expr::ListLit& l) {
-      for (const auto& e : l.elements) CollectCalls(*e, out);
-    }
+    return ce;
   };
-  std::visit(Visitor{out}, expr.rep());
-}
 
-Status CheckBuiltinsKnown(const Program& prog) {
-  std::set<std::string> calls;
-  for (const Rule& rule : prog.rules) {
-    for (const ndlog::AtomArg& arg : rule.head.args) {
-      if (arg.expr) CollectCalls(*arg.expr, &calls);
-    }
-    for (const BodyTerm& term : rule.body) {
-      if (const Atom* a = std::get_if<Atom>(&term)) {
-        for (const ndlog::AtomArg& arg : a->args) {
-          if (arg.expr) CollectCalls(*arg.expr, &calls);
+  cr->body.resize(rule.body.size());
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    CompiledTerm& term = cr->body[i];
+    if (const Atom* atom = std::get_if<Atom>(&rule.body[i])) {
+      term.kind = CompiledTerm::Kind::kAtom;
+      term.atom.args.reserve(atom->args.size());
+      for (const ndlog::AtomArg& arg : atom->args) {
+        const Expr& e = *arg.expr;
+        SlotArg sa;
+        if (e.is_var()) {
+          sa.slot = cr->slots.Intern(e.var_name());
+          sa.name = e.var_name();
+        } else if (e.is_const()) {
+          sa.constant = e.const_value();
+        } else {
+          return Status::PlanError(
+              "rule " + rule.name +
+              ": body atom arguments must be variables or constants");
         }
-      } else if (const ndlog::Assign* as = std::get_if<ndlog::Assign>(&term)) {
-        CollectCalls(*as->expr, &calls);
-      } else {
-        CollectCalls(*std::get<ndlog::Select>(term).expr, &calls);
+        term.atom.args.push_back(std::move(sa));
       }
+    } else if (const ndlog::Assign* assign =
+                   std::get_if<ndlog::Assign>(&rule.body[i])) {
+      term.kind = CompiledTerm::Kind::kAssign;
+      NT_ASSIGN_OR_RETURN(term.expr, lower_expr(*assign->expr));
+      term.assign_slot = cr->slots.Intern(assign->var);
+    } else {
+      term.kind = CompiledTerm::Kind::kSelect;
+      NT_ASSIGN_OR_RETURN(term.expr,
+                          lower_expr(*std::get<ndlog::Select>(rule.body[i]).expr));
     }
   }
-  for (const std::string& fn : calls) {
-    if (!IsBuiltin(fn)) {
-      return Status::PlanError("unknown builtin function " + fn);
+
+  cr->head_exprs.resize(rule.head.args.size());
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    if (rule.head.args[i].expr) {
+      NT_ASSIGN_OR_RETURN(cr->head_exprs[i],
+                          lower_expr(*rule.head.args[i].expr));
     }
   }
   return Status::OK();
@@ -160,8 +170,6 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
     prog.rules = std::move(kept);
   }
 
-  NT_RETURN_IF_ERROR(CheckBuiltinsKnown(analyzed.program));
-
   auto prog = std::make_shared<CompiledProgram>();
   prog->tables = analyzed.tables;
   prog->provenance = options.provenance;
@@ -249,6 +257,7 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
       return Status::PlanError("rule " + cr.rule.name +
                                ": body must contain at least one atom");
     }
+    NT_RETURN_IF_ERROR(LowerRule(&cr));
     prog->rules.push_back(std::move(cr));
   }
 

@@ -12,6 +12,7 @@
 
 #include "src/common/status.h"
 #include "src/ndlog/analysis.h"
+#include "src/runtime/expr_eval.h"
 
 namespace nettrails {
 namespace runtime {
@@ -50,11 +51,45 @@ struct AtomProbePlan {
   bool same_pred_as_delta = false;
 };
 
+/// Lowered atom argument: a frame slot (variable) or a constant. Body atom
+/// arguments are Var/Const only after analysis, so this is total.
+struct SlotArg {
+  int slot = -1;     // >= 0: frame slot holding the variable
+  Value constant;    // the value when slot < 0
+  std::string name;  // variable name (diagnostics only; never on hot path)
+
+  bool is_const() const { return slot < 0; }
+};
+
+/// Lowered body-atom pattern: the engine matches candidate rows against it,
+/// binding unbound slots, and rebuilds concrete tuples from a full frame.
+struct CompiledAtom {
+  std::vector<SlotArg> args;
+};
+
+/// One lowered body term, index-parallel to CompiledRule::rule.body.
+struct CompiledTerm {
+  enum class Kind : uint8_t { kAtom, kAssign, kSelect };
+  Kind kind = Kind::kSelect;
+  CompiledAtom atom;     // kAtom
+  int assign_slot = -1;  // kAssign: slot the assignment binds
+  CompiledExpr expr;     // kAssign / kSelect
+};
+
 /// One executable rule.
 struct CompiledRule {
   ndlog::Rule rule;
   /// Indices into rule.body that are atoms, in body order.
   std::vector<size_t> atom_positions;
+  /// Slot frame layout: every variable appearing in the rule, interned to a
+  /// dense id at compile time. Evaluation frames are sized to slots.size().
+  SlotMap slots;
+  /// Lowered body, index-parallel to rule.body (patterns for atoms,
+  /// slot-compiled expressions for assignments and selections).
+  std::vector<CompiledTerm> body;
+  /// Lowered head-argument expressions, index-parallel to rule.head.args.
+  /// The a_count<*> aggregate argument has no expression (entry invalid).
+  std::vector<CompiledExpr> head_exprs;
   /// Head predicate is an event (not materialized).
   bool head_is_event = false;
   /// Aggregate rule bookkeeping.

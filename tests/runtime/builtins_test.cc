@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace nettrails {
 namespace runtime {
 namespace {
@@ -71,6 +74,56 @@ TEST(BuiltinsTest, MinMaxAbs) {
   EXPECT_EQ(*Call("f_abs", {Value::Int(-4)}), Value::Int(4));
   EXPECT_DOUBLE_EQ(Call("f_abs", {Value::Double(-2.5)})->as_double(), 2.5);
   EXPECT_FALSE(Call("f_abs", {Value::Str("x")}).ok());
+}
+
+TEST(BuiltinsTest, AbsGuardsIntMin) {
+  // |INT64_MIN| is not representable: a RuntimeError, not llabs() UB.
+  const int64_t min = std::numeric_limits<int64_t>::min();
+  const int64_t max = std::numeric_limits<int64_t>::max();
+  Result<Value> overflow = Call("f_abs", {Value::Int(min)});
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), Status::Code::kRuntimeError);
+  EXPECT_EQ(*Call("f_abs", {Value::Int(min + 1)}), Value::Int(max));
+  EXPECT_EQ(*Call("f_abs", {Value::Int(max)}), Value::Int(max));
+}
+
+TEST(BuiltinsTest, ArityMetadataMatchesRuntimeChecks) {
+  // The planner rejects arity violations at compile time using
+  // FindBuiltinInfo; the contract must agree with what the functions
+  // themselves enforce.
+  for (const std::string& name : BuiltinNames()) {
+    const BuiltinInfo* info = FindBuiltinInfo(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_EQ(&info->fn, FindBuiltin(name)) << name;
+    EXPECT_GE(info->min_args, 0) << name;
+    if (info->max_args >= 0) {
+      EXPECT_LE(info->min_args, info->max_args) << name;
+      // One past the maximum must be refused at call time too.
+      std::vector<Value> args(static_cast<size_t>(info->max_args) + 1,
+                              Value::Int(1));
+      EXPECT_FALSE(info->fn(args).ok()) << name;
+    }
+    if (info->min_args > 0) {
+      std::vector<Value> args(static_cast<size_t>(info->min_args) - 1,
+                              Value::Int(1));
+      EXPECT_FALSE(info->fn(args).ok()) << name;
+    }
+    // The registry range must not be wider than the function's own check:
+    // every in-range count must get past the arity gate (it may still fail
+    // on argument types — arity refusals are recognizable by message, the
+    // "argument(s)" wording of ArityError).
+    const int probe_max =
+        info->max_args >= 0 ? info->max_args : info->min_args + 2;
+    for (int n = info->min_args; n <= probe_max; ++n) {
+      std::vector<Value> args(static_cast<size_t>(n), Value::Int(1));
+      Result<Value> r = info->fn(args);
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().message().find("argument(s)"), std::string::npos)
+            << name << " refused in-range arity " << n << ": "
+            << r.status().ToString();
+      }
+    }
+  }
 }
 
 TEST(BuiltinsTest, ToStrAndSha1) {

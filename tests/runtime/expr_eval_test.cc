@@ -2,11 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <map>
+
 #include "src/ndlog/parser.h"
 
 namespace nettrails {
 namespace runtime {
 namespace {
+
+const int64_t kIntMin = std::numeric_limits<int64_t>::min();
+const int64_t kIntMax = std::numeric_limits<int64_t>::max();
 
 // Parses `expr` by embedding it in a selection of a throwaway rule.
 ndlog::ExprPtr ParseExpr(const std::string& expr) {
@@ -17,8 +24,21 @@ ndlog::ExprPtr ParseExpr(const std::string& expr) {
   return sel.expr;
 }
 
-Result<Value> EvalStr(const std::string& expr, Bindings bindings = {}) {
-  return Eval(*ParseExpr(expr), bindings);
+/// Name-keyed variable values for tests; lowered into a slot frame the way
+/// the engine's rule compiler does.
+using TestVars = std::map<std::string, Value>;
+
+Result<Value> EvalStr(const std::string& expr, const TestVars& vars = {}) {
+  ndlog::ExprPtr parsed = ParseExpr(expr);
+  SlotMap slots;
+  Result<CompiledExpr> compiled = CompileExpr(*parsed, &slots);
+  if (!compiled.ok()) return compiled.status();
+  Frame frame(slots.size());
+  for (const auto& [name, value] : vars) {
+    int slot = slots.Find(name);
+    if (slot >= 0) frame.Set(slot, value);
+  }
+  return Eval(*compiled, frame);
 }
 
 TEST(ExprEvalTest, Arithmetic) {
@@ -34,6 +54,55 @@ TEST(ExprEvalTest, DivisionByZero) {
   EXPECT_FALSE(EvalStr("1 / 0").ok());
   EXPECT_FALSE(EvalStr("1 % 0").ok());
   EXPECT_FALSE(EvalStr("1.0 / 0.0").ok());
+}
+
+TEST(ExprEvalTest, IntegerDivisionOverflow) {
+  // INT64_MIN / -1 is not representable: a RuntimeError, not UB/SIGFPE.
+  TestVars vars{{"X", Value::Int(kIntMin)}, {"Y", Value::Int(-1)}};
+  Result<Value> div = EvalStr("X / Y", vars);
+  ASSERT_FALSE(div.ok());
+  EXPECT_EQ(div.status().code(), Status::Code::kRuntimeError);
+  // One step inside the boundary divides fine.
+  EXPECT_EQ(*EvalStr("X / Y", {{"X", Value::Int(kIntMin + 1)},
+                               {"Y", Value::Int(-1)}}),
+            Value::Int(kIntMax));
+}
+
+TEST(ExprEvalTest, ModuloByNegativeOne) {
+  // x % -1 == 0 for every x, including INT64_MIN (where the hardware
+  // remainder would fault).
+  EXPECT_EQ(*EvalStr("X % Y", {{"X", Value::Int(kIntMin)},
+                               {"Y", Value::Int(-1)}}),
+            Value::Int(0));
+  EXPECT_EQ(*EvalStr("7 % Y", {{"Y", Value::Int(-1)}}), Value::Int(0));
+  EXPECT_EQ(*EvalStr("X % 5", {{"X", Value::Int(kIntMin)}}),
+            Value::Int(kIntMin % 5));
+}
+
+TEST(ExprEvalTest, AdditiveOverflowGuarded) {
+  TestVars at_max{{"X", Value::Int(kIntMax)}};
+  TestVars at_min{{"X", Value::Int(kIntMin)}};
+  EXPECT_FALSE(EvalStr("X + 1", at_max).ok());
+  EXPECT_FALSE(EvalStr("X - 1", at_min).ok());
+  EXPECT_FALSE(EvalStr("0 - X", at_min).ok());  // -INT64_MIN via subtraction
+  // The boundary values themselves are reachable.
+  EXPECT_EQ(*EvalStr("X + 0", at_max), Value::Int(kIntMax));
+  EXPECT_EQ(*EvalStr("X - 0", at_min), Value::Int(kIntMin));
+  EXPECT_EQ(*EvalStr("X + 1", {{"X", Value::Int(kIntMax - 1)}}),
+            Value::Int(kIntMax));
+}
+
+TEST(ExprEvalTest, MultiplicativeOverflowGuarded) {
+  TestVars at_max{{"X", Value::Int(kIntMax)}};
+  EXPECT_FALSE(EvalStr("X * 2", at_max).ok());
+  EXPECT_FALSE(EvalStr("X * X", at_max).ok());
+  EXPECT_FALSE(EvalStr("X * 0 - X * 2", at_max).ok());
+  EXPECT_EQ(*EvalStr("X * 1", at_max), Value::Int(kIntMax));
+  EXPECT_EQ(*EvalStr("X * 0", at_max), Value::Int(0));
+  // INT64_MIN * -1 overflows too.
+  EXPECT_FALSE(
+      EvalStr("X * Y", {{"X", Value::Int(kIntMin)}, {"Y", Value::Int(-1)}})
+          .ok());
 }
 
 TEST(ExprEvalTest, Comparisons) {
@@ -62,33 +131,100 @@ TEST(ExprEvalTest, UnaryNegation) {
   EXPECT_FALSE(EvalStr("-\"x\"").ok());
 }
 
+TEST(ExprEvalTest, UnaryNegationOverflowGuarded) {
+  // -INT64_MIN is not representable: a RuntimeError, not UB.
+  Result<Value> neg = EvalStr("-X", {{"X", Value::Int(kIntMin)}});
+  ASSERT_FALSE(neg.ok());
+  EXPECT_EQ(neg.status().code(), Status::Code::kRuntimeError);
+  EXPECT_EQ(*EvalStr("-X", {{"X", Value::Int(kIntMax)}}),
+            Value::Int(-kIntMax));
+  EXPECT_EQ(*EvalStr("-X", {{"X", Value::Int(kIntMin + 1)}}),
+            Value::Int(kIntMax));
+}
+
 TEST(ExprEvalTest, Variables) {
-  Bindings b;
-  b["X"] = Value::Int(10);
-  b["Y"] = Value::Int(4);
-  EXPECT_EQ(*EvalStr("X - Y", b), Value::Int(6));
-  EXPECT_FALSE(EvalStr("X + Z", b).ok());  // Z unbound
+  TestVars vars{{"X", Value::Int(10)}, {"Y", Value::Int(4)}};
+  EXPECT_EQ(*EvalStr("X - Y", vars), Value::Int(6));
+  EXPECT_FALSE(EvalStr("X + Z", vars).ok());  // Z unbound
 }
 
 TEST(ExprEvalTest, FunctionCalls) {
-  Bindings b;
-  b["P"] = Value::List({Value::Address(1), Value::Address(2)});
-  EXPECT_EQ(*EvalStr("f_size(P)", b), Value::Int(2));
-  EXPECT_EQ(*EvalStr("f_member(P, @1)", b), Value::Bool(true));
-  EXPECT_EQ(*EvalStr("f_size(f_append(P, @3))", b), Value::Int(3));
+  TestVars vars{{"P", Value::List({Value::Address(1), Value::Address(2)})}};
+  EXPECT_EQ(*EvalStr("f_size(P)", vars), Value::Int(2));
+  EXPECT_EQ(*EvalStr("f_member(P, @1)", vars), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("f_size(f_append(P, @3))", vars), Value::Int(3));
 }
 
 TEST(ExprEvalTest, FunctionErrorsPropagate) {
-  Bindings b;
-  b["P"] = Value::List({});
-  EXPECT_FALSE(EvalStr("f_first(P)", b).ok());
-  EXPECT_FALSE(EvalStr("f_size(P, P)", b).ok());  // arity
+  TestVars vars{{"P", Value::List({})}};
+  EXPECT_FALSE(EvalStr("f_first(P)", vars).ok());
+}
+
+TEST(ExprEvalTest, UnknownBuiltinFailsAtCompileTime) {
+  SlotMap slots;
+  Result<CompiledExpr> bad = CompileExpr(*ParseExpr("f_bogus(X)"), &slots);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kPlanError);
+  EXPECT_NE(bad.status().message().find("f_bogus"), std::string::npos);
+}
+
+TEST(ExprEvalTest, ArityErrorsFailAtCompileTime) {
+  SlotMap slots;
+  // f_size takes exactly one argument; the mismatch is a PlanError before
+  // any evaluation happens (previously a lazy first-firing error).
+  Result<CompiledExpr> bad = CompileExpr(*ParseExpr("f_size(X, X)"), &slots);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kPlanError);
+  // Variadic builtins still accept any count >= their minimum.
+  EXPECT_TRUE(CompileExpr(*ParseExpr("f_list(X, X, X)"), &slots).ok());
+  EXPECT_FALSE(CompileExpr(*ParseExpr("f_mkvid()"), &slots).ok());
+}
+
+TEST(ExprEvalTest, CallNodesPreResolved) {
+  SlotMap slots;
+  Result<CompiledExpr> compiled =
+      CompileExpr(*ParseExpr("f_size(f_append(P, @3))"), &slots);
+  ASSERT_TRUE(compiled.ok());
+  size_t calls = 0;
+  for (const CompiledExpr::Node& node : compiled->nodes) {
+    if (node.op != CompiledExpr::Op::kCall) continue;
+    ++calls;
+    EXPECT_EQ(node.fn, FindBuiltin(node.name)) << node.name;
+  }
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(ExprEvalTest, SlotInterningIsDense) {
+  SlotMap slots;
+  Result<CompiledExpr> compiled =
+      CompileExpr(*ParseExpr("X + Y * X - Z"), &slots);
+  ASSERT_TRUE(compiled.ok());
+  // Three distinct variables -> three slots; repeats share the slot.
+  EXPECT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots.Find("X"), 0);
+  EXPECT_EQ(slots.Find("Y"), 1);
+  EXPECT_EQ(slots.Find("Z"), 2);
+  EXPECT_EQ(slots.Intern("X"), 0);
+  EXPECT_EQ(slots.Find("W"), -1);
+}
+
+TEST(ExprEvalTest, FrameBoundTracking) {
+  Frame frame(70);  // spans two bitmask words
+  EXPECT_FALSE(frame.IsBound(0));
+  EXPECT_FALSE(frame.IsBound(69));
+  frame.Set(69, Value::Int(9));
+  EXPECT_TRUE(frame.IsBound(69));
+  EXPECT_EQ(frame.Get(69), Value::Int(9));
+  frame.Unset(69);
+  EXPECT_FALSE(frame.IsBound(69));
+  frame.Set(3, Value::Int(1));
+  frame.Reset(70);  // reset clears every bound bit
+  EXPECT_FALSE(frame.IsBound(3));
 }
 
 TEST(ExprEvalTest, ListLiterals) {
-  Bindings b;
-  b["X"] = Value::Int(9);
-  Result<Value> v = EvalStr("f_size([1, X, [2]])", b);
+  TestVars vars{{"X", Value::Int(9)}};
+  Result<Value> v = EvalStr("f_size([1, X, [2]])", vars);
   EXPECT_EQ(*v, Value::Int(3));
 }
 
@@ -98,11 +234,9 @@ TEST(ExprEvalTest, TypeErrors) {
 }
 
 TEST(ExprEvalTest, AddressComparisons) {
-  Bindings b;
-  b["X"] = Value::Address(1);
-  b["Y"] = Value::Address(2);
-  EXPECT_EQ(*EvalStr("X != Y", b), Value::Bool(true));
-  EXPECT_EQ(*EvalStr("X == @1", b), Value::Bool(true));
+  TestVars vars{{"X", Value::Address(1)}, {"Y", Value::Address(2)}};
+  EXPECT_EQ(*EvalStr("X != Y", vars), Value::Bool(true));
+  EXPECT_EQ(*EvalStr("X == @1", vars), Value::Bool(true));
 }
 
 }  // namespace

@@ -106,11 +106,106 @@ TEST(PlanTest, AggregateHeadKeyMustMatchGroup) {
 }
 
 TEST(PlanTest, UnknownBuiltinRejected) {
+  // Rejected when the program compiles — expression lowering resolves every
+  // builtin — not lazily on the first firing.
   const char* src = R"(
     materialize(t, infinity, infinity, keys(1)).
     r1 t(@X) :- t(@X), f_bogus(X) == 1.
   )";
-  EXPECT_FALSE(Compile(src).ok());
+  Result<CompiledProgramPtr> prog = Compile(src);
+  ASSERT_FALSE(prog.ok());
+  EXPECT_EQ(prog.status().code(), Status::Code::kPlanError);
+  EXPECT_NE(prog.status().message().find("f_bogus"), std::string::npos);
+}
+
+TEST(PlanTest, BuiltinArityRejectedAtCompileTime) {
+  // f_size is unary; the arity violation is caught by the lowering pass.
+  const char* src = R"(
+    materialize(t, infinity, infinity, keys(1)).
+    r1 t(@X) :- t(@X), f_size(X, X) == 1.
+  )";
+  Result<CompiledProgramPtr> prog = Compile(src);
+  ASSERT_FALSE(prog.ok());
+  EXPECT_EQ(prog.status().code(), Status::Code::kPlanError);
+  EXPECT_NE(prog.status().message().find("argument"), std::string::npos);
+  // Same check covers head expressions.
+  const char* head_src = R"(
+    materialize(t, infinity, infinity, keys(1)).
+    materialize(u, infinity, infinity, keys(1,2)).
+    r1 u(@X, f_abs(X, X)) :- t(@X).
+  )";
+  EXPECT_FALSE(Compile(head_src).ok());
+}
+
+TEST(PlanTest, RulesLowerToSlotFrames) {
+  CompileOptions opts;
+  opts.provenance = false;
+  Result<CompiledProgramPtr> prog =
+      Compile(protocols::MincostProgram(), opts);
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  for (const CompiledRule& cr : (*prog)->rules) {
+    // Lowered body and head are index-parallel to the AST rule.
+    ASSERT_EQ(cr.body.size(), cr.rule.body.size());
+    ASSERT_EQ(cr.head_exprs.size(), cr.rule.head.args.size());
+    EXPECT_GT(cr.slots.size(), 0u) << cr.rule.name;
+    for (size_t i = 0; i < cr.body.size(); ++i) {
+      const CompiledTerm& term = cr.body[i];
+      if (const auto* atom = std::get_if<ndlog::Atom>(&cr.rule.body[i])) {
+        ASSERT_EQ(term.kind, CompiledTerm::Kind::kAtom);
+        ASSERT_EQ(term.atom.args.size(), atom->args.size());
+        for (size_t a = 0; a < atom->args.size(); ++a) {
+          const SlotArg& sa = term.atom.args[a];
+          if (atom->args[a].expr->is_var()) {
+            ASSERT_GE(sa.slot, 0);
+            ASSERT_LT(static_cast<size_t>(sa.slot), cr.slots.size());
+            // The slot maps back to exactly this variable name.
+            EXPECT_EQ(cr.slots.name(sa.slot), atom->args[a].expr->var_name());
+          } else {
+            EXPECT_TRUE(sa.is_const());
+            EXPECT_EQ(sa.constant, atom->args[a].expr->const_value());
+          }
+        }
+      } else if (std::get_if<ndlog::Assign>(&cr.rule.body[i])) {
+        ASSERT_EQ(term.kind, CompiledTerm::Kind::kAssign);
+        EXPECT_GE(term.assign_slot, 0);
+        EXPECT_TRUE(term.expr.valid());
+      } else {
+        ASSERT_EQ(term.kind, CompiledTerm::Kind::kSelect);
+        EXPECT_TRUE(term.expr.valid());
+      }
+    }
+    // Aggregate a_count<*> aside, every head argument lowers.
+    for (size_t i = 0; i < cr.head_exprs.size(); ++i) {
+      if (cr.rule.head.args[i].expr) {
+        EXPECT_TRUE(cr.head_exprs[i].valid());
+      }
+    }
+  }
+}
+
+TEST(PlanTest, LoweredCallsArePreResolved) {
+  // The provenance rewrite makes heavy use of f_mkvid/f_mkrid; every Call
+  // node in the compiled program must carry its resolved builtin pointer.
+  Result<CompiledProgramPtr> prog = Compile(protocols::MincostProgram());
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  size_t call_nodes = 0;
+  auto check_expr = [&](const CompiledExpr& e) {
+    for (const CompiledExpr::Node& node : e.nodes) {
+      if (node.op != CompiledExpr::Op::kCall) continue;
+      ++call_nodes;
+      ASSERT_NE(node.fn, nullptr) << node.name;
+      EXPECT_EQ(node.fn, FindBuiltin(node.name)) << node.name;
+    }
+  };
+  for (const CompiledRule& cr : (*prog)->rules) {
+    for (const CompiledTerm& term : cr.body) {
+      if (term.expr.valid()) check_expr(term.expr);
+    }
+    for (const CompiledExpr& e : cr.head_exprs) {
+      if (e.valid()) check_expr(e);
+    }
+  }
+  EXPECT_GT(call_nodes, 0u);
 }
 
 TEST(PlanTest, MaybeRulesDroppedWithoutProvenance) {
