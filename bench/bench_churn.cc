@@ -15,6 +15,7 @@
 // content).
 #include <benchmark/benchmark.h>
 
+#include "src/common/alloc_hook.h"
 #include "src/net/topology.h"
 #include "src/protocols/programs.h"
 #include "src/runtime/plan.h"
@@ -60,6 +61,9 @@ void RunIncrementalFlap(benchmark::State& state, const char* program,
   uint64_t base_msgs = sim.total_traffic().messages;
   uint64_t base_tuples = sim.total_traffic().tuples;
   uint64_t base_disp = TotalDispatches(engines);
+  uint64_t base_allocs = AllocCount();
+  uint64_t base_drain = 0;
+  for (const auto& e : engines) base_drain += e->stats().drain_allocs;
   for (auto _ : state) {
     (void)protocols::FailLink(flap.a, flap.b, flap.cost, &engines, &sim);
     (void)protocols::RecoverLink(flap.a, flap.b, flap.cost, &engines, &sim);
@@ -77,6 +81,17 @@ void RunIncrementalFlap(benchmark::State& state, const char* program,
     state.counters["dispatches_per_flap"] =
         static_cast<double>(TotalDispatches(engines) - base_disp) /
         static_cast<double>(flaps);
+    // Heap allocations per converged flap (operator-new calls; whole
+    // process, but the bench loop is the only allocator while running).
+    // Reads 0 unless built with -DNETTRAILS_COUNT_ALLOCS=ON; pinned by
+    // scripts/check_alloc_budget.sh in CI.
+    state.counters["allocs_per_flap"] =
+        static_cast<double>(AllocCount() - base_allocs) /
+        static_cast<double>(flaps);
+    uint64_t drain = 0;
+    for (const auto& e : engines) drain += e->stats().drain_allocs;
+    state.counters["drain_allocs_per_flap"] =
+        static_cast<double>(drain - base_drain) / static_cast<double>(flaps);
   }
 }
 

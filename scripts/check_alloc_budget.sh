@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Allocation-budget gate for the zero-allocation shipping path.
+#
+# Runs the churn bench from an alloc-counting build (cmake
+# -DNETTRAILS_COUNT_ALLOCS=ON) and fails if heap allocations per converged
+# link flap exceed the committed budgets. The budgets pin the pooled
+# pipeline — POD event records, recycled message frames, open-addressing
+# row storage, pooled ValueList/arg buffers, tombstoned aggregate groups —
+# against regressions that reintroduce per-tuple allocation.
+#
+# History (mincost, n=24): the pre-pooling pipeline measured 51,390
+# allocs/flap at batch 64 and 54,529 at batch 1; the pooled pipeline
+# measures ~3,920 and ~13,100. Budgets carry ~15% headroom over the
+# measured values so noise does not flake CI, while any real per-tuple
+# regression (one alloc per shipped tuple is ~1,300/flap) trips the gate.
+#
+# Usage: scripts/check_alloc_budget.sh [build-dir]
+#   build-dir defaults to build-alloc and must be configured with
+#   -DNETTRAILS_COUNT_ALLOCS=ON (the script fails loud if the counter
+#   reads zero, which is what a non-counting build reports).
+set -euo pipefail
+
+BUILD_DIR="${1:-build-alloc}"
+BENCH="$BUILD_DIR/bench_churn"
+
+# allocs_per_flap ceilings, keyed by benchmark args (nodes/batch).
+BUDGET_24_64=4500
+BUDGET_24_1=15000
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: $BENCH not built; configure with:" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release -DNETTRAILS_COUNT_ALLOCS=ON" >&2
+  echo "  cmake --build $BUILD_DIR --target bench_churn -j" >&2
+  exit 2
+fi
+
+OUT="$BUILD_DIR/alloc_budget_churn.json"
+"$BENCH" --benchmark_filter='Mincost_IncrementalFlap/24/(1|64)$' \
+         --benchmark_min_time=0.2 \
+         --benchmark_out="$OUT" --benchmark_out_format=json >/dev/null
+
+python3 - "$OUT" "$BUDGET_24_64" "$BUDGET_24_1" <<'EOF'
+import json, sys
+
+out, budget64, budget1 = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+budgets = {
+    "BM_Churn_Mincost_IncrementalFlap/24/64": budget64,
+    "BM_Churn_Mincost_IncrementalFlap/24/1": budget1,
+}
+measured = {}
+for b in json.load(open(out))["benchmarks"]:
+    if b["name"] in budgets:
+        measured[b["name"]] = b.get("allocs_per_flap")
+
+failed = False
+for name, budget in budgets.items():
+    got = measured.get(name)
+    if got is None:
+        print(f"FAIL {name}: no allocs_per_flap counter in bench output")
+        failed = True
+        continue
+    if got == 0:
+        print(f"FAIL {name}: allocs_per_flap reads 0 — bench was built "
+              "without -DNETTRAILS_COUNT_ALLOCS=ON")
+        failed = True
+        continue
+    verdict = "FAIL" if got > budget else "ok"
+    print(f"{verdict:4s} {name}: {got:.0f} allocs/flap (budget {budget:.0f})")
+    if got > budget:
+        failed = True
+
+sys.exit(1 if failed else 0)
+EOF

@@ -29,6 +29,7 @@ std::vector<NodeId> ValuesToPath(const Value& v) {
 
 Speaker::Speaker(net::Simulator* sim, NodeId as, proxy::Proxy* proxy)
     : sim_(sim), as_(as), proxy_(proxy) {
+  channel_ = sim_->InternChannel(kBgpChannel);
   sim_->RegisterHandler(as_, kBgpChannel,
                         [this](const net::Message& msg) { OnMessage(msg); });
 }
@@ -184,7 +185,7 @@ void Speaker::SendUpdate(NodeId to, const Route& route) {
   net::Message msg;
   msg.src = as_;
   msg.dst = to;
-  msg.channel = kBgpChannel;
+  msg.channel = channel_;
   msg.payload =
       Tuple(kUpdateTuple, {Value::Address(to), Value::Address(as_),
                            Value::Int(route.prefix),
@@ -200,7 +201,7 @@ void Speaker::SendWithdraw(NodeId to, Prefix prefix) {
   net::Message msg;
   msg.src = as_;
   msg.dst = to;
-  msg.channel = kBgpChannel;
+  msg.channel = channel_;
   msg.payload = Tuple(kWithdrawTuple, {Value::Address(to), Value::Address(as_),
                                        Value::Int(prefix)});
   sim_->Send(std::move(msg));

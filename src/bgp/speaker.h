@@ -74,6 +74,8 @@ class Speaker {
 
   net::Simulator* sim_;
   NodeId as_;
+  /// Interned kBgpChannel id, resolved once at construction.
+  net::ChannelId channel_ = 0;
   proxy::Proxy* proxy_;
   std::map<NodeId, Relation> neighbors_;
   std::set<Prefix> originated_;

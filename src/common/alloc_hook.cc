@@ -1,0 +1,69 @@
+#include "src/common/alloc_hook.h"
+
+#ifdef NETTRAILS_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must return a unique pointer.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+}  // namespace
+
+// Replaceable global allocation functions ([new.delete.single] /
+// [new.delete.array]). Alignment-aware overloads are omitted: the codebase
+// never over-aligns, and the plain forms cover every container allocation.
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace nettrails {
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool AllocCountingEnabled() { return true; }
+
+}  // namespace nettrails
+
+#else  // !NETTRAILS_COUNT_ALLOCS
+
+namespace nettrails {
+
+uint64_t AllocCount() { return 0; }
+
+bool AllocCountingEnabled() { return false; }
+
+}  // namespace nettrails
+
+#endif  // NETTRAILS_COUNT_ALLOCS

@@ -1,0 +1,207 @@
+// Open-addressing (robin-hood) hash map keyed by 64-bit integers.
+//
+// The zero-allocation shipping path and the open-addressing table storage
+// both need the same primitive: a flat, cache-friendly u64 -> V map with no
+// per-node heap allocation (std::unordered_map pays one node allocation per
+// element, which on the churn hot path means one malloc/free per row or
+// bucket touched). This map stores entries inline in one slab, resolves
+// collisions with robin-hood linear probing (insertions displace entries
+// that are closer to home, bounding probe-sequence variance), and erases
+// with backward shifting (no tombstones), so steady-state insert/erase
+// cycles on a converged workload allocate nothing at all.
+//
+// Keys are whatever 64 bits the caller has — typically an already-mixed
+// content hash (Table key-projection digests) or a packed id pair (the
+// simulator's (min,max) link key). A splitmix64 finalizer is applied
+// internally, so poorly distributed keys (packed pairs, dense ids) are safe.
+//
+// Deliberately minimal: values must be movable and default-constructible,
+// no iterator invalidation guarantees, no heterogeneous lookup. Iteration
+// (ForEach) runs in slab order, which depends on insertion history —
+// callers that need determinism must sort, exactly as they did with
+// std::unordered_map.
+#ifndef NETTRAILS_COMMON_FLAT_HASH_H_
+#define NETTRAILS_COMMON_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace nettrails {
+
+/// splitmix64 finalizer: bijective 64-bit mixer.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename V>
+class FlatHashMap64 {
+ public:
+  FlatHashMap64() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Drops all entries but keeps the slab, so refilling to the same size
+  /// allocates nothing. Entry values are reset to V{} (releasing whatever
+  /// they own).
+  void Clear() {
+    for (Entry& e : entries_) {
+      if (e.dist != kEmpty) {
+        e.value = V{};
+        e.dist = kEmpty;
+      }
+    }
+    size_ = 0;
+  }
+
+  /// Pointer to the value for `key`, or nullptr. Valid until the next
+  /// mutation.
+  V* Find(uint64_t key) {
+    return const_cast<V*>(static_cast<const FlatHashMap64*>(this)->Find(key));
+  }
+  const V* Find(uint64_t key) const {
+    if (entries_.empty()) return nullptr;
+    size_t i = Home(key);
+    for (uint32_t dist = 1;; ++dist, i = Next(i)) {
+      const Entry& e = entries_[i];
+      // Robin-hood invariant: an entry stored at probe distance shorter
+      // than ours would have been displaced by our key, so the key is
+      // absent.
+      if (e.dist < dist) return nullptr;
+      if (e.dist == dist && e.key == key) return &e.value;
+    }
+  }
+
+  /// Value for `key`, inserting a default-constructed V if absent. The
+  /// reference is valid until the next mutation.
+  V& operator[](uint64_t key) {
+    if (NeedsGrow()) Rehash(entries_.empty() ? 16 : entries_.size() * 2);
+    size_t i = Home(key);
+    for (uint32_t dist = 1;; ++dist, i = Next(i)) {
+      Entry& e = entries_[i];
+      if (e.dist == dist && e.key == key) return e.value;
+      if (e.dist < dist) {
+        ++size_;
+        return InsertAt(i, dist, key);
+      }
+    }
+  }
+
+  /// Erases `key` if present; returns true if an entry was removed.
+  bool Erase(uint64_t key) {
+    if (entries_.empty()) return false;
+    size_t i = Home(key);
+    for (uint32_t dist = 1;; ++dist, i = Next(i)) {
+      Entry& e = entries_[i];
+      if (e.dist < dist) return false;
+      if (e.dist == dist && e.key == key) break;
+    }
+    // Backward shift: pull each successor one slot toward home until a
+    // slot that is empty or already at its home position.
+    size_t hole = i;
+    for (size_t next = Next(hole);; hole = next, next = Next(next)) {
+      Entry& n = entries_[next];
+      if (n.dist <= 1) break;  // empty (0) or at home (1)
+      entries_[hole].key = n.key;
+      entries_[hole].value = std::move(n.value);
+      entries_[hole].dist = n.dist - 1;
+    }
+    entries_[hole].value = V{};
+    entries_[hole].dist = kEmpty;
+    --size_;
+    return true;
+  }
+
+  /// Calls fn(key, value&) for every entry, in slab order (NOT
+  /// deterministic across insertion histories — sort if order matters).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Entry& e : entries_) {
+      if (e.dist != kEmpty) fn(e.key, e.value);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      if (e.dist != kEmpty) fn(e.key, e.value);
+    }
+  }
+
+ private:
+  // dist: probe distance + 1 of the stored entry; 0 marks an empty slot.
+  // With at least one empty slot (guaranteed by the 0.75 load cap) every
+  // probe loop terminates on an `e.dist < dist` slot.
+  static constexpr uint32_t kEmpty = 0;
+
+  struct Entry {
+    uint64_t key = 0;
+    V value{};
+    uint32_t dist = kEmpty;
+  };
+
+  size_t Home(uint64_t key) const { return MixU64(key) & mask_; }
+  size_t Next(size_t i) const { return (i + 1) & mask_; }
+  bool NeedsGrow() const {
+    return entries_.empty() || size_ + 1 > (entries_.size() / 4) * 3;
+  }
+
+  /// Claims slot i (whose resident, if any, is farther-from-home than
+  /// `dist`... i.e. closer to home — robin hood displaces it) for `key` and
+  /// sifts the displaced chain down. Returns the value slot for `key`.
+  V& InsertAt(size_t i, uint32_t dist, uint64_t key) {
+    uint64_t cur_key = key;
+    V cur_val{};
+    uint32_t cur_dist = dist;
+    size_t slot = i;
+    while (true) {
+      Entry& e = entries_[slot];
+      if (e.dist == kEmpty) {
+        e.key = cur_key;
+        e.value = std::move(cur_val);
+        e.dist = cur_dist;
+        break;
+      }
+      if (e.dist < cur_dist) {
+        std::swap(e.key, cur_key);
+        std::swap(e.value, cur_val);
+        std::swap(e.dist, cur_dist);
+      }
+      ++cur_dist;
+      slot = Next(slot);
+    }
+    // The requested key always ends up at slot i (displacements only move
+    // other entries further down the chain).
+    return entries_[i].value;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.assign(new_cap, Entry{});
+    mask_ = new_cap - 1;
+    size_ = 0;
+    for (Entry& e : old) {
+      if (e.dist != kEmpty) {
+        size_t i = Home(e.key);
+        uint32_t dist = 1;
+        for (;; ++dist, i = Next(i)) {
+          if (entries_[i].dist < dist) break;
+        }
+        ++size_;
+        InsertAt(i, dist, e.key) = std::move(e.value);
+      }
+    }
+  }
+
+  std::vector<Entry> entries_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace nettrails
+
+#endif  // NETTRAILS_COMMON_FLAT_HASH_H_

@@ -1,5 +1,6 @@
 #include "src/net/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace nettrails {
@@ -13,130 +14,263 @@ NodeId Simulator::AddNode() {
 
 void Simulator::AddLink(NodeId a, NodeId b, Time latency) {
   assert(a != b);
-  LinkState& ls = links_[Key(a, b)];
+  LinkState& ls = links_[LinkKey(a, b)];
   ls.latency = latency;
   ls.up = true;
+  adjacency_valid_ = false;
 }
 
 Status Simulator::SetLinkUp(NodeId a, NodeId b, bool up) {
-  auto it = links_.find(Key(a, b));
-  if (it == links_.end()) {
+  LinkState* ls = links_.Find(LinkKey(a, b));
+  if (ls == nullptr) {
     return Status::NotFound("no link between " + std::to_string(a) + " and " +
                             std::to_string(b));
   }
-  if (it->second.up == up) return Status::OK();
-  it->second.up = up;
+  if (ls->up == up) return Status::OK();
+  ls->up = up;
+  adjacency_valid_ = false;
   for (const LinkObserver& obs : link_observers_) obs(a, b, up);
   return Status::OK();
 }
 
 bool Simulator::HasLink(NodeId a, NodeId b) const {
-  return links_.count(Key(a, b)) > 0;
+  return links_.Find(LinkKey(a, b)) != nullptr;
 }
 
 bool Simulator::LinkUp(NodeId a, NodeId b) const {
-  auto it = links_.find(Key(a, b));
-  return it != links_.end() && it->second.up;
+  const LinkState* ls = links_.Find(LinkKey(a, b));
+  return ls != nullptr && ls->up;
 }
 
 std::vector<std::pair<NodeId, NodeId>> Simulator::Links() const {
   std::vector<std::pair<NodeId, NodeId>> out;
   out.reserve(links_.size());
-  for (const auto& [key, ls] : links_) out.push_back(key);
+  links_.ForEach([&out](uint64_t key, const LinkState&) {
+    out.emplace_back(static_cast<NodeId>(key >> 32),
+                     static_cast<NodeId>(key & 0xffffffffu));
+  });
+  std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<NodeId> Simulator::UpNeighbors(NodeId n) const {
-  std::vector<NodeId> out;
-  for (const auto& [key, ls] : links_) {
-    if (!ls.up) continue;
-    if (key.first == n) out.push_back(key.second);
-    if (key.second == n) out.push_back(key.first);
+void Simulator::RebuildAdjacency() const {
+  adjacency_.assign(node_count_, {});
+  links_.ForEach([this](uint64_t key, const LinkState& ls) {
+    if (!ls.up) return;
+    NodeId a = static_cast<NodeId>(key >> 32);
+    NodeId b = static_cast<NodeId>(key & 0xffffffffu);
+    if (a < node_count_) adjacency_[a].push_back(b);
+    if (b < node_count_) adjacency_[b].push_back(a);
+  });
+  for (std::vector<NodeId>& nbrs : adjacency_) {
+    std::sort(nbrs.begin(), nbrs.end());
   }
-  return out;
+  adjacency_valid_ = true;
+}
+
+const std::vector<NodeId>& Simulator::UpNeighbors(NodeId n) const {
+  static const std::vector<NodeId> kEmptyNeighbors;
+  if (!adjacency_valid_) RebuildAdjacency();
+  if (n >= adjacency_.size()) return kEmptyNeighbors;
+  return adjacency_[n];
+}
+
+ChannelId Simulator::InternChannel(const std::string& name) {
+  auto [it, inserted] =
+      channel_ids_.emplace(name, static_cast<ChannelId>(channel_names_.size()));
+  if (inserted) {
+    channel_names_.push_back(name);
+    channel_traffic_.emplace_back();
+    overlay_latency_.push_back(kNoOverlay);
+  }
+  return it->second;
 }
 
 void Simulator::RegisterHandler(NodeId node, const std::string& channel,
                                 MessageHandler handler) {
-  handlers_[node][channel] = std::move(handler);
+  ChannelId ch = InternChannel(channel);
+  if (node >= handlers_.size()) handlers_.resize(node + 1);
+  if (ch >= handlers_[node].size()) handlers_[node].resize(ch + 1);
+  handlers_[node][ch] = std::move(handler);
 }
 
 void Simulator::MarkOverlayChannel(const std::string& channel, Time latency) {
-  overlay_channels_[channel] = latency;
+  overlay_latency_[InternChannel(channel)] = latency;
 }
 
-bool Simulator::Send(Message msg) {
-  size_t nbytes = msg.SerializedSize();
-  size_t ntuples = msg.TupleCount();
+Simulator::FrameRef Simulator::AcquireFrame() {
+  FrameRef f;
+  if (!free_frames_.empty()) {
+    f = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    f = static_cast<FrameRef>(frames_.size());
+    frames_.emplace_back();
+  }
+  Message& m = frames_[f];
+  m.src = 0;
+  m.dst = 0;
+  m.channel = 0;
+  m.is_delete = false;
+  m.multiplicity = 1;
+  // payload/batch were cleared on release; their buffers are retained.
+  return f;
+}
+
+void Simulator::ReleaseFrame(FrameRef f) {
+  Message& m = frames_[f];
+  m.payload = Tuple();
+  m.batch.clear();  // keeps vector capacity; entry buffers are freed
+  free_frames_.push_back(f);
+}
+
+bool Simulator::SendFrame(FrameRef f) {
+  Message& msg = frames_[f];
   Time delay = 1;  // local hop: 1us
   if (msg.src != msg.dst) {
-    auto oit = overlay_channels_.find(msg.channel);
-    if (oit != overlay_channels_.end()) {
+    size_t nbytes = msg.SerializedSize(channel_names_[msg.channel].size());
+    size_t ntuples = msg.TupleCount();
+    if (overlay_latency_[msg.channel] != kNoOverlay) {
       channel_traffic_[msg.channel].Add(nbytes, ntuples);
-      delay = oit->second;
+      delay = overlay_latency_[msg.channel];
     } else {
-      auto it = links_.find(Key(msg.src, msg.dst));
-      if (it == links_.end() || !it->second.up) {
+      LinkState* ls = links_.Find(LinkKey(msg.src, msg.dst));
+      if (ls == nullptr || !ls->up) {
         ++dropped_messages_;
+        ReleaseFrame(f);
         return false;
       }
-      it->second.traffic.Add(nbytes, ntuples);
+      ls->traffic.Add(nbytes, ntuples);
       channel_traffic_[msg.channel].Add(nbytes, ntuples);
-      delay = it->second.latency;
+      delay = ls->latency;
     }
   }
-  ScheduleAfter(delay,
-                [this, m = std::move(msg)]() { Deliver(m); });
+  Event ev;
+  ev.kind = Event::Kind::kDeliver;
+  ev.frame = f;
+  Push(now_ + delay, ev);
   return true;
 }
 
-void Simulator::Deliver(const Message& msg) {
-  auto nit = handlers_.find(msg.dst);
-  if (nit == handlers_.end()) return;
-  auto hit = nit->second.find(msg.channel);
-  if (hit == nit->second.end()) return;
-  hit->second(msg);
+bool Simulator::Send(Message msg) {
+  FrameRef f = AcquireFrame();
+  frames_[f] = std::move(msg);
+  return SendFrame(f);
+}
+
+void Simulator::Deliver(FrameRef f) {
+  Message& msg = frames_[f];
+  if (msg.dst < handlers_.size() && msg.channel < handlers_[msg.dst].size()) {
+    const MessageHandler& h = handlers_[msg.dst][msg.channel];
+    if (h) h(msg);
+  }
+  ReleaseFrame(f);
+}
+
+void Simulator::Push(Time t, Event ev) {
+  // Hard guard (not an assert): an event scheduled in the past would move
+  // now_ backwards when executed, silently corrupting virtual time in
+  // Release builds. Clamp to now and count it.
+  if (t < now_) {
+    ++schedule_in_past_;
+    t = now_;
+  }
+  ev.time = t;
+  ev.seq = seq_++;
+  queue_.push(ev);
 }
 
 void Simulator::ScheduleAt(Time t, std::function<void()> fn) {
-  assert(t >= now_);
-  queue_.push(Event{t, seq_++, std::move(fn)});
+  uint32_t slot;
+  if (!free_closures_.empty()) {
+    slot = free_closures_.back();
+    free_closures_.pop_back();
+    closures_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(closures_.size());
+    closures_.push_back(std::move(fn));
+  }
+  Event ev;
+  ev.kind = Event::Kind::kClosure;
+  ev.closure = slot;
+  Push(t, ev);
 }
 
 void Simulator::ScheduleAfter(Time delay, std::function<void()> fn) {
   ScheduleAt(now_ + delay, std::move(fn));
 }
 
+void Simulator::ScheduleLinkChange(Time t, NodeId a, NodeId b, bool up) {
+  Event ev;
+  ev.kind = Event::Kind::kLinkChange;
+  ev.link.a = a;
+  ev.link.b = b;
+  ev.link.up = up;
+  Push(t, ev);
+}
+
+void Simulator::Execute(const Event& ev) {
+  switch (ev.kind) {
+    case Event::Kind::kDeliver:
+      Deliver(ev.frame);
+      break;
+    case Event::Kind::kClosure: {
+      // Move out before running: the closure may schedule new events, which
+      // may reuse the slot.
+      std::function<void()> fn = std::move(closures_[ev.closure]);
+      closures_[ev.closure] = nullptr;
+      free_closures_.push_back(ev.closure);
+      fn();
+      break;
+    }
+    case Event::Kind::kLinkChange:
+      (void)SetLinkUp(ev.link.a, ev.link.b, ev.link.up);  // unknown link: no-op
+      break;
+  }
+}
+
 void Simulator::Run() {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
-    // Move out before pop (fn may schedule new events). top() is const, but
-    // the element is discarded immediately, so moving from it is safe and
-    // avoids copying the closure — delivery closures capture the full
-    // Message, a per-event deep copy otherwise.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
     ++events_executed_;
-    ev.fn();
+    Execute(ev);
   }
 }
 
 void Simulator::RunUntil(Time t) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
     ++events_executed_;
-    ev.fn();
+    Execute(ev);
   }
   if (now_ < t) now_ = t;
 }
 
+const TrafficStats& Simulator::channel_traffic(ChannelId ch) const {
+  static const TrafficStats kZero;
+  if (ch >= channel_traffic_.size()) return kZero;
+  return channel_traffic_[ch];
+}
+
+std::map<std::string, TrafficStats> Simulator::ChannelTrafficByName() const {
+  std::map<std::string, TrafficStats> out;
+  for (size_t ch = 0; ch < channel_traffic_.size(); ++ch) {
+    const TrafficStats& ts = channel_traffic_[ch];
+    if (ts.messages == 0 && ts.bytes == 0 && ts.tuples == 0) continue;
+    out[channel_names_[ch]] = ts;
+  }
+  return out;
+}
+
 TrafficStats Simulator::total_traffic() const {
   TrafficStats total;
-  for (const auto& [ch, ts] : channel_traffic_) {
+  for (const TrafficStats& ts : channel_traffic_) {
     total.messages += ts.messages;
     total.bytes += ts.bytes;
     total.tuples += ts.tuples;
@@ -145,14 +279,18 @@ TrafficStats Simulator::total_traffic() const {
 }
 
 const LinkState* Simulator::link(NodeId a, NodeId b) const {
-  auto it = links_.find(Key(a, b));
-  return it == links_.end() ? nullptr : &it->second;
+  return links_.Find(LinkKey(a, b));
 }
 
 void Simulator::ResetTrafficStats() {
-  channel_traffic_.clear();
-  for (auto& [key, ls] : links_) ls.traffic = TrafficStats{};
+  for (TrafficStats& ts : channel_traffic_) ts = TrafficStats{};
+  links_.ForEach([](uint64_t, LinkState& ls) { ls.traffic = TrafficStats{}; });
   dropped_messages_ = 0;
+}
+
+void Simulator::ResetEventStats() {
+  events_executed_ = 0;
+  schedule_in_past_ = 0;
 }
 
 }  // namespace net

@@ -2,6 +2,15 @@
 // on. Provides a virtual clock, latency-modelled message delivery between
 // nodes, topology dynamics (links up/down), and the per-link / per-channel
 // traffic accounting that the query-optimization experiments report.
+//
+// The event loop is allocation-free on the message path: events are tagged
+// POD records (deliver-message / timer-closure / link-change), messages
+// live in a slab-allocated, free-listed frame pool whose frames keep their
+// internal buffers across reuse, and channels are interned to dense
+// ChannelIds so neither sending nor delivering touches a std::string or a
+// string-keyed map. The old closure-based ScheduleAt survives as a
+// compatibility shim for tests/tools off the hot path (closures are pooled
+// slots; the std::function itself may still allocate its capture).
 #ifndef NETTRAILS_NET_SIMULATOR_H_
 #define NETTRAILS_NET_SIMULATOR_H_
 
@@ -9,10 +18,12 @@
 #include <functional>
 #include <map>
 #include <queue>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_hash.h"
 #include "src/common/status.h"
 #include "src/common/tuple.h"
 #include "src/common/value.h"
@@ -25,6 +36,9 @@ using Time = uint64_t;
 
 inline constexpr Time kMillisecond = 1000;
 inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Dense id of an interned message channel (see Simulator::InternChannel).
+using ChannelId = uint32_t;
 
 /// One tuple delta inside a batched "tuple" message.
 struct BatchedTuple {
@@ -43,11 +57,17 @@ struct BatchedTuple {
 /// per tuple, which is the per-tuple framing amortization of the batch
 /// pipeline. Receivers unpack entries in order, so per-destination delta
 /// order is identical to per-tuple shipping.
+///
+/// Messages on the hot path live in the simulator's frame pool
+/// (AcquireFrame/SendFrame): the channel is an interned dense id and the
+/// batch vector keeps its capacity across frame reuse, so a converged
+/// engine ships deltas without allocating.
 struct Message {
   NodeId src = 0;
   NodeId dst = 0;
-  /// Dispatch key at the receiver, e.g. "tuple", "provq", "bgp".
-  std::string channel;
+  /// Interned dispatch key at the receiver, e.g. "tuple", "provq", "bgp"
+  /// (Simulator::InternChannel).
+  ChannelId channel = 0;
   Tuple payload;
   /// True for a retraction (delete delta) on the "tuple" channel.
   bool is_delete = false;
@@ -58,14 +78,16 @@ struct Message {
 
   size_t TupleCount() const { return batch.empty() ? 1 : batch.size(); }
 
-  /// Wire size used by the traffic accounting. Each batched entry pays its
-  /// serialized tuple plus a 9-byte (flags + multiplicity) record header;
-  /// the message header is shared across the frame.
-  size_t SerializedSize() const {
+  /// Wire size used by the traffic accounting; `channel_len` is the length
+  /// of the channel's name (the simulator owns the interned name). Each
+  /// batched entry pays its serialized tuple plus a 9-byte (flags +
+  /// multiplicity) record header; the message header is shared across the
+  /// frame.
+  size_t SerializedSize(size_t channel_len) const {
     if (batch.empty()) {
-      return 16 + channel.size() + payload.SerializedSize() + 1;
+      return 16 + channel_len + payload.SerializedSize() + 1;
     }
-    size_t n = 16 + channel.size() + 4;  // shared header + entry count
+    size_t n = 16 + channel_len + 4;  // shared header + entry count
     for (const BatchedTuple& b : batch) {
       n += b.payload.SerializedSize() + 9;
     }
@@ -94,8 +116,11 @@ struct LinkState {
   TrafficStats traffic;
 };
 
-/// Handler invoked when a message is delivered to a node on a channel.
-using MessageHandler = std::function<void(const Message&)>;
+/// Handler invoked when a message is delivered to a node on a channel. The
+/// message is mutable: delivery transfers ownership of the frame's payload
+/// for the duration of the call, so handlers may move tuples out instead of
+/// copying (the frame is recycled after the handler returns).
+using MessageHandler = std::function<void(Message&)>;
 
 /// Observer of link up/down events: (a, b, up).
 using LinkObserver = std::function<void(NodeId, NodeId, bool)>;
@@ -104,6 +129,9 @@ using LinkObserver = std::function<void(NodeId, NodeId, bool)>;
 /// scheduling happens through it, so runs are deterministic.
 class Simulator {
  public:
+  /// Handle to a pooled message frame (index into the frame slab).
+  using FrameRef = uint32_t;
+
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -124,15 +152,26 @@ class Simulator {
   bool HasLink(NodeId a, NodeId b) const;
   bool LinkUp(NodeId a, NodeId b) const;
 
-  /// All links as (a, b) with a < b.
+  /// All links as (a, b) with a < b, sorted.
   std::vector<std::pair<NodeId, NodeId>> Links() const;
 
-  /// Neighbors of `n` over up links.
-  std::vector<NodeId> UpNeighbors(NodeId n) const;
+  /// Neighbors of `n` over up links, ascending. Served from a cached
+  /// adjacency (rebuilt lazily after AddLink/SetLinkUp); the reference is
+  /// valid until the next topology change.
+  const std::vector<NodeId>& UpNeighbors(NodeId n) const;
 
   void AddLinkObserver(LinkObserver obs) {
     link_observers_.push_back(std::move(obs));
   }
+
+  /// Interns a channel name to its dense id (idempotent). Senders cache the
+  /// id once and never touch the string again.
+  ChannelId InternChannel(const std::string& name);
+  /// Name of an interned channel.
+  const std::string& ChannelName(ChannelId ch) const {
+    return channel_names_[ch];
+  }
+  size_t channel_count() const { return channel_names_.size(); }
 
   /// Registers the handler for (node, channel). Overwrites any previous.
   void RegisterHandler(NodeId node, const std::string& channel,
@@ -146,16 +185,49 @@ class Simulator {
   void MarkOverlayChannel(const std::string& channel,
                           Time latency = kMillisecond);
 
-  /// Sends a message. Local delivery (src == dst) is immediate-at-now+1us and
-  /// does not require a link; remote delivery requires an up link between
-  /// src and dst (or an overlay channel) and takes the link (or overlay)
-  /// latency. Returns false if dropped.
+  // --- Pooled frame sending (the zero-allocation hot path) ---------------
+
+  /// Acquires a frame from the pool. Header fields are reset; payload and
+  /// batch are empty but keep their buffers from previous uses. The frame
+  /// must subsequently be passed to SendFrame or ReleaseFrame.
+  FrameRef AcquireFrame();
+  /// The frame's message, for filling in (valid until SendFrame/Release).
+  Message& FrameMessage(FrameRef f) { return frames_[f]; }
+  /// Sends a pooled frame: local delivery (src == dst) is immediate at
+  /// now+1us and needs no link; remote delivery requires an up link (or an
+  /// overlay channel). Returns false if dropped. The frame is consumed
+  /// either way (released back to the pool on drop, after delivery
+  /// otherwise).
+  bool SendFrame(FrameRef f);
+  /// Returns an acquired-but-unsent frame to the pool.
+  void ReleaseFrame(FrameRef f);
+
+  /// Frames in the pool slab (diagnostic: bounded by the maximum number of
+  /// messages simultaneously in flight, not by messages sent).
+  size_t frame_pool_size() const { return frames_.size(); }
+  /// Frames currently acquired or in flight.
+  size_t frames_in_flight() const { return frames_.size() - free_frames_.size(); }
+
+  /// Compatibility shim: moves `msg` into a pooled frame and sends it.
+  /// `msg.channel` must already be interned.
   bool Send(Message msg);
 
-  /// Schedules `fn` at absolute virtual time `t` (>= now).
+  // --- Scheduling --------------------------------------------------------
+
+  /// Schedules `fn` at absolute virtual time `t`. A `t` in the past is
+  /// clamped to now and counted in schedule_in_past() — a hard guard, not
+  /// an assert, so Release builds cannot move time backwards. Compatibility
+  /// shim for tests/tools: closures are pooled, but the std::function's
+  /// capture may allocate; hot-path work uses POD events instead.
   void ScheduleAt(Time t, std::function<void()> fn);
   /// Schedules `fn` after `delay`.
   void ScheduleAfter(Time delay, std::function<void()> fn);
+  /// Schedules a link up/down transition at time `t` as a POD event (no
+  /// closure). Unknown links are ignored at fire time.
+  void ScheduleLinkChange(Time t, NodeId a, NodeId b, bool up);
+
+  /// Events whose requested time was in the past and were clamped to now.
+  uint64_t schedule_in_past() const { return schedule_in_past_; }
 
   /// Runs until the event queue drains or `Stop()` is called.
   void Run();
@@ -167,10 +239,13 @@ class Simulator {
 
   Time now() const { return now_; }
 
-  /// Traffic aggregated over all links, per channel.
-  const std::map<std::string, TrafficStats>& channel_traffic() const {
-    return channel_traffic_;
-  }
+  // --- Accounting --------------------------------------------------------
+
+  /// Traffic of one channel (zero stats if the id is unknown).
+  const TrafficStats& channel_traffic(ChannelId ch) const;
+  /// Traffic aggregated per channel name (channels with no traffic are
+  /// omitted). Built on demand — for tests and reports, not hot paths.
+  std::map<std::string, TrafficStats> ChannelTrafficByName() const;
   /// Total over all channels.
   TrafficStats total_traffic() const;
   /// Messages dropped for lack of an up link.
@@ -178,18 +253,35 @@ class Simulator {
   /// Per-link traffic. Key has a < b.
   const LinkState* link(NodeId a, NodeId b) const;
 
-  /// Zeroes all traffic counters (links and channels). Used to isolate the
-  /// traffic of a query phase from setup traffic.
+  /// Zeroes all traffic counters (links, channels, drops). Used to isolate
+  /// the traffic of a query phase from setup traffic. Event-loop counters
+  /// are a separate concern: see ResetEventStats().
   void ResetTrafficStats();
+  /// Zeroes the event-loop counters (events_executed, schedule_in_past) so
+  /// bench phases can isolate event counts the same way they isolate
+  /// traffic.
+  void ResetEventStats();
 
   /// Number of events executed so far (debug/bench metric).
   uint64_t events_executed() const { return events_executed_; }
 
  private:
+  /// Tagged POD event record. Delivery events reference a pooled frame by
+  /// index; timer events reference a pooled closure slot; link-change
+  /// events carry their payload inline. sizeof(Event) is two cache words —
+  /// the priority queue never touches the heap per event.
   struct Event {
     Time time;
     uint64_t seq;  // FIFO tie-break for same-time events
-    std::function<void()> fn;
+    enum class Kind : uint8_t { kDeliver, kClosure, kLinkChange } kind;
+    union {
+      FrameRef frame;    // kDeliver
+      uint32_t closure;  // kClosure
+      struct {
+        NodeId a, b;
+        bool up;
+      } link;  // kLinkChange
+    };
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -198,11 +290,18 @@ class Simulator {
     }
   };
 
-  static std::pair<NodeId, NodeId> Key(NodeId a, NodeId b) {
-    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  /// Packed undirected-link key: (min(a,b) << 32) | max(a,b).
+  static uint64_t LinkKey(NodeId a, NodeId b) {
+    NodeId lo = a < b ? a : b;
+    NodeId hi = a < b ? b : a;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
   }
 
-  void Deliver(const Message& msg);
+  /// Pushes an event, clamping past times to now (schedule_in_past guard).
+  void Push(Time t, Event ev);
+  void Execute(const Event& ev);
+  void Deliver(FrameRef f);
+  void RebuildAdjacency() const;
 
   Time now_ = 0;
   uint64_t seq_ = 0;
@@ -210,13 +309,37 @@ class Simulator {
   size_t node_count_ = 0;
   uint64_t events_executed_ = 0;
   uint64_t dropped_messages_ = 0;
+  uint64_t schedule_in_past_ = 0;
 
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::map<std::pair<NodeId, NodeId>, LinkState> links_;
-  std::unordered_map<NodeId, std::unordered_map<std::string, MessageHandler>>
-      handlers_;
-  std::map<std::string, TrafficStats> channel_traffic_;
-  std::map<std::string, Time> overlay_channels_;
+
+  // Message frame pool: slab of reusable Messages + free list. A deque so
+  // frames never move (FrameMessage references stay valid while in use).
+  std::deque<Message> frames_;
+  std::vector<FrameRef> free_frames_;
+
+  // Pooled closure slots for the ScheduleAt shim.
+  std::vector<std::function<void()>> closures_;
+  std::vector<uint32_t> free_closures_;
+
+  // Links: flat hash on the packed (min,max) key.
+  FlatHashMap64<LinkState> links_;
+
+  // Lazily rebuilt per-node up-neighbor lists (ascending), invalidated by
+  // AddLink/SetLinkUp.
+  mutable std::vector<std::vector<NodeId>> adjacency_;
+  mutable bool adjacency_valid_ = false;
+
+  // Channel interning + per-channel state, all indexed by ChannelId.
+  std::unordered_map<std::string, ChannelId> channel_ids_;
+  std::vector<std::string> channel_names_;
+  std::vector<TrafficStats> channel_traffic_;
+  static constexpr Time kNoOverlay = ~Time{0};
+  std::vector<Time> overlay_latency_;  // kNoOverlay if not an overlay
+
+  // handlers_[node][channel]; inner vectors sized on registration.
+  std::vector<std::vector<MessageHandler>> handlers_;
+
   std::vector<LinkObserver> link_observers_;
 };
 

@@ -16,8 +16,9 @@ ProvStore::ProvStore(runtime::Engine* engine) : engine_(engine) {
   for (const char* table : {kProvTable, kRuleExecTable}) {
     const runtime::Table* t = engine_->GetTable(table);
     if (t == nullptr) continue;
-    for (runtime::Table::RowHandle row : t->OrderedView()) {
-      OnAction(table, {row->fields, row->count, /*is_delete=*/false});
+    for (runtime::Table::RowHandle h : t->OrderedView()) {
+      const runtime::Table::Row& row = t->Deref(h);
+      OnAction(table, {row.fields, row.count, /*is_delete=*/false});
     }
   }
   engine_->AddActionObserver(

@@ -111,6 +111,7 @@ std::set<Vid> DecodePath(const Value& v) {
 QueryService::QueryService(net::Simulator* sim, runtime::Engine* engine,
                            provenance::ProvStore* store)
     : sim_(sim), engine_(engine), store_(store) {
+  channel_ = sim_->InternChannel(kProvQueryChannel);
   sim_->RegisterHandler(engine_->id(), kProvQueryChannel,
                         [this](const net::Message& msg) { OnMessage(msg); });
 }
@@ -218,7 +219,7 @@ void QueryService::ResolveExecAt(uint64_t qid, const QueryOptions& opts,
   net::Message msg;
   msg.src = node();
   msg.dst = rloc;
-  msg.channel = kProvQueryChannel;
+  msg.channel = channel_;
   msg.payload = std::move(req);
   sim_->Send(std::move(msg));
 }
@@ -293,7 +294,7 @@ void QueryService::SendReply(NodeId dst, int64_t token,
   net::Message msg;
   msg.src = node();
   msg.dst = dst;
-  msg.channel = kProvQueryChannel;
+  msg.channel = channel_;
   msg.payload = std::move(rep);
   sim_->Send(std::move(msg));
 }
@@ -356,9 +357,8 @@ Result<QueryResult> ProvenanceQuerier::QueryVid(NodeId home, Vid vid,
   }
   uint64_t qid = next_qid_++;
   net::Time start = sim_->now();
-  net::TrafficStats before;
-  auto it = sim_->channel_traffic().find(kProvQueryChannel);
-  if (it != sim_->channel_traffic().end()) before = it->second;
+  const net::ChannelId ch = sim_->InternChannel(kProvQueryChannel);
+  net::TrafficStats before = sim_->channel_traffic(ch);
 
   bool done = false;
   PartialResult partial;
@@ -384,9 +384,7 @@ Result<QueryResult> ProvenanceQuerier::QueryVid(NodeId home, Vid vid,
     result.leaf_tuples.push_back(RenderVid(leaf_vid));
   }
   result.latency = sim_->now() - start;
-  net::TrafficStats after;
-  auto it2 = sim_->channel_traffic().find(kProvQueryChannel);
-  if (it2 != sim_->channel_traffic().end()) after = it2->second;
+  net::TrafficStats after = sim_->channel_traffic(ch);
   result.messages = after.messages - before.messages;
   result.bytes = after.bytes - before.bytes;
   return result;

@@ -99,6 +99,8 @@ class QueryService {
   net::Simulator* sim_;
   runtime::Engine* engine_;
   provenance::ProvStore* store_;
+  /// Interned kProvQueryChannel id, resolved once at construction.
+  net::ChannelId channel_ = 0;
   ResultCache cache_;
 
   std::unordered_map<uint64_t, std::unordered_map<Vid, MemoEntry>> memo_;

@@ -3,18 +3,86 @@
 namespace nettrails {
 namespace runtime {
 
+int AggGroup::CompareVidsToProbe(const Value& stored, const ValueList* probe) {
+  if (probe == nullptr) {
+    // Probe is Null. Value::Compare orders by kind when kinds differ, and
+    // kNull is the smallest kind.
+    return stored.is_null() ? 0 : 1;
+  }
+  if (!stored.is_list()) {
+    // Stored Null (or any non-list) sorts before a probe list by kind.
+    return -1;
+  }
+  const ValueList& a = stored.as_list();
+  const ValueList& b = *probe;
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+size_t AggGroup::LowerBound(const Value& value, const ValueList* probe) const {
+  size_t lo = 0, hi = contribs_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    const ContribKey& k = contribs_[mid].key;
+    int c = k.value.Compare(value);
+    if (c == 0) c = CompareVidsToProbe(k.vids, probe);
+    if (c < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
 void AggGroup::Adjust(const Value& value, const Value& vids, int64_t mult) {
-  ContribKey key{value, vids};
-  auto it = contribs_.try_emplace(std::move(key), 0).first;
-  int64_t before = it->second;
+  if (vids.is_list()) {
+    Adjust(value, &vids.as_list(), mult);
+    return;
+  }
+  Adjust(value, nullptr, mult);
+}
+
+void AggGroup::Adjust(const Value& value, const ValueList* vid_list,
+                      int64_t mult) {
+  size_t pos = LowerBound(value, vid_list);
+  Entry* e = nullptr;
+  if (pos < contribs_.size()) {
+    const ContribKey& k = contribs_[pos].key;
+    if (k.value.Compare(value) == 0 &&
+        CompareVidsToProbe(k.vids, vid_list) == 0) {
+      e = &contribs_[pos];
+    }
+  }
+  if (e == nullptr) {
+    // Over-deleting an absent contribution is a no-op (matches the old
+    // try_emplace(0)-then-erase behaviour, which applied nothing).
+    if (mult <= 0) return;
+    Entry fresh;
+    fresh.key.value = value;
+    fresh.key.vids = vid_list == nullptr ? Value::Null()
+                                         : Value::List(*vid_list);
+    fresh.count = 0;
+    contribs_.insert(contribs_.begin() + static_cast<long>(pos),
+                     std::move(fresh));
+    e = &contribs_[pos];
+  }
+  int64_t before = e->count;
   int64_t after = before + mult;
-  // Applied derivation-count change: an over-delete clamps at erasure, so
-  // the running totals track what the multiset actually holds.
+  // Applied derivation-count change: an over-delete clamps at the tombstone,
+  // so the running totals track what the multiset actually holds.
   int64_t applied = after <= 0 ? -before : mult;
   if (after <= 0) {
-    contribs_.erase(it);
+    e->count = 0;  // tombstone: keeps the entry (and its vids rep) for reuse
+    if (before > 0) --live_;
   } else {
-    it->second = after;
+    if (before == 0) ++live_;
+    e->count = after;
   }
   total_count_ += applied;
   if (value.is_int()) {
@@ -29,25 +97,48 @@ void AggGroup::Adjust(const Value& value, const Value& vids, int64_t mult) {
   } else if (value.is_double()) {
     double_weight_ += applied;
   }
+  MaybeCompact();
+}
+
+void AggGroup::MaybeCompact() {
+  // Tombstones trade memory for allocation-free churn; bound the trade.
+  // The threshold is a function of sizes only, so compaction points are
+  // deterministic across runs.
+  if (contribs_.size() < 32 || contribs_.size() < 2 * live_) return;
+  size_t w = 0;
+  for (size_t r = 0; r < contribs_.size(); ++r) {
+    if (contribs_[r].count == 0) continue;
+    if (w != r) contribs_[w] = std::move(contribs_[r]);
+    ++w;
+  }
+  contribs_.resize(w);
 }
 
 std::optional<Value> AggGroup::Output(ndlog::AggFn fn) const {
-  if (contribs_.empty()) return std::nullopt;
+  if (live_ == 0) return std::nullopt;
   switch (fn) {
     case ndlog::AggFn::kMin:
-      return contribs_.begin()->first.value;
+      for (const Entry& e : contribs_) {
+        if (e.count > 0) return e.key.value;
+      }
+      return std::nullopt;  // unreachable: live_ > 0
     case ndlog::AggFn::kMax:
-      return contribs_.rbegin()->first.value;
+      for (auto it = contribs_.rbegin(); it != contribs_.rend(); ++it) {
+        if (it->count > 0) return it->key.value;
+      }
+      return std::nullopt;  // unreachable: live_ > 0
     case ndlog::AggFn::kCount:
       return Value::Int(total_count_);
     case ndlog::AggFn::kSum: {
       if (double_weight_ == 0) return Value::Int(int_sum_);
       double dsum = 0;
-      for (const auto& [key, mult] : contribs_) {
-        if (key.value.is_int()) {
-          dsum += static_cast<double>(key.value.as_int()) * mult;
-        } else if (key.value.is_double()) {
-          dsum += key.value.as_double() * mult;
+      for (const Entry& e : contribs_) {
+        if (e.count == 0) continue;
+        if (e.key.value.is_int()) {
+          dsum += static_cast<double>(e.key.value.as_int()) *
+                  static_cast<double>(e.count);
+        } else if (e.key.value.is_double()) {
+          dsum += e.key.value.as_double() * static_cast<double>(e.count);
         }
       }
       return Value::Double(dsum);
@@ -58,30 +149,42 @@ std::optional<Value> AggGroup::Output(ndlog::AggFn fn) const {
 
 std::vector<AggGroup::ContribKey> AggGroup::Winners(ndlog::AggFn fn) const {
   std::vector<ContribKey> out;
-  if (contribs_.empty()) return out;
+  Winners(fn, &out);
+  return out;
+}
+
+void AggGroup::Winners(ndlog::AggFn fn, std::vector<ContribKey>* out_ptr) const {
+  std::vector<ContribKey>& out = *out_ptr;
+  out.clear();
+  if (live_ == 0) return;
   switch (fn) {
     case ndlog::AggFn::kMin: {
-      const Value& best = contribs_.begin()->first.value;
-      for (const auto& [key, mult] : contribs_) {
-        if (key.value != best) break;  // map is ordered by value first
-        out.push_back(key);
+      const Value* best = nullptr;
+      for (const Entry& e : contribs_) {
+        if (e.count == 0) continue;
+        if (best == nullptr) best = &e.key.value;
+        if (e.key.value != *best) break;  // sorted by value first
+        out.push_back(e.key);
       }
       break;
     }
     case ndlog::AggFn::kMax: {
-      const Value& best = contribs_.rbegin()->first.value;
+      const Value* best = nullptr;
       for (auto it = contribs_.rbegin(); it != contribs_.rend(); ++it) {
-        if (it->first.value != best) break;
-        out.push_back(it->first);
+        if (it->count == 0) continue;
+        if (best == nullptr) best = &it->key.value;
+        if (it->key.value != *best) break;
+        out.push_back(it->key);
       }
       break;
     }
     case ndlog::AggFn::kCount:
     case ndlog::AggFn::kSum:
-      for (const auto& [key, mult] : contribs_) out.push_back(key);
+      for (const Entry& e : contribs_) {
+        if (e.count > 0) out.push_back(e.key);
+      }
       break;
   }
-  return out;
 }
 
 }  // namespace runtime

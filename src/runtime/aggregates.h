@@ -7,7 +7,6 @@
 #ifndef NETTRAILS_RUNTIME_AGGREGATES_H_
 #define NETTRAILS_RUNTIME_AGGREGATES_H_
 
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -20,6 +19,13 @@ namespace nettrails {
 namespace runtime {
 
 /// The multiset of contributions to one aggregate group.
+///
+/// Storage is a sorted vector rather than a node-based map: groups are
+/// small (one entry per distinct derivation of the group), and churn-heavy
+/// workloads (link flaps) repeatedly delete and re-insert the same
+/// contributions. Deleted entries are kept as zero-count tombstones, so a
+/// re-insertion finds the existing entry — including its already-built VID
+/// list value — and a converged fail/recover cycle allocates nothing here.
 class AggGroup {
  public:
   /// A contribution is (aggregated value, input VID list). The VID list
@@ -38,7 +44,14 @@ class AggGroup {
   /// Adds (mult > 0) or removes (mult < 0) derivations of a contribution.
   void Adjust(const Value& value, const Value& vids, int64_t mult);
 
-  bool empty() const { return contribs_.empty(); }
+  /// As above, with the VID list passed as a plain element span (nullptr =
+  /// Null vids, i.e. provenance off). The Value::List wrapper is built only
+  /// when a brand-new contribution is inserted; adjustments of an existing
+  /// entry (or its tombstone) compare element-wise against the stored list
+  /// and allocate nothing. This is the engine's hot path.
+  void Adjust(const Value& value, const ValueList* vid_list, int64_t mult);
+
+  bool empty() const { return live_ == 0; }
 
   /// Current output of the aggregate, or nullopt if the group is empty.
   /// a_count returns the total derivation count; a_sum the
@@ -49,11 +62,31 @@ class AggGroup {
   /// output: for min/max, those achieving the extremum; for count/sum, all.
   std::vector<ContribKey> Winners(ndlog::AggFn fn) const;
 
+  /// As above, filling a caller-owned vector (cleared first) so the hot
+  /// path can reuse one scratch buffer across recomputations.
+  void Winners(ndlog::AggFn fn, std::vector<ContribKey>* out) const;
+
   /// Total number of distinct contributions (for tests).
-  size_t distinct_contributions() const { return contribs_.size(); }
+  size_t distinct_contributions() const { return live_; }
 
  private:
-  std::map<ContribKey, int64_t> contribs_;
+  struct Entry {
+    ContribKey key;
+    int64_t count;  // 0 = tombstone (retained for buffer reuse)
+  };
+
+  /// Compare a stored vids Value against a probe span, with exactly
+  /// Value::Compare's ordering (Null sorts before List; lists compare
+  /// element-wise then by length). Returns <0/0/>0 for stored vs probe.
+  static int CompareVidsToProbe(const Value& stored, const ValueList* probe);
+
+  /// lower_bound position for (value, probe vids) among entries.
+  size_t LowerBound(const Value& value, const ValueList* probe) const;
+
+  void MaybeCompact();
+
+  std::vector<Entry> contribs_;  // sorted by key; count==0 entries inert
+  size_t live_ = 0;              // entries with count > 0
   /// Running totals so a_count and integer a_sum answer in O(1) instead of
   /// rescanning the multiset per Output call. Integer arithmetic only —
   /// exact under any insert/delete interleaving (int_sum_ accumulates in

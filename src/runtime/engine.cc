@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/common/alloc_hook.h"
 #include "src/common/hash.h"
 #include "src/provenance/rewrite.h"
 #include "src/runtime/builtins.h"
@@ -13,21 +14,26 @@ namespace {
 
 using ndlog::Atom;
 
-/// Rebuilds the concrete tuple a lowered atom matched from a full frame
-/// (used e.g. for aggregate provenance VIDs).
-Result<ValueList> AtomFields(const CompiledAtom& atom, const Frame& frame) {
-  ValueList out;
-  out.reserve(atom.args.size());
+/// VID of the concrete tuple a lowered atom matched, hashed straight from
+/// the frame (used for aggregate provenance). Bit-identical to
+/// TupleVid(predicate, fields-materialized-from-the-frame) — it replays
+/// DigestTuple's layout (name, then AddValueRange's count + element
+/// digests) without building the ValueList.
+Result<Vid> AtomVid(const std::string& predicate, const CompiledAtom& atom,
+                    const Frame& frame) {
+  Hasher h;
+  h.AddString(predicate);
+  h.AddU64(atom.args.size());
   for (const SlotArg& arg : atom.args) {
     if (arg.is_const()) {
-      out.push_back(arg.constant);
+      h.AddU64(arg.constant.Hash());
     } else if (frame.IsBound(arg.slot)) {
-      out.push_back(frame.Get(arg.slot));
+      h.AddU64(frame.Get(arg.slot).Hash());
     } else {
       return Status::RuntimeError("unbound variable " + arg.name);
     }
   }
-  return out;
+  return h.Digest();
 }
 
 }  // namespace
@@ -62,8 +68,9 @@ Engine::Engine(net::Simulator* sim, NodeId id, CompiledProgramPtr prog,
       if (it != tables_.end()) term_tables_[r][pos] = &it->second;
     }
   }
+  tuple_channel_ = sim_->InternChannel(kTupleChannel);
   sim_->RegisterHandler(id_, kTupleChannel,
-                        [this](const net::Message& msg) { OnTupleMessage(msg); });
+                        [this](net::Message& msg) { OnTupleMessage(msg); });
   SchedulePeriodics();
 }
 
@@ -147,18 +154,21 @@ Status Engine::InsertEvent(const Tuple& tuple) {
   return Status::OK();
 }
 
-void Engine::OnTupleMessage(const net::Message& msg) {
+void Engine::OnTupleMessage(net::Message& msg) {
+  // Delivery hands the frame's contents to the handler, so tuple fields move
+  // straight from the wire frame into the delta queue (no per-tuple copy;
+  // the frame is recycled after we return).
   if (!msg.batch.empty()) {
     // Batch frame: unpack in order. deltas_enqueued stays per tuple.
-    for (const net::BatchedTuple& b : msg.batch) {
-      EnqueueLocal({b.payload.name(), b.payload.fields(), b.multiplicity,
-                    b.is_delete});
+    for (net::BatchedTuple& b : msg.batch) {
+      EnqueueLocal({b.payload.name(), std::move(b.payload.mutable_fields()),
+                    b.multiplicity, b.is_delete});
     }
     DrainQueue();
     return;
   }
-  EnqueueLocal({msg.payload.name(), msg.payload.fields(), msg.multiplicity,
-                msg.is_delete});
+  EnqueueLocal({msg.payload.name(), std::move(msg.payload.mutable_fields()),
+                msg.multiplicity, msg.is_delete});
   DrainQueue();
 }
 
@@ -177,6 +187,7 @@ void Engine::DrainQueue() {
   // event queue, so drains never nest across engines and the attribution is
   // exact.
   const uint64_t hash_hits_before = Value::ListHashCacheHits();
+  const uint64_t allocs_before = AllocCount();
   while (!queue_.empty()) {
     bool serial = opts_.batch_size <= 1;
     if (!serial) {
@@ -196,6 +207,7 @@ void Engine::DrainQueue() {
       Delta delta = std::move(queue_.front());
       queue_.pop_front();
       ProcessDelta(delta);
+      ReleaseList(std::move(delta.fields));
     } else {
       ProcessBatch();
     }
@@ -206,6 +218,7 @@ void Engine::DrainQueue() {
   }
   stats_.hash_cache_hits += Value::ListHashCacheHits() - hash_hits_before;
   stats_.vid_intern_hits = vid_interner_.hits();
+  stats_.drain_allocs += AllocCount() - allocs_before;
   draining_ = false;
 }
 
@@ -214,19 +227,19 @@ void Engine::ProcessBatch() {
   // front (mixed inserts and deletes; runs never reorder the queue, so
   // cross-table and insert/delete ordering is exactly the serial order).
   const std::string table_name = queue_.front().table;
-  std::vector<Delta> deltas;
-  while (!queue_.empty() && deltas.size() < opts_.batch_size &&
+  batch_deltas_.clear();
+  while (!queue_.empty() && batch_deltas_.size() < opts_.batch_size &&
          queue_.front().table == table_name) {
-    deltas.push_back(std::move(queue_.front()));
+    batch_deltas_.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }
   ++stats_.batches_processed;
-  stats_.batched_tuples += deltas.size();
+  stats_.batched_tuples += batch_deltas_.size();
   ++stats_.trigger_dispatches;
 
   auto tit = tables_.find(table_name);
   if (tit == tables_.end()) {
-    ProcessEventBatch(table_name, &deltas);
+    ProcessEventBatch(table_name, &batch_deltas_);
     return;
   }
   Table& table = tit->second;
@@ -234,14 +247,18 @@ void Engine::ProcessBatch() {
   // Plan + apply the whole run through the table in one pass. Evaluation
   // below runs against the post-batch store; per-action suffix overlays
   // reconstruct each action's exact serial-mode visibility.
-  std::vector<DeltaRequest> reqs;
-  reqs.reserve(deltas.size());
-  for (Delta& d : deltas) {
+  batch_reqs_.clear();
+  batch_reqs_.reserve(batch_deltas_.size());
+  for (Delta& d : batch_deltas_) {
     if (d.is_eviction) --pending_evictions_[table_name];
-    reqs.push_back({std::move(d.fields), d.mult, d.is_delete});
+    batch_reqs_.push_back({std::move(d.fields), d.mult, d.is_delete});
   }
-  std::vector<TableAction> actions;
-  table.ApplyBatch(reqs, &actions);
+  batch_actions_.Reset();
+  const ActionBuffer& actions = batch_actions_;
+  table.ApplyBatch(batch_reqs_, &batch_actions_);
+  // The requests' field buffers were copied into the store / actions above;
+  // recycle them for the next emitted tuples.
+  for (DeltaRequest& r : batch_reqs_) ReleaseList(std::move(r.fields));
   if (actions.empty()) return;
 
   actions_this_trigger_ += actions.size();
@@ -256,7 +273,7 @@ void Engine::ProcessBatch() {
     batching_ = true;
     auto trig = prog_->triggers.find(table_name);
     if (trig != prog_->triggers.end()) {
-      BatchOverlay suffix;
+      BatchOverlay& suffix = suffix_overlay_;
       for (const auto& [rule_idx, term_idx] : trig->second) {
         // The overlay starts as the net effect of the whole batch and
         // shrinks as evaluation advances: when action i evaluates it holds
@@ -269,8 +286,8 @@ void Engine::ProcessBatch() {
         // tuples are absent from it (the synthetic-candidate pool) is
         // computed once per rule pass, not per probe.
         suffix.absent.clear();
-        for (const ValueList* fields : suffix.order) {
-          if (table.CountOf(*fields) == 0) suffix.absent.push_back(fields);
+        for (const BatchOverlay::Entry& e : suffix.slab) {
+          if (table.CountOf(*e.fields) == 0) suffix.absent.push_back(e.fields);
         }
         for (const TableAction& a : actions) {
           EvalRuleWithDelta(rule_idx, term_idx, a, &suffix);
@@ -301,7 +318,6 @@ void Engine::ProcessBatch() {
     for (const ActionObserver& obs : observers_) obs(table_name, action);
     if (!action.is_delete) HandleSoftState(table, action);
   }
-
   FlushOutbox();
 }
 
@@ -310,12 +326,16 @@ void Engine::ProcessEventBatch(const std::string& name,
   // Events fire triggers and register VIDs but are never stored; retraction
   // deltas are dropped (as in serial mode). Event predicates cannot appear
   // as non-delta body atoms, so no overlay is needed.
-  std::vector<TableAction> actions;
-  actions.reserve(deltas->size());
+  batch_actions_.Reset();
+  const ActionBuffer& actions = batch_actions_;
   for (Delta& d : *deltas) {
     if (d.is_delete) continue;
     if (opts_.track_vid_index) RegisterVid(name, d.fields);
-    actions.push_back({std::move(d.fields), d.mult, /*is_delete=*/false});
+    TableAction& a = batch_actions_.Append();
+    a.fields = d.fields;  // copy into the slot's recycled buffer
+    a.mult = d.mult;
+    a.is_delete = false;
+    ReleaseList(std::move(d.fields));
   }
   if (actions.empty()) return;
 
@@ -397,7 +417,8 @@ void Engine::HandleSoftState(const Table& table, const TableAction& action) {
           const Table::Row* row = t->FindByKey(key);
           if (row == nullptr) return;
           ++stats_.expirations;
-          EnqueueLocal({name, row->fields, row->count, /*is_delete=*/true});
+          EnqueueLocal({name, CopyToPooled(row->fields), row->count,
+                        /*is_delete=*/true});
           DrainQueue();
         });
   }
@@ -418,7 +439,8 @@ void Engine::HandleSoftState(const Table& table, const TableAction& action) {
       if (row == nullptr) continue;
       ++stats_.evictions;
       ++pending;
-      Delta evict{name, row->fields, row->count, /*is_delete=*/true};
+      Delta evict{name, CopyToPooled(row->fields), row->count,
+                  /*is_delete=*/true};
       evict.is_eviction = true;
       EnqueueLocal(std::move(evict));
     }
@@ -471,8 +493,10 @@ void Engine::EvalRuleWithDelta(size_t rule_idx, size_t delta_term,
   const CompiledRule& cr = prog_->rules[rule_idx];
   const CompiledAtom& delta_atom = cr.body[delta_term].atom;
   frame_.Reset(cr.slots.size());
-  std::vector<int> added;
-  if (!MatchAtom(delta_atom, action.fields, &frame_, &added)) return;
+  // The shared undo stack starts empty per evaluation (the frame reset just
+  // cleared every binding the previous evaluation logged).
+  undo_stack_.clear();
+  if (!MatchAtom(delta_atom, action.fields, &frame_, &undo_stack_)) return;
   const std::vector<AtomProbePlan>* plans = nullptr;
   if (opts_.use_secondary_indexes) {
     auto pit = cr.join_plans.find(delta_term);
@@ -522,10 +546,10 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
                             !action.is_delete &&
                             table.CountOf(action.fields) == 0;
 
-    // One candidate row, shared by the probe and scan paths. The undo log
-    // restores the frame after each candidate with one bit clear per
-    // newly bound slot.
-    std::vector<int> added;
+    // One candidate row, shared by the probe and scan paths. The shared
+    // undo stack (restored to the saved mark after each candidate — one bit
+    // clear per newly bound slot) replaces a per-call vector, so recursing
+    // through the body allocates nothing.
     auto consider = [&](const ValueList& fields, int64_t count) {
       ++stats_.join_probes;
       if (same_pred) {
@@ -535,12 +559,13 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
         }
         if (count <= 0) return;
       }
-      if (MatchAtom(atom, fields, frame, &added)) {
+      const size_t mark = undo_stack_.size();
+      if (MatchAtom(atom, fields, frame, &undo_stack_)) {
         JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
                 frame, mult * count);
-        while (!added.empty()) {
-          frame->Unset(added.back());
-          added.pop_back();
+        while (undo_stack_.size() > mark) {
+          frame->Unset(undo_stack_.back());
+          undo_stack_.pop_back();
         }
       }
     };
@@ -550,8 +575,9 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
       // every row of a node-local table matches — full iteration is the
       // optimal plan, not a fallback.
       ++stats_.broadcast_probes;
-      for (Table::RowHandle row : table.OrderedView()) {
-        consider(row->fields, row->count);
+      for (Table::RowHandle h : table.OrderedView()) {
+        const Table::Row& row = table.Deref(h);
+        consider(row.fields, row.count);
       }
     } else if (probe != nullptr && probe->index_id >= 0) {
       // All bound positions are constants or bound slots by construction
@@ -559,8 +585,10 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
       // unbound slot here would mean PlanJoinIndexes diverged from
       // JoinRec's binding order — fail loud (as the old name-keyed at()
       // lookup did) rather than silently probing with a stale slot value.
-      ValueList key;
-      key.reserve(probe->bound_positions.size());
+      // probe_key_ is shared scratch: Probe consumes it before recursion
+      // can refill it (deeper levels only run inside `consider`, after the
+      // probe answered).
+      probe_key_.clear();
       for (int p : probe->bound_positions) {
         const SlotArg& arg = atom.args[static_cast<size_t>(p)];
         if (!arg.is_const() && !frame->IsBound(arg.slot)) {
@@ -569,18 +597,23 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
               " is unbound in rule " + cr.rule.name));
           return;
         }
-        key.push_back(arg.is_const() ? arg.constant : frame->Get(arg.slot));
+        probe_key_.push_back(arg.is_const() ? arg.constant
+                                            : frame->Get(arg.slot));
       }
       ++stats_.index_probes;
       const std::vector<Table::RowHandle>* rows =
-          table.Probe(probe->index_id, key);
+          table.Probe(probe->index_id, probe_key_);
       if (rows != nullptr) {
-        for (Table::RowHandle row : *rows) consider(row->fields, row->count);
+        for (Table::RowHandle h : *rows) {
+          const Table::Row& row = table.Deref(h);
+          consider(row.fields, row.count);
+        }
       }
     } else {
       ++stats_.index_scan_fallbacks;
-      for (Table::RowHandle row : table.OrderedView()) {
-        consider(row->fields, row->count);
+      for (Table::RowHandle h : table.OrderedView()) {
+        const Table::Row& row = table.Deref(h);
+        consider(row.fields, row.count);
       }
     }
     if (same_pred && suffix != nullptr) {
@@ -592,12 +625,13 @@ void Engine::JoinRec(const CompiledRule& cr, size_t rule_idx, size_t term_idx,
         consider(*fields, 0);
       }
     } else if (synthetic_needed) {
-      if (MatchAtom(atom, action.fields, frame, &added)) {
+      const size_t mark = undo_stack_.size();
+      if (MatchAtom(atom, action.fields, frame, &undo_stack_)) {
         JoinRec(cr, rule_idx, term_idx + 1, delta_term, plans, action, suffix,
                 frame, mult * action.mult);
-        while (!added.empty()) {
-          frame->Unset(added.back());
-          added.pop_back();
+        while (undo_stack_.size() > mark) {
+          frame->Unset(undo_stack_.back());
+          undo_stack_.pop_back();
         }
       }
     }
@@ -636,7 +670,7 @@ void Engine::EmitHead(const CompiledRule& cr, size_t rule_idx,
   if (cr.head_is_event && is_delete) return;  // no event retraction
 
   auto eval_head = [&]() -> Result<ValueList> {
-    ValueList out;
+    ValueList out = AcquireList();
     out.reserve(cr.head_exprs.size());
     for (const CompiledExpr& e : cr.head_exprs) {
       NT_ASSIGN_OR_RETURN(Value v, Eval(e, frame));
@@ -668,54 +702,70 @@ void Engine::EmitHead(const CompiledRule& cr, size_t rule_idx,
 void Engine::ShipRemote(NodeId dst, Tuple tuple, int64_t mult,
                         bool is_delete) {
   if (batching_) {
-    auto [it, inserted] = outbox_.try_emplace(dst);
-    if (inserted) outbox_order_.push_back(dst);
-    it->second.push_back({std::move(tuple), is_delete, mult});
+    // Per-destination buffering happens directly in a pooled simulator
+    // frame: the batch entry is built in place in the frame's arena, so
+    // nothing is copied again at flush time.
+    uint32_t& slot = outbox_[dst];
+    if (slot == 0) {
+      net::Simulator::FrameRef f = sim_->AcquireFrame();
+      net::Message& m = sim_->FrameMessage(f);
+      m.src = id_;
+      m.dst = dst;
+      m.channel = tuple_channel_;
+      slot = f + 1;
+      outbox_order_.push_back(dst);
+    }
+    sim_->FrameMessage(slot - 1).batch.push_back(
+        {std::move(tuple), is_delete, mult});
     return;
   }
-  net::Message msg;
-  msg.src = id_;
-  msg.dst = dst;
-  msg.channel = kTupleChannel;
-  msg.payload = std::move(tuple);
-  msg.is_delete = is_delete;
-  msg.multiplicity = mult;
+  net::Simulator::FrameRef f = sim_->AcquireFrame();
+  net::Message& m = sim_->FrameMessage(f);
+  m.src = id_;
+  m.dst = dst;
+  m.channel = tuple_channel_;
+  m.payload = std::move(tuple);
+  m.is_delete = is_delete;
+  m.multiplicity = mult;
   ++stats_.messages_sent;
   ++stats_.tuples_shipped;
-  if (!sim_->Send(std::move(msg))) ++stats_.send_failures;
+  if (!sim_->SendFrame(f)) ++stats_.send_failures;
 }
 
 void Engine::FlushOutbox() {
   for (NodeId dst : outbox_order_) {
-    std::vector<net::BatchedTuple>& items = outbox_[dst];
-    net::Message msg;
-    msg.src = id_;
-    msg.dst = dst;
-    msg.channel = kTupleChannel;
-    const size_t n = items.size();
+    net::Simulator::FrameRef f = *outbox_.Find(dst) - 1;
+    net::Message& msg = sim_->FrameMessage(f);
+    const size_t n = msg.batch.size();
     if (n == 1) {
       // Single delta: ship the legacy frame (identical wire size to serial
       // mode).
-      msg.payload = std::move(items[0].payload);
-      msg.is_delete = items[0].is_delete;
-      msg.multiplicity = items[0].multiplicity;
+      msg.payload = std::move(msg.batch[0].payload);
+      msg.is_delete = msg.batch[0].is_delete;
+      msg.multiplicity = msg.batch[0].multiplicity;
+      msg.batch.clear();
     } else {
-      msg.batch = std::move(items);
       ++stats_.batch_messages_sent;
     }
     ++stats_.messages_sent;
     stats_.tuples_shipped += n;
-    if (!sim_->Send(std::move(msg))) stats_.send_failures += n;
+    if (!sim_->SendFrame(f)) stats_.send_failures += n;
   }
-  outbox_.clear();
+  outbox_.Clear();
   outbox_order_.clear();
 }
 
 void Engine::HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
                                    const Frame& frame, int64_t mult,
                                    bool is_delete) {
-  // Group key: head args except the aggregate, in order.
-  ValueList group;
+  // Group key: head args except the aggregate, in order. Built in the
+  // shared (rule, group) lookup key so the agg-state and dirty-set hit
+  // paths below run find-first against it — no pair/ValueList copies per
+  // firing (RecomputeAggGroup never re-enters this function, so the
+  // scratch cannot be clobbered mid-use).
+  agg_key_scratch_.first = rule_idx;
+  ValueList& group = agg_key_scratch_.second;
+  group.clear();
   for (size_t i = 0; i < cr.head_exprs.size(); ++i) {
     if (i == cr.agg_arg_index) continue;
     Result<Value> v = Eval(cr.head_exprs[i], frame);
@@ -735,76 +785,96 @@ void Engine::HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
     }
     agg_value = std::move(v).value();
   }
-  // Input VIDs for provenance.
-  Value vids = Value::Null();
+  // Input VIDs for provenance, built in reusable scratch. AggGroup wraps
+  // them in a Value::List only when the contribution is brand new; repeat
+  // derivations (including re-inserts after a retraction) compare against
+  // the stored list in place.
+  const ValueList* vids = nullptr;
   if (prog_->provenance) {
-    ValueList vid_list;
+    agg_vid_scratch_.clear();
     for (size_t pos : cr.atom_positions) {
       const Atom& atom = std::get<Atom>(cr.rule.body[pos]);
-      Result<ValueList> fields = AtomFields(cr.body[pos].atom, frame);
-      if (!fields.ok()) {
-        NoteEvalError(fields.status());
+      Result<Vid> vid = AtomVid(atom.predicate, cr.body[pos].atom, frame);
+      if (!vid.ok()) {
+        NoteEvalError(vid.status());
         return;
       }
-      vid_list.push_back(
-          VidToValue(TupleVid(atom.predicate, std::move(fields).value())));
+      agg_vid_scratch_.push_back(VidToValue(*vid));
     }
-    vids = Value::List(std::move(vid_list));
+    vids = &agg_vid_scratch_;
   }
   ++stats_.rule_firings;
-  AggGroupState& state = agg_state_[{rule_idx, group}];
+  auto it = agg_state_.find(agg_key_scratch_);
+  if (it == agg_state_.end()) {
+    it = agg_state_.emplace(std::make_pair(rule_idx, group), AggGroupState{})
+             .first;
+  }
+  AggGroupState& state = it->second;
   state.group.Adjust(agg_value, vids, is_delete ? -mult : mult);
   if (batching_) {
     // Defer: the batch recomputes each touched group's output once, so a
     // cascade that adjusts a group N times pays one recomputation (and
     // enqueues no intermediate outputs — the fixpoint is unchanged, only
-    // the transient churn).
-    if (dirty_agg_set_.emplace(rule_idx, group).second) {
-      dirty_aggs_.emplace_back(rule_idx, std::move(group));
+    // the transient churn). The per-state flag replaces a keyed dirty set:
+    // states are unique per (rule, group), so marking the state is
+    // equivalent and skips the group-key copy.
+    if (!state.dirty) {
+      state.dirty = true;
+      dirty_aggs_.push_back({rule_idx, &it->first.second, &state});
     }
     return;
   }
-  RecomputeAggGroup(cr, rule_idx, group);
+  RecomputeAggGroup(cr, it->first.second, &state);
 }
 
 void Engine::FlushDirtyAggregates() {
-  for (const auto& [rule_idx, group] : dirty_aggs_) {
-    RecomputeAggGroup(prog_->rules[rule_idx], rule_idx, group);
+  for (const DirtyAgg& d : dirty_aggs_) {
+    d.state->dirty = false;
+    RecomputeAggGroup(prog_->rules[d.rule_idx], *d.group, d.state);
   }
   dirty_aggs_.clear();
-  dirty_agg_set_.clear();
 }
 
-void Engine::RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
-                               const ValueList& group_key) {
+void Engine::RecomputeAggGroup(const CompiledRule& cr,
+                               const ValueList& group_key,
+                               AggGroupState* state_ptr) {
   ++stats_.agg_recomputes;
-  AggGroupState& state = agg_state_[{rule_idx, group_key}];
+  AggGroupState& state = *state_ptr;
   std::optional<Value> output = state.group.Output(cr.agg_fn);
 
-  // Desired provenance tuples for the (new) output.
-  std::vector<Tuple> desired_prov;
-  ValueList new_fields;
+  // Desired provenance tuples for the (new) output, built in scratch whose
+  // tuple field buffers come from the list pool (and return to it when the
+  // state's previous provenance is retired below).
+  std::vector<Tuple>& desired_prov = agg_prov_scratch_;
+  desired_prov.clear();
+  ValueList new_fields = AcquireList();
   if (output) {
     new_fields = group_key;
     new_fields.insert(new_fields.begin() + static_cast<long>(cr.agg_arg_index),
                       *output);
     if (prog_->provenance) {
       Vid head_vid = TupleVid(cr.rule.head.predicate, new_fields);
-      for (const AggGroup::ContribKey& win : state.group.Winners(cr.agg_fn)) {
+      state.group.Winners(cr.agg_fn, &winners_scratch_);
+      for (const AggGroup::ContribKey& win : winners_scratch_) {
         if (!win.vids.is_list()) continue;
-        std::vector<Vid> vids;
+        winner_vids_scratch_.clear();
         for (const Value& v : win.vids.as_list()) {
-          vids.push_back(ValueToVid(v));
+          winner_vids_scratch_.push_back(ValueToVid(v));
         }
-        Vid rid = RuleExecRid(cr.rule.name, id_, vids);
-        desired_prov.emplace_back(
-            provenance::kRuleExecTable,
-            ValueList{Value::Address(id_), VidToValue(rid),
-                      Value::Str(cr.rule.name), win.vids});
-        desired_prov.emplace_back(
-            provenance::kProvTable,
-            ValueList{Value::Address(id_), VidToValue(head_vid),
-                      VidToValue(rid), Value::Address(id_), Value::Int(0)});
+        Vid rid = RuleExecRid(cr.rule.name, id_, winner_vids_scratch_);
+        ValueList rx = AcquireList();
+        rx.push_back(Value::Address(id_));
+        rx.push_back(VidToValue(rid));
+        rx.push_back(Value::Str(cr.rule.name));
+        rx.push_back(win.vids);
+        desired_prov.emplace_back(provenance::kRuleExecTable, std::move(rx));
+        ValueList pv = AcquireList();
+        pv.push_back(Value::Address(id_));
+        pv.push_back(VidToValue(head_vid));
+        pv.push_back(VidToValue(rid));
+        pv.push_back(Value::Address(id_));
+        pv.push_back(Value::Int(0));
+        desired_prov.emplace_back(provenance::kProvTable, std::move(pv));
       }
     }
   }
@@ -818,30 +888,44 @@ void Engine::RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
   };
   for (const Tuple& old : state.last_prov) {
     if (!contains(desired_prov, old)) {
-      EnqueueLocal({old.name(), old.fields(), 1, /*is_delete=*/true});
+      EnqueueLocal({old.name(), CopyToPooled(old.fields()), 1,
+                    /*is_delete=*/true});
     }
   }
   for (const Tuple& fresh : desired_prov) {
     if (!contains(state.last_prov, fresh)) {
-      EnqueueLocal({fresh.name(), fresh.fields(), 1, /*is_delete=*/false});
+      EnqueueLocal({fresh.name(), CopyToPooled(fresh.fields()), 1,
+                    /*is_delete=*/false});
     }
   }
-  state.last_prov = std::move(desired_prov);
+  // Retire the old provenance set: recycle its field buffers, then swap the
+  // vectors so both the tuple storage and the scratch capacity cycle.
+  for (Tuple& t : state.last_prov) ReleaseList(std::move(t.mutable_fields()));
+  state.last_prov.swap(desired_prov);
+  desired_prov.clear();
 
   // Output maintenance via key replacement on the head table.
   if (!output) {
+    ReleaseList(std::move(new_fields));
     if (state.has_output) {
-      EnqueueLocal({cr.rule.head.predicate, state.last_output, 1,
+      EnqueueLocal({cr.rule.head.predicate, CopyToPooled(state.last_output), 1,
                     /*is_delete=*/true});
       state.has_output = false;
       state.last_output.clear();
     }
     return;
   }
-  if (state.has_output && state.last_output == new_fields) return;
-  EnqueueLocal({cr.rule.head.predicate, new_fields, 1, /*is_delete=*/false});
+  if (state.has_output && state.last_output == new_fields) {
+    ReleaseList(std::move(new_fields));
+    return;
+  }
+  EnqueueLocal({cr.rule.head.predicate, CopyToPooled(new_fields), 1,
+                /*is_delete=*/false});
   state.has_output = true;
-  state.last_output = std::move(new_fields);
+  // Swap so the displaced last_output buffer goes back to the pool instead
+  // of being freed by a move-assign.
+  std::swap(state.last_output, new_fields);
+  ReleaseList(std::move(new_fields));
 }
 
 void Engine::RegisterVid(const std::string& name, const ValueList& fields) {

@@ -15,9 +15,9 @@
 #include <set>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/flat_hash.h"
 #include "src/common/hash.h"
 
 #include "src/common/status.h"
@@ -90,6 +90,14 @@ struct EngineStats {
   /// VidInterner lookups that found an already-interned VID (eh_* / prov /
   /// ruleExec churn re-touching known vertices).
   uint64_t vid_intern_hits = 0;
+  /// Heap allocations (global operator new calls, process-wide) that landed
+  /// while this engine was draining its delta queue. Reads 0 unless the
+  /// build defines NETTRAILS_COUNT_ALLOCS (see src/common/alloc_hook.h);
+  /// attribution is exact for the same reason hash_cache_hits is — drains
+  /// never nest across engines. The zero-allocation shipping path drives
+  /// this to (near) zero on converged churn; bench_churn reports it as
+  /// allocs_per_flap and scripts/check_alloc_budget.sh pins it.
+  uint64_t drain_allocs = 0;
 };
 
 /// The "tuple" message channel used for shipped deltas.
@@ -161,32 +169,74 @@ class Engine {
   /// exactly the store action i saw in serial mode. Entries are kept at
   /// net 0 so every tuple the batch touches stays enumerable (the
   /// synthetic-candidate sweep in JoinRec relies on it).
+  ///
+  /// Storage is a slab (first-touch order — the old `order` vector) plus a
+  /// flat content-hash index with explicit collision chains; entries hold
+  /// pointers into the batch's TableActions (stable for the whole batch)
+  /// instead of ValueList copies, so refilling the overlay each rule pass
+  /// allocates nothing once the slab has grown to batch size.
   struct BatchOverlay {
-    std::unordered_map<ValueList, int64_t, ValueListHash, ValueListEq> net;
-    std::vector<const ValueList*> order;  // keys of net, first-touch order
-    /// Subset of `order` absent from the post-batch store: the synthetic
+    struct Entry {
+      const ValueList* fields;
+      int64_t net;
+      int32_t next;  // same-hash chain, slab index + 1; 0 terminates
+    };
+    std::vector<Entry> slab;       // first-touch order
+    FlatHashMap64<int32_t> heads;  // content hash -> slab index + 1
+    /// Subset of `slab` absent from the post-batch store: the synthetic
     /// join candidates. The store is frozen during batch evaluation, so
     /// ProcessBatch computes this once per rule pass.
     std::vector<const ValueList*> absent;
 
     void Add(const ValueList& fields, int64_t delta) {
-      auto [it, inserted] = net.try_emplace(fields, 0);
-      it->second += delta;
-      if (inserted) order.push_back(&it->first);
+      int32_t& head = heads[ValueListHash{}(fields)];
+      for (int32_t i = head; i != 0; i = slab[i - 1].next) {
+        Entry& e = slab[i - 1];
+        if (ValueListEq{}(*e.fields, fields)) {
+          e.net += delta;
+          return;
+        }
+      }
+      slab.push_back({&fields, delta, head});
+      head = static_cast<int32_t>(slab.size());
     }
     int64_t Net(const ValueList& fields) const {
-      auto it = net.find(fields);
-      return it == net.end() ? 0 : it->second;
+      const int32_t* head = heads.Find(ValueListHash{}(fields));
+      for (int32_t i = head == nullptr ? 0 : *head; i != 0;
+           i = slab[i - 1].next) {
+        const Entry& e = slab[i - 1];
+        if (ValueListEq{}(*e.fields, fields)) return e.net;
+      }
+      return 0;
     }
     void Clear() {
-      net.clear();
-      order.clear();
+      slab.clear();
+      heads.Clear();
       absent.clear();
     }
   };
 
-  void OnTupleMessage(const net::Message& msg);
+  void OnTupleMessage(net::Message& msg);
   void EnqueueLocal(Delta delta);
+
+  /// ValueList recycling pool for the delta pipeline. Field buffers flow
+  /// emit -> queue -> batch -> harvest-back-to-pool, so a converged flap's
+  /// tuple churn reuses the same allocations instead of paying one
+  /// malloc/free pair per derived tuple.
+  ValueList AcquireList() {
+    if (list_pool_.empty()) return ValueList();
+    ValueList out = std::move(list_pool_.back());
+    list_pool_.pop_back();
+    out.clear();
+    return out;
+  }
+  void ReleaseList(ValueList&& v) { list_pool_.push_back(std::move(v)); }
+  /// Copy of `src` backed by a pooled buffer (the enqueue-a-copy idiom).
+  ValueList CopyToPooled(const ValueList& src) {
+    ValueList out = AcquireList();
+    out = src;
+    return out;
+  }
   void DrainQueue();
   void ProcessDelta(const Delta& delta);
   /// Batched pipeline: drains a run of consecutive same-table deltas from
@@ -225,8 +275,9 @@ class Engine {
   void HandleAggContribution(const CompiledRule& cr, size_t rule_idx,
                              const Frame& frame, int64_t mult,
                              bool is_delete);
-  void RecomputeAggGroup(const CompiledRule& cr, size_t rule_idx,
-                         const ValueList& group_key);
+  struct AggGroupState;
+  void RecomputeAggGroup(const CompiledRule& cr, const ValueList& group_key,
+                         AggGroupState* state);
   /// Recomputes (once each) the aggregate groups touched by the current
   /// batch, in first-touch order.
   void FlushDirtyAggregates();
@@ -247,6 +298,9 @@ class Engine {
   NodeId id_;
   CompiledProgramPtr prog_;
   EngineOptions opts_;
+  /// Interned "tuple" channel id, resolved once at construction so shipping
+  /// never touches the channel string.
+  net::ChannelId tuple_channel_ = 0;
 
   std::map<std::string, Table> tables_;
   /// Per (rule, body-term) table resolution: term_tables_[rule][term] is
@@ -269,6 +323,7 @@ class Engine {
 
   struct AggGroupState {
     AggGroup group;
+    bool dirty = false;  // already on dirty_aggs_ for the current batch
     bool has_output = false;
     ValueList last_output;
     std::vector<Tuple> last_prov;  // emitted prov + ruleExec tuples
@@ -301,11 +356,43 @@ class Engine {
   // remote shipping into the outbox and aggregate recomputation into the
   // dirty set).
   bool batching_ = false;
-  std::vector<std::pair<size_t, ValueList>> dirty_aggs_;  // first-touch order
-  std::unordered_set<std::pair<size_t, ValueList>, AggKeyHash, AggKeyEq>
-      dirty_agg_set_;
+  /// Touched aggregate groups in first-touch order. Group key and state
+  /// live in agg_state_ nodes (stable — the map never erases), so the dirty
+  /// list carries pointers, not ValueList copies.
+  struct DirtyAgg {
+    size_t rule_idx;
+    const ValueList* group;
+    AggGroupState* state;
+  };
+  std::vector<DirtyAgg> dirty_aggs_;
   std::vector<NodeId> outbox_order_;  // destinations, first-use order
-  std::unordered_map<NodeId, std::vector<net::BatchedTuple>> outbox_;
+  /// dst -> simulator frame ref + 1 (0 = none). Batch entries are built in
+  /// place in the pooled frame's Message::batch, so per-destination
+  /// buffering allocates nothing once frames have warmed up.
+  FlatHashMap64<uint32_t> outbox_;
+
+  // Drain-scoped scratch buffers (reused across batches so a converged
+  // drain allocates nothing): the current batch's deltas / table requests /
+  // applied actions, the shared frame-undo stack for MatchAtom (callers
+  // restore to their saved mark — safe across JoinRec recursion), the
+  // secondary-index probe key, the per-rule-pass suffix overlay, and the
+  // aggregate lookup key (find-before-emplace keeps the hit path free of
+  // pair<rule, group> copies).
+  std::vector<Delta> batch_deltas_;
+  std::vector<DeltaRequest> batch_reqs_;
+  ActionBuffer batch_actions_;
+  std::vector<int> undo_stack_;
+  ValueList probe_key_;
+  BatchOverlay suffix_overlay_;
+  std::pair<size_t, ValueList> agg_key_scratch_;
+  ValueList agg_vid_scratch_;
+  /// Recompute scratch: winners, their raw VIDs, and the desired-provenance
+  /// build buffer (swapped against each state's last_prov, so tuple storage
+  /// cycles instead of being reallocated per recomputation).
+  std::vector<AggGroup::ContribKey> winners_scratch_;
+  std::vector<Vid> winner_vids_scratch_;
+  std::vector<Tuple> agg_prov_scratch_;
+  std::vector<ValueList> list_pool_;
 
   // Soft state: per-key insertion generation (a re-insertion refreshes the
   // expiry timer and invalidates stale timers) and FIFO insertion order.

@@ -180,13 +180,28 @@ Result<Value> EvalNode(const CompiledExpr& expr, uint32_t id,
       }
       return frame.Get(node.slot);
     case CompiledExpr::Op::kCall: {
+      // Argument vectors are pooled across evaluations: builtin calls run
+      // on every selection/head evaluation, and a fresh vector here was the
+      // single largest allocation source in converged churn. Calls nest
+      // (arguments may themselves be calls), so the pool holds one buffer
+      // per nesting level seen. The runtime is single-threaded (one
+      // discrete-event loop), so a process-wide pool is safe.
+      static std::vector<std::vector<Value>>* pool =
+          new std::vector<std::vector<Value>>();
       std::vector<Value> args;
+      if (!pool->empty()) {
+        args = std::move(pool->back());
+        pool->pop_back();
+        args.clear();
+      }
       args.reserve(node.children.size());
       for (uint32_t child : node.children) {
         NT_ASSIGN_OR_RETURN(Value v, EvalNode(expr, child, frame));
         args.push_back(std::move(v));
       }
-      return (*node.fn)(args);
+      Result<Value> r = (*node.fn)(args);
+      pool->push_back(std::move(args));
+      return r;
     }
     case CompiledExpr::Op::kBinary: {
       // Short-circuit logical operators.

@@ -95,120 +95,193 @@ std::vector<TableAction> Table::PlanDelete(const ValueList& fields,
   return actions;
 }
 
-Table::PrimaryMap::iterator Table::FindSlot(uint64_t hash,
-                                            const ValueList& fields) {
-  auto [it, end] = primary_.equal_range(hash);
-  for (; it != end; ++it) {
-    if (SlotKeyMatchesProjection(it->second, fields)) return it;
+uint32_t Table::FindSlotIdx(uint64_t hash, const ValueList& fields) const {
+  const uint32_t* head = primary_.Find(hash);
+  if (head == nullptr) return kNil;
+  for (uint32_t i = *head - 1; i != kNil; i = slots_[i].next) {
+    if (SlotKeyMatchesProjection(slots_[i], fields)) return i;
   }
-  return primary_.end();
+  return kNil;
 }
 
-Table::PrimaryMap::const_iterator Table::FindSlot(
-    uint64_t hash, const ValueList& fields) const {
-  auto [it, end] = primary_.equal_range(hash);
-  for (; it != end; ++it) {
-    if (SlotKeyMatchesProjection(it->second, fields)) return it;
-  }
-  return primary_.end();
-}
-
-void Table::DecrementAt(PrimaryMap::iterator it, int64_t mult) {
-  Row& row = it->second.row;
+void Table::DecrementAt(uint32_t slot_idx, int64_t mult) {
+  Row& row = slots_[slot_idx].row;
   row.count -= mult;
-  if (row.count <= 0) {
-    UnindexRow(&row);
-    primary_.erase(it);
-    ordered_view_valid_ = false;
+  if (row.count <= 0) EraseSlot(slot_idx);
+}
+
+void Table::EraseSlot(uint32_t slot_idx) {
+  Slot& s = slots_[slot_idx];
+  assert(s.live);
+  UnindexRow(slot_idx);
+  // Unlink from the same-hash chain (almost always a single-slot chain).
+  uint32_t* head = primary_.Find(s.key_hash);
+  assert(head != nullptr && *head != 0);
+  if (*head - 1 == slot_idx) {
+    if (s.next == kNil) {
+      primary_.Erase(s.key_hash);
+    } else {
+      *head = s.next + 1;
+    }
+  } else {
+    uint32_t prev = *head - 1;
+    while (slots_[prev].next != slot_idx) prev = slots_[prev].next;
+    slots_[prev].next = s.next;
   }
+  // The recycled slot keeps its row.fields / key buffers — the next
+  // InsertNewRow copy-assigns into them. The generation bump is what
+  // invalidates outstanding handles.
+  s.next = kNil;
+  s.live = false;
+  ++s.gen;
+  s.row.count = 0;
+  free_slots_.push_back(slot_idx);
+  --live_count_;
+  ordered_view_valid_ = false;
 }
 
 void Table::InsertNewRow(uint64_t hash, const ValueList& fields,
                          int64_t mult) {
-  Slot slot;
-  if (!info_.keys.empty()) slot.key = KeyOf(fields);
-  slot.row.fields = fields;
-  slot.row.count = mult;
-  auto it = primary_.emplace(hash, std::move(slot));
-  IndexRow(&it->second.row);
+  uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.row.fields = fields;  // copy-assign reuses the recycled slot's buffers
+  s.row.count = mult;
+  if (!info_.keys.empty()) {
+    s.key.clear();
+    for (int k : info_.keys) s.key.push_back(fields[static_cast<size_t>(k)]);
+  }
+  s.key_hash = hash;
+  uint32_t& head = primary_[hash];
+  s.next = head == 0 ? kNil : head - 1;
+  head = idx + 1;
+  s.live = true;
+  ++live_count_;
+  IndexRow(idx);
   ordered_view_valid_ = false;
 }
 
 void Table::Apply(const TableAction& action) {
   uint64_t hash = KeyHashOf(action.fields);
-  auto it = FindSlot(hash, action.fields);
+  uint32_t i = FindSlotIdx(hash, action.fields);
   if (action.is_delete) {
-    if (it == primary_.end() || it->second.row.fields != action.fields) {
-      return;
-    }
-    DecrementAt(it, action.mult);
+    if (i == kNil || slots_[i].row.fields != action.fields) return;
+    DecrementAt(i, action.mult);
     return;
   }
-  if (it != primary_.end()) {
+  if (i != kNil) {
     // PlanInsert issues the displacement delete first, so by the time an
     // insert lands here the stored fields match (or the row was erased).
-    assert(it->second.row.fields == action.fields);
-    it->second.row.count += action.mult;
+    assert(slots_[i].row.fields == action.fields);
+    slots_[i].row.count += action.mult;
     return;
   }
   InsertNewRow(hash, action.fields, action.mult);
 }
 
-void Table::ApplyBatch(const std::vector<DeltaRequest>& deltas,
-                       std::vector<TableAction>* out) {
+namespace {
+
+/// ApplyBatchImpl sinks: both copy-assign the action fields so an
+/// ActionBuffer slot's retained capacity is reused (a brace-constructed
+/// push_back would build a fresh ValueList either way).
+struct VectorActionSink {
+  std::vector<TableAction>* v;
+  TableAction& Append() {
+    v->emplace_back();
+    return v->back();
+  }
+};
+struct BufferActionSink {
+  ActionBuffer* b;
+  TableAction& Append() { return b->Append(); }
+};
+
+}  // namespace
+
+template <typename Sink>
+void Table::ApplyBatchImpl(const std::vector<DeltaRequest>& deltas,
+                           Sink* out) {
+  auto emit = [out](const ValueList& fields, int64_t mult, bool is_delete) {
+    TableAction& a = out->Append();
+    a.fields = fields;  // copy-assign: reuses a recycled slot's capacity
+    a.mult = mult;
+    a.is_delete = is_delete;
+  };
   for (const DeltaRequest& d : deltas) {
     assert(d.mult > 0);
     uint64_t hash = KeyHashOf(d.fields);
-    auto it = FindSlot(hash, d.fields);
+    uint32_t i = FindSlotIdx(hash, d.fields);
     if (d.is_delete) {
-      if (it == primary_.end() || it->second.row.fields != d.fields) {
+      if (i == kNil || slots_[i].row.fields != d.fields) {
         ++spurious_deletes_;  // matches PlanDelete on a missing tuple
         continue;
       }
-      int64_t m = std::min(d.mult, it->second.row.count);
+      int64_t m = std::min(d.mult, slots_[i].row.count);
       if (m <= 0) continue;
-      out->push_back({d.fields, m, /*is_delete=*/true});
-      DecrementAt(it, m);
+      emit(d.fields, m, /*is_delete=*/true);
+      DecrementAt(i, m);
       continue;
     }
-    if (it != primary_.end()) {
-      Row& row = it->second.row;
+    if (i != kNil) {
+      Row& row = slots_[i].row;
       if (row.fields == d.fields) {
-        out->push_back({d.fields, d.mult, /*is_delete=*/false});
+        emit(d.fields, d.mult, /*is_delete=*/false);
         row.count += d.mult;
         continue;
       }
       // Key replacement: retract the displaced tuple entirely, then insert.
-      out->push_back({row.fields, row.count, /*is_delete=*/true});
-      DecrementAt(it, row.count);
+      // The action copies the fields before the erase recycles the slot.
+      emit(row.fields, row.count, /*is_delete=*/true);
+      DecrementAt(i, row.count);
     }
-    out->push_back({d.fields, d.mult, /*is_delete=*/false});
+    emit(d.fields, d.mult, /*is_delete=*/false);
     InsertNewRow(hash, d.fields, d.mult);
   }
+}
+
+void Table::ApplyBatch(const std::vector<DeltaRequest>& deltas,
+                       std::vector<TableAction>* out) {
+  VectorActionSink sink{out};
+  ApplyBatchImpl(deltas, &sink);
+}
+
+void Table::ApplyBatch(const std::vector<DeltaRequest>& deltas,
+                       ActionBuffer* out) {
+  BufferActionSink sink{out};
+  ApplyBatchImpl(deltas, &sink);
 }
 
 const std::vector<Table::RowHandle>& Table::OrderedView() const {
   if (!ordered_view_valid_) {
     ++ordered_view_rebuilds_;
     ordered_view_.clear();
-    ordered_view_.reserve(primary_.size());
-    for (const auto& [hash, slot] : primary_) {
-      ordered_view_.push_back(&slot.row);
+    ordered_view_.reserve(live_count_);
+    for (uint32_t i = 0; i < static_cast<uint32_t>(slots_.size()); ++i) {
+      if (slots_[i].live) ordered_view_.push_back({i, slots_[i].gen});
     }
     // Sort by key projection: exactly the old ordered-map order. Keys are
     // unique within a table (key replacement guarantees it), so the sort is
-    // a total order and the result is independent of the hash layout.
+    // a total order and the result is independent of the slab layout.
     if (KeyIsAllFields()) {
       std::sort(ordered_view_.begin(), ordered_view_.end(),
-                [](RowHandle a, RowHandle b) {
-                  return ValueListLess{}(a->fields, b->fields);
+                [this](RowHandle a, RowHandle b) {
+                  return ValueListLess{}(slots_[a.idx].row.fields,
+                                         slots_[b.idx].row.fields);
                 });
     } else {
       std::sort(ordered_view_.begin(), ordered_view_.end(),
                 [this](RowHandle a, RowHandle b) {
+                  const ValueList& fa = slots_[a.idx].row.fields;
+                  const ValueList& fb = slots_[b.idx].row.fields;
                   for (int k : info_.keys) {
                     size_t i = static_cast<size_t>(k);
-                    int c = a->fields[i].Compare(b->fields[i]);
+                    int c = fa[i].Compare(fb[i]);
                     if (c != 0) return c < 0;
                   }
                   return false;
@@ -224,53 +297,72 @@ int Table::AddIndex(std::vector<int> positions) {
   for (size_t i = 0; i < indexes_.size(); ++i) {
     if (indexes_[i].positions == positions) return static_cast<int>(i);
   }
-  indexes_.push_back(SecondaryIndex{std::move(positions), {}});
+  indexes_.emplace_back();
   SecondaryIndex& idx = indexes_.back();
+  idx.positions = std::move(positions);
   // Existing rows are indexed in deterministic (sorted) order so bucket
   // contents — and therefore probe iteration order — do not depend on the
-  // primary hash layout.
-  for (RowHandle row : OrderedView()) {
-    idx.buckets[ProjectionHash(idx.positions, row->fields)].push_back(row);
-  }
+  // hash layout.
+  for (RowHandle h : OrderedView()) IndexRowInto(&idx, h.idx);
   return static_cast<int>(indexes_.size()) - 1;
 }
 
 const std::vector<Table::RowHandle>* Table::Probe(int index_id,
                                                   const ValueList& key) const {
   const SecondaryIndex& idx = indexes_[static_cast<size_t>(index_id)];
-  auto it = idx.buckets.find(ValueListHash{}(key));
-  return it == idx.buckets.end() ? nullptr : &it->second;
+  const uint32_t* head = idx.heads.Find(ValueListHash{}(key));
+  return head == nullptr ? nullptr : &idx.buckets[*head - 1];
 }
 
-void Table::IndexRow(const Row* row) {
-  for (SecondaryIndex& idx : indexes_) {
-    idx.buckets[ProjectionHash(idx.positions, row->fields)].push_back(row);
+void Table::IndexRowInto(SecondaryIndex* idx, uint32_t slot_idx) {
+  const Slot& s = slots_[slot_idx];
+  uint32_t& head = idx->heads[ProjectionHash(idx->positions, s.row.fields)];
+  if (head == 0) {
+    if (!idx->free_buckets.empty()) {
+      head = idx->free_buckets.back() + 1;
+      idx->free_buckets.pop_back();
+    } else {
+      head = static_cast<uint32_t>(idx->buckets.size()) + 1;
+      idx->buckets.emplace_back();
+    }
   }
+  idx->buckets[head - 1].push_back({slot_idx, s.gen});
 }
 
-void Table::UnindexRow(const Row* row) {
+void Table::IndexRow(uint32_t slot_idx) {
+  for (SecondaryIndex& idx : indexes_) IndexRowInto(&idx, slot_idx);
+}
+
+void Table::UnindexRow(uint32_t slot_idx) {
+  const Slot& s = slots_[slot_idx];
+  const RowHandle h{slot_idx, s.gen};
   for (SecondaryIndex& idx : indexes_) {
-    auto bit = idx.buckets.find(ProjectionHash(idx.positions, row->fields));
-    assert(bit != idx.buckets.end());
-    std::vector<RowHandle>& bucket = bit->second;
+    uint64_t ph = ProjectionHash(idx.positions, s.row.fields);
+    uint32_t* head = idx.heads.Find(ph);
+    assert(head != nullptr && *head != 0);
+    std::vector<RowHandle>& bucket = idx.buckets[*head - 1];
     // Ordered erase keeps probe results in insertion order (deterministic
     // join evaluation); planner-selected buckets are selective, so linear
     // cost is fine.
-    bucket.erase(std::find(bucket.begin(), bucket.end(), row));
-    if (bucket.empty()) idx.buckets.erase(bit);
+    bucket.erase(std::find(bucket.begin(), bucket.end(), h));
+    if (bucket.empty()) {
+      // The freed bucket keeps its vector capacity for its next tenant.
+      idx.free_buckets.push_back(*head - 1);
+      idx.heads.Erase(ph);
+    }
   }
 }
 
 const Table::Row* Table::FindByKeyOf(const ValueList& fields) const {
-  auto it = FindSlot(KeyHashOf(fields), fields);
-  return it == primary_.end() ? nullptr : &it->second.row;
+  uint32_t i = FindSlotIdx(KeyHashOf(fields), fields);
+  return i == kNil ? nullptr : &slots_[i].row;
 }
 
 const Table::Row* Table::FindByKey(const ValueList& key) const {
-  uint64_t hash = ValueListHash{}(key);
-  auto [it, end] = primary_.equal_range(hash);
-  for (; it != end; ++it) {
-    if (ValueListEq{}(SlotKey(it->second), key)) return &it->second.row;
+  const uint32_t* head = primary_.Find(ValueListHash{}(key));
+  if (head == nullptr) return nullptr;
+  for (uint32_t i = *head - 1; i != kNil; i = slots_[i].next) {
+    if (ValueListEq{}(SlotKey(slots_[i]), key)) return &slots_[i].row;
   }
   return nullptr;
 }
@@ -282,9 +374,9 @@ int64_t Table::CountOf(const ValueList& fields) const {
 
 std::vector<Tuple> Table::Contents() const {
   std::vector<Tuple> out;
-  out.reserve(primary_.size());
-  for (RowHandle row : OrderedView()) {
-    out.emplace_back(info_.name, row->fields);
+  out.reserve(live_count_);
+  for (RowHandle h : OrderedView()) {
+    out.emplace_back(info_.name, slots_[h.idx].row.fields);
   }
   return out;
 }

@@ -8,26 +8,34 @@
 //    inserting a tuple with an existing key retracts the previous tuple for
 //    that key with cascade. Used for base state and aggregate outputs.
 //
-// Storage layout: hash-primary. Rows live in an unordered multimap keyed by
-// the 64-bit hash of their key projection (the multimap plus an equality
-// walk makes 64-bit collisions harmless), so every structural insert,
-// point lookup (FindByKey, PlanInsert/PlanDelete, Apply) and erase is O(1)
-// — no ordered-map Compare descent. Deterministic iteration (broadcast
-// joins, snapshots, scans) goes through OrderedView(), a lazily built,
-// cached sorted view whose order is exactly the old ordered-map order
-// (sorted by key projection); it is only rebuilt after an insert or erase,
-// and the hot-churn tables (eh_* / prov / ruleExec) are never iterated.
-// Planner-selected secondary hash indexes (AddIndex/Probe) map a projection
-// of argument positions to the row handles matching it, so the engine's
-// join loop probes instead of scanning.
+// Storage layout: rows live in a slab of recycled slots addressed by
+// generation-tagged 32-bit handles, with a flat open-addressing
+// (robin-hood) primary index from the 64-bit key-projection hash to a slot
+// chain (the chain plus an equality walk makes 64-bit collisions
+// harmless). Erased slots go on a free list and KEEP their field buffers;
+// re-inserting a row of the same shape copy-assigns into the recycled
+// buffers, so steady-state churn (the converged-flap workload: the same
+// rows retracted and re-derived) allocates nothing — no map nodes, no
+// fresh ValueLists. Generation tags make stale handles detectable instead
+// of silently aliasing the slot's next tenant.
+//
+// Deterministic iteration (broadcast joins, snapshots, scans) goes through
+// OrderedView(), a lazily built, cached sorted view whose order is exactly
+// the old ordered-map order (sorted by key projection); it is only rebuilt
+// after an insert or erase, and the hot-churn tables (eh_* / prov /
+// ruleExec) are never iterated. Planner-selected secondary hash indexes
+// (AddIndex/Probe) map a projection of argument positions to the row
+// handles matching it, so the engine's join loop probes instead of
+// scanning; their buckets are slab-recycled the same way the rows are.
 #ifndef NETTRAILS_RUNTIME_TABLE_H_
 #define NETTRAILS_RUNTIME_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_hash.h"
 #include "src/common/hash.h"
 #include "src/common/tuple.h"
 #include "src/common/value.h"
@@ -49,6 +57,30 @@ struct DeltaRequest {
   ValueList fields;
   int64_t mult = 1;  // always positive; is_delete selects the sign
   bool is_delete = false;
+};
+
+/// Recycling buffer of TableActions for the batch hot path. Reset() rewinds
+/// the logical size without destroying elements, so each action's ValueList
+/// keeps its buffer and the next batch copy-assigns into retained capacity
+/// instead of allocating (a plain vector's clear() frees every fields
+/// buffer). Append() returns a slot whose previous contents are
+/// unspecified — the caller must assign fields, mult, and is_delete.
+class ActionBuffer {
+ public:
+  TableAction& Append() {
+    if (used_ == storage_.size()) storage_.emplace_back();
+    return storage_[used_++];
+  }
+  void Reset() { used_ = 0; }
+  size_t size() const { return used_; }
+  bool empty() const { return used_ == 0; }
+  const TableAction* begin() const { return storage_.data(); }
+  const TableAction* end() const { return storage_.data() + used_; }
+  const TableAction& operator[](size_t i) const { return storage_[i]; }
+
+ private:
+  std::vector<TableAction> storage_;
+  size_t used_ = 0;
 };
 
 /// Lexicographic ordering on value lists (Value::Compare per element).
@@ -93,16 +125,27 @@ class Table {
     int64_t count = 0;
   };
 
-  /// Stable handle to a visible row. Handles stay valid until the row's
-  /// derivation count reaches zero (node-based primary storage; unordered
-  /// containers never move elements on rehash).
-  using RowHandle = const Row*;
+  /// Generation-tagged handle to a visible row: a 32-bit slot index plus
+  /// the slot's generation at handle creation. Valid until the row's
+  /// derivation count reaches zero; after that, Deref of the stale handle
+  /// asserts and HandleValid() returns false — even if the slot has been
+  /// recycled for a new row (the recycle bumped the generation). Handles
+  /// survive slab growth (they are indices, not pointers).
+  struct RowHandle {
+    uint32_t idx = 0xffffffffu;
+    uint32_t gen = 0;
+
+    bool operator==(const RowHandle& o) const {
+      return idx == o.idx && gen == o.gen;
+    }
+    bool operator!=(const RowHandle& o) const { return !(*this == o); }
+  };
 
   explicit Table(ndlog::TableInfo info);
 
-  // Secondary indexes hold pointers into the primary store; copying would
-  // alias the source's nodes. Moves transfer map nodes wholesale, keeping
-  // handles valid.
+  // Handles are slab indices, so moving the table keeps them valid;
+  // copying is still deleted (two tables sharing handle space would be a
+  // footgun, and nothing needs it).
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
   Table(Table&&) = default;
@@ -110,6 +153,22 @@ class Table {
 
   const ndlog::TableInfo& info() const { return info_; }
   const std::string& name() const { return info_.name; }
+
+  /// The row a handle refers to. The handle must be live (assert-checked:
+  /// generation and occupancy); the reference is valid until the next
+  /// mutation.
+  const Row& Deref(RowHandle h) const {
+    assert(HandleValid(h));
+    return slots_[h.idx].row;
+  }
+
+  /// True if `h` still refers to the row it was created for (its slot is
+  /// occupied and the generation matches — erase and recycling both bump
+  /// the generation).
+  bool HandleValid(RowHandle h) const {
+    return h.idx < slots_.size() && slots_[h.idx].live &&
+           slots_[h.idx].gen == h.gen;
+  }
 
   /// Plans the visible actions for an insert delta of `mult` (> 0)
   /// derivations of `fields`, WITHOUT mutating the table. A key replacement
@@ -139,6 +198,11 @@ class Table {
   void ApplyBatch(const std::vector<DeltaRequest>& deltas,
                   std::vector<TableAction>* out);
 
+  /// Same semantics, writing into a recycling ActionBuffer (the engine's
+  /// zero-allocation batch path). Appends after the buffer's current
+  /// contents, exactly like the vector overload.
+  void ApplyBatch(const std::vector<DeltaRequest>& deltas, ActionBuffer* out);
+
   /// All visible rows sorted by key projection — bit-for-bit the iteration
   /// order of the ordered-map storage this table used to keep, which the
   /// golden derivation trace and snapshot determinism depend on. Built
@@ -162,7 +226,7 @@ class Table {
   int64_t CountOf(const ValueList& fields) const;
 
   /// Number of visible (distinct) tuples.
-  size_t size() const { return primary_.size(); }
+  size_t size() const { return live_count_; }
 
   /// All visible tuples as Tuple objects, in OrderedView() order (for tests
   /// and snapshots).
@@ -197,20 +261,29 @@ class Table {
   /// Count of dropped spurious deletes (see PlanDelete).
   uint64_t spurious_deletes() const { return spurious_deletes_; }
 
- private:
-  /// One stored row plus its key projection. `key` is materialized only for
-  /// proper-subset keys; when the declared keys cover all fields the key IS
-  /// row.fields, and storing it again would double the footprint of the
-  /// all-fields provenance tables (eh_* / prov / ruleExec).
-  struct Slot {
-    ValueList key;
-    Row row;
-  };
+  /// Slots in the slab (live + recycled; diagnostics — bounded by the peak
+  /// row count, not by total churn).
+  size_t slot_count() const { return slots_.size(); }
 
-  /// Hash-primary storage: 64-bit key-projection hash -> slot. A multimap
-  /// so a 64-bit collision degrades to an equality walk instead of a wrong
-  /// merge; node-based, so Row handles stay valid until erase.
-  using PrimaryMap = std::unordered_multimap<uint64_t, Slot>;
+ private:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  /// One slab slot: the row, its materialized key projection (proper-subset
+  /// keys only — when the declared keys cover all fields the key IS
+  /// row.fields, and storing it again would double the footprint of the
+  /// all-fields provenance tables), the cached key hash (shared by chain
+  /// walks and erase), the same-hash chain link, and the generation /
+  /// occupancy pair behind handle validation. Recycled slots keep their
+  /// ValueList buffers, which is where the zero-allocation churn comes
+  /// from.
+  struct Slot {
+    Row row;
+    ValueList key;
+    uint64_t key_hash = 0;
+    uint32_t next = kNil;  // next slot with the same 64-bit key hash
+    uint32_t gen = 0;
+    bool live = false;
+  };
 
   bool KeyIsAllFields() const { return info_.keys.empty(); }
   const ValueList& SlotKey(const Slot& slot) const {
@@ -225,35 +298,47 @@ class Table {
   bool SlotKeyMatchesProjection(const Slot& slot,
                                 const ValueList& fields) const;
 
-  void IndexRow(const Row* row);
-  void UnindexRow(const Row* row);
+  struct SecondaryIndex;
+  void IndexRow(uint32_t slot_idx);
+  void IndexRowInto(SecondaryIndex* idx, uint32_t slot_idx);
+  void UnindexRow(uint32_t slot_idx);
 
-  /// Shared mutation primitives behind Apply and ApplyBatch. `it` is the
-  /// primary entry for the affected key; `hash` is its precomputed 64-bit
-  /// key hash.
-  void DecrementAt(PrimaryMap::iterator it, int64_t mult);
+  /// Slot whose key equals `fields`' key projection (hash pre-computed), or
+  /// kNil. The chain walk plus verification makes 64-bit collisions
+  /// harmless.
+  uint32_t FindSlotIdx(uint64_t hash, const ValueList& fields) const;
+
+  /// Shared one-pass implementation behind both ApplyBatch overloads;
+  /// `Sink` provides `TableAction& Append()`.
+  template <typename Sink>
+  void ApplyBatchImpl(const std::vector<DeltaRequest>& deltas, Sink* out);
+
+  /// Shared mutation primitives behind Apply and ApplyBatch.
+  void DecrementAt(uint32_t slot_idx, int64_t mult);
   void InsertNewRow(uint64_t hash, const ValueList& fields, int64_t mult);
-
-  /// Primary entry whose slot key equals `fields`' key projection (hash
-  /// pre-computed), or end(). Multimap + verification makes 64-bit
-  /// collisions harmless.
-  PrimaryMap::iterator FindSlot(uint64_t hash, const ValueList& fields);
-  PrimaryMap::const_iterator FindSlot(uint64_t hash,
-                                      const ValueList& fields) const;
+  void EraseSlot(uint32_t slot_idx);
 
   struct SecondaryIndex {
     std::vector<int> positions;
-    /// projected-key hash -> matching rows (collision false-positives are
-    /// the engine's MatchAtom's job).
-    std::unordered_map<uint64_t, std::vector<RowHandle>> buckets;
+    /// projected-key hash -> bucket slab index + 1. Buckets are recycled
+    /// through a free list and keep their row-vector capacity, mirroring
+    /// the row slab (collision false-positives are the engine's
+    /// MatchAtom's job).
+    FlatHashMap64<uint32_t> heads;
+    std::vector<std::vector<RowHandle>> buckets;
+    std::vector<uint32_t> free_buckets;
   };
 
   ndlog::TableInfo info_;
-  PrimaryMap primary_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_count_ = 0;
+  /// 64-bit key hash -> slot index + 1 (chain head; 0 = absent).
+  FlatHashMap64<uint32_t> primary_;
   std::vector<SecondaryIndex> indexes_;
   uint64_t spurious_deletes_ = 0;
 
-  /// Lazily built sorted view over primary_ (see OrderedView()).
+  /// Lazily built sorted view over the live slots (see OrderedView()).
   mutable std::vector<RowHandle> ordered_view_;
   mutable bool ordered_view_valid_ = false;
   mutable uint64_t ordered_view_rebuilds_ = 0;

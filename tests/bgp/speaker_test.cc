@@ -141,7 +141,7 @@ TEST(SpeakerLoopTest, DropsRoutesContainingOwnAs) {
   net::Message msg;
   msg.src = 0;
   msg.dst = 1;
-  msg.channel = kBgpChannel;
+  msg.channel = sim.InternChannel(kBgpChannel);
   msg.payload = Tuple("bgpUpd", {Value::Address(1), Value::Address(0),
                                  Value::Int(100),
                                  Value::List({Value::Address(0),

@@ -1,0 +1,131 @@
+#include "src/common/flat_hash.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nettrails {
+namespace {
+
+TEST(FlatHashMap64Test, InsertFindErase) {
+  FlatHashMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(42), nullptr);
+  m[42] = 7;
+  ASSERT_NE(m.Find(42), nullptr);
+  EXPECT_EQ(*m.Find(42), 7);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.Erase(42));
+  EXPECT_FALSE(m.Erase(42));
+  EXPECT_EQ(m.Find(42), nullptr);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatHashMap64Test, OperatorBracketDefaultConstructsOnce) {
+  FlatHashMap64<int> m;
+  EXPECT_EQ(m[5], 0);
+  m[5] = 3;
+  EXPECT_EQ(m[5], 3);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMap64Test, MatchesReferenceMapUnderRandomWorkload) {
+  // Deterministic xorshift64 workload mirrored against std::map.
+  FlatHashMap64<uint64_t> m;
+  std::map<uint64_t, uint64_t> ref;
+  uint64_t s = 12345;
+  auto next = [&s]() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t key = next() % 512;  // small key space forces collisions/reuse
+    switch (next() % 3) {
+      case 0:
+        m[key] = key * 2 + 1;
+        ref[key] = key * 2 + 1;
+        break;
+      case 1: {
+        bool erased = m.Erase(key);
+        EXPECT_EQ(erased, ref.erase(key) > 0) << "key " << key;
+        break;
+      }
+      default: {
+        const uint64_t* found = m.Find(key);
+        auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(found, nullptr) << "key " << key;
+        } else {
+          ASSERT_NE(found, nullptr) << "key " << key;
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // Final full sweep both directions.
+  size_t seen = 0;
+  m.ForEach([&](uint64_t key, uint64_t& value) {
+    auto it = ref.find(key);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(value, it->second);
+    ++seen;
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatHashMap64Test, ClearKeepsSlabAndReleasesValues) {
+  FlatHashMap64<std::string> m;
+  for (uint64_t i = 0; i < 100; ++i) {
+    m[i] = "value-" + std::to_string(i);
+  }
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(7), nullptr);
+  // Refill: entries land in recycled slots, values were reset to empty.
+  m[7];
+  EXPECT_EQ(*m.Find(7), "");
+}
+
+TEST(FlatHashMap64Test, AdjacentKeysProbeCorrectly) {
+  // Dense sequential keys are the simulator's packed link ids; the
+  // splitmix64 mix must keep probes short and lookups exact.
+  FlatHashMap64<uint64_t> m;
+  for (uint64_t i = 0; i < 1000; ++i) m[i] = ~i;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), ~i);
+  }
+  // Erase evens, verify odds survive backward-shift deletion.
+  for (uint64_t i = 0; i < 1000; i += 2) EXPECT_TRUE(m.Erase(i));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(m.Find(i), nullptr) << i;
+    } else {
+      ASSERT_NE(m.Find(i), nullptr) << i;
+      EXPECT_EQ(*m.Find(i), ~i);
+    }
+  }
+}
+
+TEST(FlatHashMap64Test, MoveOnlyLikeValuesViaVectors) {
+  FlatHashMap64<std::vector<int>> m;
+  m[1].push_back(10);
+  m[1].push_back(11);
+  m[2].push_back(20);
+  ASSERT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(m.Find(1)->size(), 2u);
+  // Erase shifts entries backward by move; vector contents must follow.
+  EXPECT_TRUE(m.Erase(1));
+  ASSERT_NE(m.Find(2), nullptr);
+  EXPECT_EQ((*m.Find(2))[0], 20);
+}
+
+}  // namespace
+}  // namespace nettrails

@@ -6,11 +6,12 @@ namespace nettrails {
 namespace net {
 namespace {
 
-Message MakeMsg(NodeId src, NodeId dst, const std::string& channel = "tuple") {
+Message MakeMsg(Simulator* sim, NodeId src, NodeId dst,
+                const std::string& channel = "tuple") {
   Message m;
   m.src = src;
   m.dst = dst;
-  m.channel = channel;
+  m.channel = sim->InternChannel(channel);
   m.payload = Tuple("ping", {Value::Address(dst), Value::Int(1)});
   return m;
 }
@@ -37,7 +38,7 @@ TEST(SimulatorTest, MessageDeliveredWithLatency) {
     delivered_at = sim.now();
     EXPECT_EQ(m.src, a);
   });
-  EXPECT_TRUE(sim.Send(MakeMsg(a, b)));
+  EXPECT_TRUE(sim.Send(MakeMsg(&sim, a, b)));
   sim.Run();
   EXPECT_EQ(delivered_at, 5 * kMillisecond);
 }
@@ -47,7 +48,7 @@ TEST(SimulatorTest, LocalDeliveryNeedsNoLink) {
   NodeId a = sim.AddNode();
   bool got = false;
   sim.RegisterHandler(a, "tuple", [&](const Message&) { got = true; });
-  EXPECT_TRUE(sim.Send(MakeMsg(a, a)));
+  EXPECT_TRUE(sim.Send(MakeMsg(&sim, a, a)));
   sim.Run();
   EXPECT_TRUE(got);
 }
@@ -55,7 +56,7 @@ TEST(SimulatorTest, LocalDeliveryNeedsNoLink) {
 TEST(SimulatorTest, SendWithoutLinkDrops) {
   Simulator sim;
   NodeId a = sim.AddNode(), b = sim.AddNode();
-  EXPECT_FALSE(sim.Send(MakeMsg(a, b)));
+  EXPECT_FALSE(sim.Send(MakeMsg(&sim, a, b)));
   EXPECT_EQ(sim.dropped_messages(), 1u);
 }
 
@@ -68,9 +69,9 @@ TEST(SimulatorTest, DownLinkDropsAndObserversFire) {
       [&](NodeId, NodeId, bool up) { events.push_back(up); });
   ASSERT_TRUE(sim.SetLinkUp(a, b, false).ok());
   EXPECT_FALSE(sim.LinkUp(a, b));
-  EXPECT_FALSE(sim.Send(MakeMsg(a, b)));
+  EXPECT_FALSE(sim.Send(MakeMsg(&sim, a, b)));
   ASSERT_TRUE(sim.SetLinkUp(a, b, true).ok());
-  EXPECT_TRUE(sim.Send(MakeMsg(a, b)));
+  EXPECT_TRUE(sim.Send(MakeMsg(&sim, a, b)));
   ASSERT_EQ(events.size(), 2u);
   EXPECT_FALSE(events[0]);
   EXPECT_TRUE(events[1]);
@@ -93,7 +94,7 @@ TEST(SimulatorTest, OverlayChannelBypassesTopology) {
   Time delivered_at = 0;
   sim.RegisterHandler(b, "provq",
                       [&](const Message&) { delivered_at = sim.now(); });
-  EXPECT_TRUE(sim.Send(MakeMsg(a, b, "provq")));
+  EXPECT_TRUE(sim.Send(MakeMsg(&sim, a, b, "provq")));
   sim.Run();
   EXPECT_EQ(delivered_at, 2 * kMillisecond);
 }
@@ -103,13 +104,17 @@ TEST(SimulatorTest, TrafficAccountingPerChannelAndLink) {
   NodeId a = sim.AddNode(), b = sim.AddNode();
   sim.AddLink(a, b);
   sim.RegisterHandler(b, "tuple", [](const Message&) {});
-  sim.Send(MakeMsg(a, b));
-  sim.Send(MakeMsg(a, b));
+  sim.Send(MakeMsg(&sim, a, b));
+  sim.Send(MakeMsg(&sim, a, b));
   sim.Run();
-  auto it = sim.channel_traffic().find("tuple");
-  ASSERT_NE(it, sim.channel_traffic().end());
-  EXPECT_EQ(it->second.messages, 2u);
-  EXPECT_GT(it->second.bytes, 0u);
+  // Dense-id accessor and the by-name compatibility view agree.
+  const TrafficStats& ts = sim.channel_traffic(sim.InternChannel("tuple"));
+  EXPECT_EQ(ts.messages, 2u);
+  EXPECT_GT(ts.bytes, 0u);
+  auto by_name = sim.ChannelTrafficByName();
+  ASSERT_EQ(by_name.count("tuple"), 1u);
+  EXPECT_EQ(by_name["tuple"].messages, 2u);
+  EXPECT_EQ(by_name["tuple"].bytes, ts.bytes);
   const LinkState* ls = sim.link(a, b);
   ASSERT_NE(ls, nullptr);
   EXPECT_EQ(ls->traffic.messages, 2u);
@@ -123,7 +128,7 @@ TEST(SimulatorTest, LocalDeliveryNotCountedAsTraffic) {
   Simulator sim;
   NodeId a = sim.AddNode();
   sim.RegisterHandler(a, "tuple", [](const Message&) {});
-  sim.Send(MakeMsg(a, a));
+  sim.Send(MakeMsg(&sim, a, a));
   sim.Run();
   EXPECT_EQ(sim.total_traffic().messages, 0u);
 }
@@ -172,6 +177,170 @@ TEST(SimulatorTest, UpNeighbors) {
   std::vector<NodeId> nbrs = sim.UpNeighbors(a);
   ASSERT_EQ(nbrs.size(), 1u);
   EXPECT_EQ(nbrs[0], b);
+}
+
+TEST(SimulatorTest, UpNeighborsCacheInvalidatesOnTopologyChange) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode(), c = sim.AddNode();
+  sim.AddLink(a, b);
+  EXPECT_EQ(sim.UpNeighbors(a), (std::vector<NodeId>{b}));
+  sim.AddLink(a, c);  // topology change after a cached read
+  EXPECT_EQ(sim.UpNeighbors(a), (std::vector<NodeId>{b, c}));
+  ASSERT_TRUE(sim.SetLinkUp(a, b, false).ok());
+  EXPECT_EQ(sim.UpNeighbors(a), (std::vector<NodeId>{c}));
+  EXPECT_TRUE(sim.UpNeighbors(b).empty());
+  // Out-of-range node: empty, no crash.
+  EXPECT_TRUE(sim.UpNeighbors(99).empty());
+}
+
+// Satellite (a) regression: an event scheduled in the past must not move
+// virtual time backwards. The old code only asserted (a no-op in Release);
+// now the time is clamped to `now` and the incident is counted.
+TEST(SimulatorTest, ScheduleInPastClampsToNowAndCounts) {
+  Simulator sim;
+  std::vector<Time> fire_times;
+  sim.ScheduleAt(100, [&] {
+    // From inside an event at t=100, schedule at t=30 (the past).
+    sim.ScheduleAt(30, [&] { fire_times.push_back(sim.now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_EQ(fire_times[0], 100u);  // clamped, not time-travelled
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(sim.schedule_in_past(), 1u);
+  sim.ResetEventStats();
+  EXPECT_EQ(sim.schedule_in_past(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, ScheduleLinkChangeFiresAsPodEvent) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  sim.ScheduleLinkChange(50, a, b, /*up=*/false);
+  sim.ScheduleLinkChange(80, a, b, /*up=*/true);
+  sim.ScheduleLinkChange(90, 7, 9, /*up=*/false);  // unknown link: ignored
+  sim.RunUntil(60);
+  EXPECT_FALSE(sim.LinkUp(a, b));
+  sim.Run();
+  EXPECT_TRUE(sim.LinkUp(a, b));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, FramePoolRecyclesFrames) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  int delivered = 0;
+  sim.RegisterHandler(b, "tuple", [&](const Message& m) {
+    ++delivered;
+    EXPECT_EQ(m.batch.size(), 2u);
+  });
+  ChannelId ch = sim.InternChannel("tuple");
+  for (int i = 0; i < 100; ++i) {
+    Simulator::FrameRef f = sim.AcquireFrame();
+    Message& m = sim.FrameMessage(f);
+    m.src = a;
+    m.dst = b;
+    m.channel = ch;
+    m.batch.push_back({Tuple("t", {Value::Address(b), Value::Int(i)}), false, 1});
+    m.batch.push_back({Tuple("t", {Value::Address(b), Value::Int(-i)}), true, 1});
+    ASSERT_TRUE(sim.SendFrame(f));
+    sim.Run();  // deliver before the next send: one frame in flight at a time
+  }
+  EXPECT_EQ(delivered, 100);
+  // Sequential send/deliver cycles reuse one pooled frame, not 100.
+  EXPECT_EQ(sim.frame_pool_size(), 1u);
+  EXPECT_EQ(sim.frames_in_flight(), 0u);
+}
+
+TEST(SimulatorTest, ReleaseUnsentFrameReturnsItToPool) {
+  Simulator sim;
+  Simulator::FrameRef f = sim.AcquireFrame();
+  EXPECT_EQ(sim.frames_in_flight(), 1u);
+  sim.ReleaseFrame(f);
+  EXPECT_EQ(sim.frames_in_flight(), 0u);
+  EXPECT_EQ(sim.AcquireFrame(), f);  // recycled
+}
+
+TEST(SimulatorTest, DroppedFrameIsReleased) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();  // no link
+  Simulator::FrameRef f = sim.AcquireFrame();
+  Message& m = sim.FrameMessage(f);
+  m.src = a;
+  m.dst = b;
+  m.channel = sim.InternChannel("tuple");
+  EXPECT_FALSE(sim.SendFrame(f));
+  EXPECT_EQ(sim.dropped_messages(), 1u);
+  EXPECT_EQ(sim.frames_in_flight(), 0u);
+}
+
+// Satellite (c): determinism property — two identical runs over the POD
+// event loop produce identical delivery orders, event counts, and traffic,
+// including same-time FIFO ordering across frame sends and closures.
+TEST(SimulatorTest, DeterministicReplayProperty) {
+  auto run = [](std::vector<std::string>* log, TrafficStats* traffic,
+                uint64_t* events) {
+    Simulator sim;
+    NodeId a = sim.AddNode(), b = sim.AddNode(), c = sim.AddNode();
+    sim.AddLink(a, b, kMillisecond);
+    sim.AddLink(a, c, kMillisecond);
+    sim.AddLink(b, c, 2 * kMillisecond);
+    auto handler = [&, log](const Message& m) {
+      log->push_back("recv@" + std::to_string(m.dst) + ":" +
+                     std::to_string(sim.now()) + ":" +
+                     std::to_string(m.payload.field(1).as_int()));
+      // Same-time cascade: forward once from b to c.
+      if (m.dst == 1 && m.payload.field(1).as_int() < 10) {
+        Message fwd;
+        fwd.src = 1;
+        fwd.dst = 2;
+        fwd.channel = m.channel;
+        fwd.payload = Tuple("ping", {Value::Address(2), Value::Int(100)});
+        sim.Send(std::move(fwd));
+      }
+    };
+    sim.RegisterHandler(b, "tuple", handler);
+    sim.RegisterHandler(c, "tuple", handler);
+    // Mix closures and sends at identical timestamps.
+    for (int i = 0; i < 8; ++i) {
+      sim.ScheduleAt(10 * kMillisecond, [&sim, log, i] {
+        log->push_back("timer:" + std::to_string(i) + ":" +
+                       std::to_string(sim.now()));
+      });
+      sim.Send(MakeMsg(&sim, a, i % 2 == 0 ? b : c));
+    }
+    sim.ScheduleLinkChange(5 * kMillisecond, a, b, false);
+    sim.Run();
+    *traffic = sim.total_traffic();
+    *events = sim.events_executed();
+  };
+  std::vector<std::string> log1, log2;
+  TrafficStats t1, t2;
+  uint64_t e1 = 0, e2 = 0;
+  run(&log1, &t1, &e1);
+  run(&log2, &t2, &e2);
+  EXPECT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log2);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(t1.messages, t2.messages);
+  EXPECT_EQ(t1.bytes, t2.bytes);
+  EXPECT_EQ(t1.tuples, t2.tuples);
+}
+
+TEST(SimulatorTest, HandlerMayMoveTuplesOutOfFrame) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  ValueList stolen;
+  sim.RegisterHandler(b, "tuple", [&](Message& m) {
+    stolen = std::move(m.payload.mutable_fields());
+  });
+  sim.Send(MakeMsg(&sim, a, b));
+  sim.Run();
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[1].as_int(), 1);
 }
 
 }  // namespace

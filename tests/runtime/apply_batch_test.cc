@@ -42,9 +42,10 @@ ValueList Row(int64_t a, int64_t b, int64_t c) {
 
 std::string Dump(const Table& t) {
   std::string out;
-  for (Table::RowHandle row : t.OrderedView()) {
-    out += Tuple(t.name(), row->fields).ToString() + " x" +
-           std::to_string(row->count) + "\n";
+  for (Table::RowHandle h : t.OrderedView()) {
+    const Table::Row& row = t.Deref(h);
+    out += Tuple(t.name(), row.fields).ToString() + " x" +
+           std::to_string(row.count) + "\n";
   }
   return out;
 }
@@ -81,7 +82,8 @@ void ExpectIndexesConsistent(const Table& t) {
   for (size_t idx = 0; idx < t.num_indexes(); ++idx) {
     int id = static_cast<int>(idx);
     for (Table::RowHandle row : t.OrderedView()) {
-      ValueList probe_key = Table::Project(t.IndexPositions(id), row->fields);
+      ValueList probe_key =
+          Table::Project(t.IndexPositions(id), t.Deref(row).fields);
       const std::vector<Table::RowHandle>* rows = t.Probe(id, probe_key);
       ASSERT_NE(rows, nullptr);
       bool found = false;

@@ -36,7 +36,7 @@ void ExpectIndexesConsistent(const Table& table) {
         table.IndexPositions(static_cast<int>(id));
     std::set<ValueList, ValueListLess> distinct_keys;
     for (Table::RowHandle row : table.OrderedView()) {
-      ValueList probe_key = Table::Project(positions, row->fields);
+      ValueList probe_key = Table::Project(positions, table.Deref(row).fields);
       const std::vector<Table::RowHandle>* hits =
           table.Probe(static_cast<int>(id), probe_key);
       ASSERT_NE(hits, nullptr)
@@ -44,7 +44,7 @@ void ExpectIndexesConsistent(const Table& table) {
       bool found = false;
       for (Table::RowHandle h : *hits) {
         if (h == row) found = true;
-        EXPECT_EQ(Table::Project(positions, h->fields), probe_key);
+        EXPECT_EQ(Table::Project(positions, table.Deref(h).fields), probe_key);
       }
       EXPECT_TRUE(found) << table.name() << " index " << id
                          << ": row missing from its bucket";

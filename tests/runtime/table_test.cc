@@ -192,9 +192,9 @@ void CheckOrderedViewAgainstReference(const Table& t,
   size_t i = 0;
   for (const auto& [key, count] : ref) {
     ASSERT_LT(i, view.size());
-    EXPECT_TRUE(ValueListEq{}(t.KeyOf(view[i]->fields), key))
+    EXPECT_TRUE(ValueListEq{}(t.KeyOf(t.Deref(view[i]).fields), key))
         << "position " << i << ": view order diverges from ordered-map order";
-    EXPECT_EQ(view[i]->count, count) << "position " << i;
+    EXPECT_EQ(t.Deref(view[i]).count, count) << "position " << i;
     ++i;
   }
 }
@@ -296,16 +296,61 @@ TEST(TableTest, OrderedViewCachesUntilRowSetChanges) {
 }
 
 TEST(TableTest, RowHandlesStableAcrossGrowth) {
-  // Handles must survive arbitrary growth (rehashes move no nodes).
+  // Handles are slab indices, not pointers: they must survive arbitrary
+  // growth (slab reallocation and index rehashes) and keep resolving to the
+  // same row.
   Table t(CountingInfo());
   ApplyAll(&t, t.PlanInsert(Row(0, 0, 0), 1));
-  const Table::Row* first = t.FindByKeyOf(Row(0, 0, 0));
-  ASSERT_NE(first, nullptr);
+  ASSERT_EQ(t.OrderedView().size(), 1u);
+  Table::RowHandle first = t.OrderedView()[0];
   for (int64_t i = 1; i < 2000; ++i) {
     ApplyAll(&t, t.PlanInsert(Row(i, i % 9, i % 4), 1));
   }
-  EXPECT_EQ(t.FindByKeyOf(Row(0, 0, 0)), first);
-  EXPECT_EQ(first->count, 1);
+  ASSERT_TRUE(t.HandleValid(first));
+  EXPECT_EQ(t.Deref(first).fields, Row(0, 0, 0));
+  EXPECT_EQ(t.Deref(first).count, 1);
+}
+
+TEST(TableTest, StaleHandleDetectedAfterEraseAndSlotReuse) {
+  // Erasing a row invalidates its handles; recycling the slot for a new
+  // row must NOT resurrect them (the generation tag diverges), so a stale
+  // handle can never silently alias the slot's next tenant.
+  Table t(CountingInfo());
+  ApplyAll(&t, t.PlanInsert(Row(1, 1, 1), 1));
+  ASSERT_EQ(t.OrderedView().size(), 1u);
+  Table::RowHandle h = t.OrderedView()[0];
+  ASSERT_TRUE(t.HandleValid(h));
+
+  ApplyAll(&t, t.PlanDelete(Row(1, 1, 1), 1));
+  EXPECT_FALSE(t.HandleValid(h));
+
+  // The freed slot is recycled for the next insert (free-listed slab), so
+  // the new row's handle shares h's index but not its generation.
+  ApplyAll(&t, t.PlanInsert(Row(2, 2, 2), 1));
+  ASSERT_EQ(t.OrderedView().size(), 1u);
+  Table::RowHandle h2 = t.OrderedView()[0];
+  EXPECT_EQ(h2.idx, h.idx);
+  EXPECT_NE(h2, h);
+  EXPECT_FALSE(t.HandleValid(h));
+  ASSERT_TRUE(t.HandleValid(h2));
+  EXPECT_EQ(t.Deref(h2).fields, Row(2, 2, 2));
+}
+
+TEST(TableTest, ChurnReusesSlotsInsteadOfGrowingTheSlab) {
+  // The converged-flap workload deletes and re-derives the same rows over
+  // and over; the slab must stay bounded by the peak row count, not grow
+  // with total churn.
+  Table t(CountingInfo());
+  for (int64_t i = 0; i < 8; ++i) ApplyAll(&t, t.PlanInsert(Row(i, 0, 0), 1));
+  size_t peak_slots = t.slot_count();
+  for (int round = 0; round < 100; ++round) {
+    for (int64_t i = 0; i < 8; ++i) {
+      ApplyAll(&t, t.PlanDelete(Row(i, 0, 0), 1));
+      ApplyAll(&t, t.PlanInsert(Row(i, 0, 0), 1));
+    }
+  }
+  EXPECT_EQ(t.slot_count(), peak_slots);
+  EXPECT_EQ(t.size(), 8u);
 }
 
 }  // namespace
