@@ -22,15 +22,22 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build-alloc}"
 BENCH="$BUILD_DIR/bench_churn"
+SCALEOUT="$BUILD_DIR/bench_scaleout"
 
 # allocs_per_flap ceilings, keyed by benchmark args (nodes/batch).
 BUDGET_24_64=4500
 BUDGET_24_1=15000
+# Threaded leg (bench_scaleout, nodes=64, threads=4, batch 64): the sharded
+# loop must stay pooled too — worker frame arenas and op logs reach steady
+# state exactly like the shared frame pool. Measured ~2,550 allocs/flap at
+# threads 1, 2, AND 4 (the parallel path adds zero steady-state
+# allocation); ~15% headroom like the serial budgets above.
+BUDGET_SCALEOUT_64_4=3000
 
-if [[ ! -x "$BENCH" ]]; then
-  echo "error: $BENCH not built; configure with:" >&2
+if [[ ! -x "$BENCH" || ! -x "$SCALEOUT" ]]; then
+  echo "error: $BENCH / $SCALEOUT not built; configure with:" >&2
   echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release -DNETTRAILS_COUNT_ALLOCS=ON" >&2
-  echo "  cmake --build $BUILD_DIR --target bench_churn -j" >&2
+  echo "  cmake --build $BUILD_DIR --target bench_churn bench_scaleout -j" >&2
   exit 2
 fi
 
@@ -39,18 +46,29 @@ OUT="$BUILD_DIR/alloc_budget_churn.json"
          --benchmark_min_time=0.2 \
          --benchmark_out="$OUT" --benchmark_out_format=json >/dev/null
 
-python3 - "$OUT" "$BUDGET_24_64" "$BUDGET_24_1" <<'EOF'
+SCALEOUT_OUT="$BUILD_DIR/alloc_budget_scaleout.json"
+"$SCALEOUT" --benchmark_filter='Scaleout_Mincost_IncrementalFlap/64/4/' \
+            --benchmark_min_time=0.2 \
+            --benchmark_out="$SCALEOUT_OUT" --benchmark_out_format=json \
+            >/dev/null
+
+python3 - "$OUT" "$SCALEOUT_OUT" "$BUDGET_24_64" "$BUDGET_24_1" \
+    "$BUDGET_SCALEOUT_64_4" <<'EOF'
 import json, sys
 
-out, budget64, budget1 = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+out, scaleout_out = sys.argv[1], sys.argv[2]
+budget64, budget1, budget_s = (float(a) for a in sys.argv[3:6])
 budgets = {
     "BM_Churn_Mincost_IncrementalFlap/24/64": budget64,
     "BM_Churn_Mincost_IncrementalFlap/24/1": budget1,
+    "BM_Scaleout_Mincost_IncrementalFlap/64/4/process_time/real_time":
+        budget_s,
 }
 measured = {}
-for b in json.load(open(out))["benchmarks"]:
-    if b["name"] in budgets:
-        measured[b["name"]] = b.get("allocs_per_flap")
+for path in (out, scaleout_out):
+    for b in json.load(open(path))["benchmarks"]:
+        if b["name"] in budgets:
+            measured[b["name"]] = b.get("allocs_per_flap")
 
 failed = False
 for name, budget in budgets.items():

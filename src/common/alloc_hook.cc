@@ -9,9 +9,11 @@
 namespace {
 
 std::atomic<uint64_t> g_alloc_count{0};
+thread_local uint64_t g_alloc_count_this_thread = 0;
 
 void* CountedAlloc(std::size_t size) {
   g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  ++g_alloc_count_this_thread;
   // malloc(0) may return nullptr; operator new must return a unique pointer.
   return std::malloc(size == 0 ? 1 : size);
 }
@@ -52,6 +54,8 @@ uint64_t AllocCount() {
   return g_alloc_count.load(std::memory_order_relaxed);
 }
 
+uint64_t AllocCountThisThread() { return g_alloc_count_this_thread; }
+
 bool AllocCountingEnabled() { return true; }
 
 }  // namespace nettrails
@@ -61,6 +65,8 @@ bool AllocCountingEnabled() { return true; }
 namespace nettrails {
 
 uint64_t AllocCount() { return 0; }
+
+uint64_t AllocCountThisThread() { return 0; }
 
 bool AllocCountingEnabled() { return false; }
 

@@ -24,6 +24,14 @@ namespace nettrails {
 /// Always 0 when the hook is compiled out.
 uint64_t AllocCount();
 
+/// Calls to global operator new made by the CALLING thread since it
+/// started. Engines sample this one around their drains: a drain executes
+/// entirely on one thread, so the delta attributes allocations exactly to
+/// that engine even when other workers allocate concurrently (the process-
+/// wide AllocCount() delta would smear them together). Always 0 when the
+/// hook is compiled out.
+uint64_t AllocCountThisThread();
+
 /// True when this build counts allocations (NETTRAILS_COUNT_ALLOCS).
 bool AllocCountingEnabled();
 

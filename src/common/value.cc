@@ -57,11 +57,11 @@ void HashNumericAsDouble(double d, Hasher* h) {
   }
 }
 
-/// List-hash cache counters. The runtime is single-threaded (everything
-/// runs under one discrete-event simulator loop), so plain counters are
-/// exact; engines snapshot deltas around their drains.
-uint64_t g_list_hash_cache_hits = 0;
-uint64_t g_list_hash_cache_misses = 0;
+/// List-hash cache counters, thread_local so parallel simulator workers
+/// never contend on them. An engine drain executes on exactly one thread,
+/// so the deltas it snapshots around the drain remain exact.
+thread_local uint64_t g_list_hash_cache_hits = 0;
+thread_local uint64_t g_list_hash_cache_misses = 0;
 
 }  // namespace
 
@@ -157,17 +157,21 @@ uint64_t Value::Hash() const {
       break;
     case Kind::kList: {
       const std::shared_ptr<const ListRep>& rep = std::get<5>(rep_);
-      if (rep->hash_valid) {
+      if (rep->hash_valid.load(std::memory_order_acquire)) {
         ++g_list_hash_cache_hits;
-        return rep->hash;
+        return rep->hash.load(std::memory_order_relaxed);
       }
       h.AddU64(5);
       h.AddU64(rep->items.size());
       for (const Value& x : rep->items) h.AddU64(x.Hash());
-      rep->hash = h.Digest();
-      rep->hash_valid = true;
+      // Concurrent fills race benignly: the digest is a pure function of
+      // the immutable items, so every writer stores the same value. The
+      // release publishes the hash to acquire-loads above.
+      uint64_t digest = h.Digest();
+      rep->hash.store(digest, std::memory_order_relaxed);
+      rep->hash_valid.store(true, std::memory_order_release);
       ++g_list_hash_cache_misses;
-      return rep->hash;
+      return digest;
     }
   }
   return h.Digest();

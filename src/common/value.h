@@ -2,6 +2,7 @@
 #ifndef NETTRAILS_COMMON_VALUE_H_
 #define NETTRAILS_COMMON_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -90,8 +91,9 @@ class Value {
   /// bit-identical to the uncached computation (property-tested).
   uint64_t Hash() const;
 
-  /// Process-wide list-hash cache counters (the runtime is single-threaded;
-  /// the engine attributes per-drain deltas into its EngineStats).
+  /// Per-thread list-hash cache counters (thread_local so parallel workers
+  /// never contend; an engine's drain runs entirely on one thread, so the
+  /// before/after deltas it attributes into EngineStats stay exact).
   static uint64_t ListHashCacheHits();
   static uint64_t ListHashCacheMisses();
 
@@ -110,11 +112,14 @@ class Value {
   /// construction, so the structural hash is computed at most once and
   /// cached here; every copy of the Value shares the cache. The cache
   /// fields are mutable because caching is semantically transparent —
-  /// logically the rep is const.
+  /// logically the rep is const. They are atomics because shared reps
+  /// cross worker threads under the parallel simulator: the digest is
+  /// deterministic, so concurrent fills are idempotent, and the
+  /// release-store of `hash_valid` publishes the relaxed `hash` store.
   struct ListRep {
     ValueList items;
-    mutable uint64_t hash = 0;
-    mutable bool hash_valid = false;
+    mutable std::atomic<uint64_t> hash{0};
+    mutable std::atomic<bool> hash_valid{false};
   };
 
   using Rep = std::variant<std::monostate, int64_t, double, std::string,

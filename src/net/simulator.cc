@@ -6,6 +6,24 @@
 namespace nettrails {
 namespace net {
 
+#ifdef NETTRAILS_THREADS
+thread_local Simulator::WorkerCtx* Simulator::tls_ctx_ = nullptr;
+#endif
+
+Simulator::~Simulator() { StopWorkers(); }
+
+void Simulator::set_num_threads(unsigned n) {
+#ifdef NETTRAILS_THREADS
+  if (n < 1) n = 1;
+  if (n > kMaxWorkers) n = kMaxWorkers;
+  if (n != num_threads_) StopWorkers();
+  num_threads_ = n;
+#else
+  (void)n;
+  num_threads_ = 1;  // threading compiled out: serial loop only
+#endif
+}
+
 NodeId Simulator::AddNode() {
   NodeId id = static_cast<NodeId>(node_count_);
   ++node_count_;
@@ -99,6 +117,9 @@ void Simulator::MarkOverlayChannel(const std::string& channel, Time latency) {
 }
 
 Simulator::FrameRef Simulator::AcquireFrame() {
+#ifdef NETTRAILS_THREADS
+  if (WorkerCtx* ctx = tls_ctx_) return WorkerAcquireFrame(ctx);
+#endif
   FrameRef f;
   if (!free_frames_.empty()) {
     f = free_frames_.back();
@@ -118,6 +139,12 @@ Simulator::FrameRef Simulator::AcquireFrame() {
 }
 
 void Simulator::ReleaseFrame(FrameRef f) {
+#ifdef NETTRAILS_THREADS
+  if (f & kWorkerFrameBit) {
+    WorkerReleaseFrame(f);
+    return;
+  }
+#endif
   Message& m = frames_[f];
   m.payload = Tuple();
   m.batch.clear();  // keeps vector capacity; entry buffers are freed
@@ -125,6 +152,9 @@ void Simulator::ReleaseFrame(FrameRef f) {
 }
 
 bool Simulator::SendFrame(FrameRef f) {
+#ifdef NETTRAILS_THREADS
+  if (WorkerCtx* ctx = tls_ctx_) return WorkerSendFrame(ctx, f);
+#endif
   Message& msg = frames_[f];
   Time delay = 1;  // local hop: 1us
   if (msg.src != msg.dst) {
@@ -153,8 +183,10 @@ bool Simulator::SendFrame(FrameRef f) {
 }
 
 bool Simulator::Send(Message msg) {
+  // FrameMessage (not frames_[f]) so the shim also works from inside a
+  // wave, where AcquireFrame hands out worker-arena frames.
   FrameRef f = AcquireFrame();
-  frames_[f] = std::move(msg);
+  FrameMessage(f) = std::move(msg);
   return SendFrame(f);
 }
 
@@ -181,6 +213,17 @@ void Simulator::Push(Time t, Event ev) {
 }
 
 void Simulator::ScheduleAt(Time t, std::function<void()> fn) {
+#ifdef NETTRAILS_THREADS
+  if (WorkerCtx* ctx = tls_ctx_) {
+    WorkerOp op;
+    op.kind = WorkerOp::Kind::kClosure;
+    op.trigger_seq = ctx->trigger_seq;
+    op.time = t;
+    op.fn = std::move(fn);
+    ctx->ops.push_back(std::move(op));
+    return;
+  }
+#endif
   uint32_t slot;
   if (!free_closures_.empty()) {
     slot = free_closures_.back();
@@ -201,6 +244,19 @@ void Simulator::ScheduleAfter(Time delay, std::function<void()> fn) {
 }
 
 void Simulator::ScheduleLinkChange(Time t, NodeId a, NodeId b, bool up) {
+#ifdef NETTRAILS_THREADS
+  if (WorkerCtx* ctx = tls_ctx_) {
+    WorkerOp op;
+    op.kind = WorkerOp::Kind::kLinkChange;
+    op.trigger_seq = ctx->trigger_seq;
+    op.time = t;
+    op.a = a;
+    op.b = b;
+    op.up = up;
+    ctx->ops.push_back(std::move(op));
+    return;
+  }
+#endif
   Event ev;
   ev.kind = Event::Kind::kLinkChange;
   ev.link.a = a;
@@ -229,9 +285,42 @@ void Simulator::Execute(const Event& ev) {
   }
 }
 
-void Simulator::Run() {
-  stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
+void Simulator::Run() { RunLoop(0, /*bounded=*/false); }
+
+void Simulator::RunUntil(Time t) {
+  RunLoop(t, /*bounded=*/true);
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::RunLoop(Time until, bool bounded) {
+  stopped_.store(false, std::memory_order_relaxed);
+  while (!queue_.empty() && !stopped_.load(std::memory_order_relaxed)) {
+    if (bounded && queue_.top().time > until) break;
+#ifdef NETTRAILS_THREADS
+    if (num_threads_ > 1 && queue_.top().kind == Event::Kind::kDeliver) {
+      // Collect the wave: the contiguous run of deliveries at this time,
+      // in seq order. A closure or link-change event bounds the run — it
+      // executes serially at its exact seq position, so handlers never
+      // observe topology or timer effects out of order.
+      const Time t = queue_.top().time;
+      wave_.clear();
+      while (!queue_.empty() && queue_.top().time == t &&
+             queue_.top().kind == Event::Kind::kDeliver) {
+        wave_.push_back(queue_.top());
+        queue_.pop();
+      }
+      now_ = t;
+      events_executed_ += wave_.size();
+      if (wave_.size() == 1) {
+        // Singleton wave: the barrier would cost more than it buys. The
+        // wave decomposition is deterministic, so this choice is too.
+        Execute(wave_[0]);
+      } else {
+        ExecuteWave();
+      }
+      continue;
+    }
+#endif
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
@@ -240,17 +329,210 @@ void Simulator::Run() {
   }
 }
 
-void Simulator::RunUntil(Time t) {
-  stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    ++events_executed_;
-    Execute(ev);
+#ifdef NETTRAILS_THREADS
+
+Simulator::FrameRef Simulator::WorkerAcquireFrame(WorkerCtx* ctx) {
+  uint32_t idx;
+  if (!ctx->free_frames.empty()) {
+    idx = ctx->free_frames.back() & 0xffffffu;
+    ctx->free_frames.pop_back();
+  } else {
+    idx = static_cast<uint32_t>(ctx->frames.size());
+    ctx->frames.emplace_back();
   }
-  if (now_ < t) now_ = t;
+  Message& m = ctx->frames[idx];
+  m.src = 0;
+  m.dst = 0;
+  m.channel = 0;
+  m.is_delete = false;
+  m.multiplicity = 1;
+  return kWorkerFrameBit | (ctx->id << 24) | idx;
 }
+
+void Simulator::WorkerReleaseFrame(FrameRef f) {
+  // Safe from the owning worker during a wave (handlers only ever hold
+  // their own arena's frames) and from the coordinator during replay
+  // (workers are parked at the barrier).
+  Message& m = WorkerFrameMessage(f);
+  m.payload = Tuple();
+  m.batch.clear();
+  workers_[(f >> 24) & 0x7fu]->free_frames.push_back(f);
+}
+
+bool Simulator::WorkerSendFrame(WorkerCtx* ctx, FrameRef f) {
+  // All queue and accounting mutation is deferred to the barrier replay;
+  // here we only log the op and predict the serial return value from the
+  // frozen link state (links never change inside a wave: link-change
+  // events bound waves, and handlers do not call SetLinkUp).
+  const Message& msg = FrameMessage(f);
+  bool delivered = true;
+  if (msg.src != msg.dst && overlay_latency_[msg.channel] == kNoOverlay) {
+    const LinkState* ls = links_.Find(LinkKey(msg.src, msg.dst));
+    delivered = ls != nullptr && ls->up;
+  }
+  WorkerOp op;
+  op.kind = WorkerOp::Kind::kSend;
+  op.trigger_seq = ctx->trigger_seq;
+  op.frame = f;
+  ctx->ops.push_back(std::move(op));
+  return delivered;
+}
+
+void Simulator::EnsureWorkers() {
+  if (!threads_.empty()) return;
+  workers_.clear();
+  workers_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    auto ctx = std::make_unique<WorkerCtx>();
+    ctx->id = i;
+    workers_.push_back(std::move(ctx));
+  }
+  threads_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(workers_[i].get()); });
+  }
+}
+
+void Simulator::StopWorkers() {
+  if (threads_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  workers_.clear();
+  shutdown_ = false;
+  epoch_gen_ = 0;
+}
+
+void Simulator::WorkerMain(WorkerCtx* ctx) {
+  tls_ctx_ = ctx;  // reroutes this thread's simulator calls for its lifetime
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || epoch_gen_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_gen_;
+    }
+    // Deliver this shard in seq order (Deliver() minus the frame release,
+    // which the coordinator performs at the barrier in global seq order).
+    for (const Event& ev : ctx->events) {
+      ctx->trigger_seq = ev.seq;
+      Message& msg = frames_[ev.frame];
+      if (msg.dst < handlers_.size() &&
+          msg.channel < handlers_[msg.dst].size()) {
+        const MessageHandler& h = handlers_[msg.dst][msg.channel];
+        if (h) h(msg);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (--busy_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void Simulator::ExecuteWave() {
+  EnsureWorkers();
+  // Freeze the adjacency before handlers read it concurrently: the lazy
+  // const rebuild in UpNeighbors would race if a worker triggered it.
+  if (!adjacency_valid_) RebuildAdjacency();
+  const uint32_t n = static_cast<uint32_t>(workers_.size());
+  for (auto& w : workers_) w->events.clear();
+  for (const Event& ev : wave_) {
+    // Stable per-node partition: one worker per destination engine, and a
+    // node keeps its worker (and warm arena) across waves.
+    workers_[frames_[ev.frame].dst % n]->events.push_back(ev);
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    busy_ = n;
+    ++epoch_gen_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(pool_mu_);
+    done_cv_.wait(lock, [this] { return busy_ == 0; });
+  }
+  // The serial loop releases each delivered frame right after its handler
+  // returns; batch the releases here in the same seq order.
+  for (const Event& ev : wave_) ReleaseFrame(ev.frame);
+  ReplayOps();
+}
+
+void Simulator::ReplayOps() {
+  // Canonical replay: apply every recorded side effect in exactly the
+  // order the serial loop would have produced it — handlers in event-seq
+  // order, ops in issue order within a handler. Each delivery is handled
+  // by exactly one worker and each worker walks its shard in seq order,
+  // so its op log is already trigger_seq-sorted; a k-way merge on
+  // trigger_seq across workers yields the serial order, and with it the
+  // exact seq_ assignment of every event pushed here.
+  std::vector<size_t> cursor(workers_.size(), 0);
+  for (;;) {
+    size_t best = workers_.size();
+    uint64_t best_seq = 0;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      const std::vector<WorkerOp>& ops = workers_[i]->ops;
+      if (cursor[i] >= ops.size()) continue;
+      uint64_t s = ops[cursor[i]].trigger_seq;
+      if (best == workers_.size() || s < best_seq) {
+        best = i;
+        best_seq = s;
+      }
+    }
+    if (best == workers_.size()) break;
+    ApplyOp(std::move(workers_[best]->ops[cursor[best]]));
+    ++cursor[best];
+  }
+  for (auto& w : workers_) w->ops.clear();
+}
+
+void Simulator::ApplyOp(WorkerOp op) {
+  // Runs on the coordinator (tls_ctx_ == nullptr), so the calls below take
+  // the ordinary serial paths.
+  switch (op.kind) {
+    case WorkerOp::Kind::kSend: {
+      if ((op.frame & kWorkerFrameBit) == 0) {
+        // A global frame held across waves (none on today's hot path, but
+        // legal): its contents are already in place.
+        SendFrame(op.frame);
+        return;
+      }
+      FrameRef gf = AcquireFrame();
+      Message& g = frames_[gf];
+      Message& w = WorkerFrameMessage(op.frame);
+      g.src = w.src;
+      g.dst = w.dst;
+      g.channel = w.channel;
+      g.is_delete = w.is_delete;
+      g.multiplicity = w.multiplicity;
+      // Swap, not copy: the worker frame inherits the global frame's
+      // recycled batch capacity, so both pools stay allocation-free in
+      // steady state.
+      std::swap(g.payload, w.payload);
+      g.batch.swap(w.batch);
+      WorkerReleaseFrame(op.frame);
+      SendFrame(gf);
+      return;
+    }
+    case WorkerOp::Kind::kClosure:
+      ScheduleAt(op.time, std::move(op.fn));
+      return;
+    case WorkerOp::Kind::kLinkChange:
+      ScheduleLinkChange(op.time, op.a, op.b, op.up);
+      return;
+  }
+}
+
+#else  // !NETTRAILS_THREADS
+
+void Simulator::StopWorkers() {}
+
+#endif  // NETTRAILS_THREADS
 
 const TrafficStats& Simulator::channel_traffic(ChannelId ch) const {
   static const TrafficStats kZero;

@@ -11,17 +11,35 @@
 // string-keyed map. The old closure-based ScheduleAt survives as a
 // compatibility shim for tests/tools off the hot path (closures are pooled
 // slots; the std::function itself may still allocate its capture).
+//
+// With SimulatorOptions::num_threads > 1 the loop runs the deterministic
+// epoch-barrier protocol: each contiguous run of same-time delivery events
+// (a "wave") is partitioned by destination node across persistent worker
+// threads, handlers execute in parallel recording their side effects
+// (sends, timers, link changes) into per-worker op logs backed by
+// per-worker frame arenas, and at the barrier the coordinator replays the
+// logs in canonical event-seq order — reproducing the serial loop's event
+// sequencing bit-for-bit. See docs/ARCHITECTURE.md ("Deterministic
+// parallel execution") for the full protocol and its invariants.
 #ifndef NETTRAILS_NET_SIMULATOR_H_
 #define NETTRAILS_NET_SIMULATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#ifdef NETTRAILS_THREADS
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#endif
 
 #include "src/common/flat_hash.h"
 #include "src/common/status.h"
@@ -125,16 +143,39 @@ using MessageHandler = std::function<void(Message&)>;
 /// Observer of link up/down events: (a, b, up).
 using LinkObserver = std::function<void(NodeId, NodeId, bool)>;
 
-/// Single-threaded discrete-event simulator. Owns virtual time; all
-/// scheduling happens through it, so runs are deterministic.
+/// Execution options for the simulator event loop.
+struct SimulatorOptions {
+  /// Worker threads for the epoch-barrier parallel loop. 1 (the default)
+  /// runs the exact legacy serial loop; N > 1 shards every same-time
+  /// delivery wave across N workers while staying bit-identical to serial
+  /// execution (fixpoints, provenance, traffic, event ordering). Clamped
+  /// to 1 in builds configured with -DNETTRAILS_THREADS=OFF.
+  unsigned num_threads = 1;
+};
+
+/// Discrete-event simulator. Owns virtual time; all scheduling happens
+/// through it, so runs are deterministic — including in threaded mode,
+/// whose wave/barrier protocol replays side effects in the serial order.
 class Simulator {
  public:
-  /// Handle to a pooled message frame (index into the frame slab).
+  /// Handle to a pooled message frame. Plain indices address the shared
+  /// slab; refs with kWorkerFrameBit set address a worker arena (only ever
+  /// seen by code running inside a wave and by the barrier replay).
   using FrameRef = uint32_t;
 
   Simulator() = default;
+  explicit Simulator(const SimulatorOptions& opts) {
+    set_num_threads(opts.num_threads);
+  }
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Worker threads used by Run (1 = serial loop).
+  unsigned num_threads() const { return num_threads_; }
+  /// Reconfigures the worker count. Must not be called from inside Run().
+  /// Joins any existing pool; the new pool starts lazily on the next wave.
+  void set_num_threads(unsigned n);
 
   /// Adds a node and returns its id (ids are dense, starting at 0).
   NodeId AddNode();
@@ -192,7 +233,12 @@ class Simulator {
   /// must subsequently be passed to SendFrame or ReleaseFrame.
   FrameRef AcquireFrame();
   /// The frame's message, for filling in (valid until SendFrame/Release).
-  Message& FrameMessage(FrameRef f) { return frames_[f]; }
+  Message& FrameMessage(FrameRef f) {
+#ifdef NETTRAILS_THREADS
+    if (f & kWorkerFrameBit) return WorkerFrameMessage(f);
+#endif
+    return frames_[f];
+  }
   /// Sends a pooled frame: local delivery (src == dst) is immediate at
   /// now+1us and needs no link; remote delivery requires an up link (or an
   /// overlay channel). Returns false if dropped. The frame is consumed
@@ -235,7 +281,9 @@ class Simulator {
   void RunUntil(Time t);
   /// Runs for `dt` more virtual time.
   void RunFor(Time dt) { RunUntil(now_ + dt); }
-  void Stop() { stopped_ = true; }
+  /// Stops the loop. In threaded mode a Stop() issued from inside a
+  /// handler takes effect at the wave boundary, not mid-wave.
+  void Stop() { stopped_.store(true, std::memory_order_relaxed); }
 
   Time now() const { return now_; }
 
@@ -302,10 +350,91 @@ class Simulator {
   void Execute(const Event& ev);
   void Deliver(FrameRef f);
   void RebuildAdjacency() const;
+  /// Shared body of Run/RunUntil: pops events in (time, seq) order; in
+  /// threaded mode, contiguous same-time delivery runs become waves.
+  void RunLoop(Time until, bool bounded);
+
+  // --- Epoch-barrier parallel execution ---------------------------------
+  //
+  // A wave is the maximal contiguous run of kDeliver events at one virtual
+  // time popped in seq order (bounded by the first non-delivery event or
+  // time advance — closures and link changes always execute serially, at
+  // their exact seq position). Wave events are partitioned by destination
+  // node (dst % workers), so each node's engine is touched by exactly one
+  // worker per wave; handlers run in parallel with tls_ctx_ pointing at
+  // the worker's context, which reroutes AcquireFrame/SendFrame/
+  // ScheduleAt/ScheduleLinkChange into a per-worker frame arena and op
+  // log instead of the shared pool and event queue. During a wave the
+  // shared structures (links_, adjacency_, handlers_, frames_ of the
+  // delivered events, now_) are frozen and read-only.
+  //
+  // At the barrier the coordinator replays the op logs in canonical order:
+  // ascending trigger seq (the seq of the delivery whose handler issued
+  // the op), then issue order within a handler. That is exactly the order
+  // the serial loop produces side effects in, so seq_ assignment, queue
+  // contents, traffic accounting, and drop decisions are bit-identical to
+  // threads=1. Only frame-pool indices may differ (release/acquire
+  // interleaving changes), which nothing observable depends on.
+
+  /// High bit marks a FrameRef as worker-arena-resident:
+  /// [31] flag, [30..24] worker id, [23..0] arena index.
+  static constexpr FrameRef kWorkerFrameBit = 0x80000000u;
+  static constexpr unsigned kMaxWorkers = 128;  // worker id field width
+
+  /// One side effect recorded by a handler running inside a wave.
+  struct WorkerOp {
+    enum class Kind : uint8_t { kSend, kClosure, kLinkChange };
+    Kind kind;
+    bool up = false;           // kLinkChange
+    NodeId a = 0, b = 0;       // kLinkChange
+    FrameRef frame = 0;        // kSend
+    uint64_t trigger_seq = 0;  // seq of the delivery that issued this op
+    Time time = 0;             // kClosure / kLinkChange fire time
+    std::function<void()> fn;  // kClosure
+  };
+
+  struct WorkerCtx {
+    uint32_t id = 0;
+    uint64_t trigger_seq = 0;  // seq of the event whose handler is running
+    // Arena mirroring the shared frame pool (deque: frames never move).
+    std::deque<Message> frames;
+    std::vector<FrameRef> free_frames;
+    std::vector<WorkerOp> ops;  // this wave's log, in issue order
+    std::vector<Event> events;  // this wave's shard, in seq order
+  };
+
+  Message& WorkerFrameMessage(FrameRef f) {
+    return workers_[(f >> 24) & 0x7fu]->frames[f & 0xffffffu];
+  }
+  FrameRef WorkerAcquireFrame(WorkerCtx* ctx);
+  void WorkerReleaseFrame(FrameRef f);
+  bool WorkerSendFrame(WorkerCtx* ctx, FrameRef f);
+  void ExecuteWave();
+  void ReplayOps();
+  void ApplyOp(WorkerOp op);
+  void EnsureWorkers();
+  void StopWorkers();
+  void WorkerMain(WorkerCtx* ctx);
+
+  unsigned num_threads_ = 1;
+  std::vector<Event> wave_;  // scratch: the delivery run being executed
+  std::vector<std::unique_ptr<WorkerCtx>> workers_;
+#ifdef NETTRAILS_THREADS
+  /// Worker context of the calling thread, nullptr on the coordinator.
+  /// Routes the simulator's mutating entry points while a wave runs.
+  static thread_local WorkerCtx* tls_ctx_;
+  std::vector<std::thread> threads_;
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;  // workers wait for an epoch ticket
+  std::condition_variable done_cv_;  // coordinator waits for the barrier
+  uint64_t epoch_gen_ = 0;           // bumped once per dispatched wave
+  unsigned busy_ = 0;                // workers still inside the wave
+  bool shutdown_ = false;
+#endif
 
   Time now_ = 0;
   uint64_t seq_ = 0;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
   size_t node_count_ = 0;
   uint64_t events_executed_ = 0;
   uint64_t dropped_messages_ = 0;

@@ -5,19 +5,31 @@ namespace query {
 
 const PartialResult* ResultCache::Lookup(const CacheKey& key,
                                          uint64_t current_version) {
+  if (current_version != seen_version_) {
+    // The provenance version moved: every cached entry is stale. Sweep now
+    // so the map stays bounded by the number of distinct keys queried since
+    // the *last* change, not since process start.
+    entries_.clear();
+    seen_version_ = current_version;
+  }
   auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.version != current_version) {
+  if (it == entries_.end()) {
     ++misses_;
-    if (it != entries_.end()) entries_.erase(it);  // stale
     return nullptr;
   }
   ++hits_;
-  return &it->second.result;
+  return &it->second;
 }
 
 void ResultCache::Store(const CacheKey& key, uint64_t version,
                         PartialResult result) {
-  entries_[key] = Entry{version, std::move(result)};
+  if (result.truncated) return;  // budget artifact, not a graph property
+  if (version != seen_version_) {
+    if (version < seen_version_) return;  // producer raced a newer sweep
+    entries_.clear();
+    seen_version_ = version;
+  }
+  entries_[key] = std::move(result);
 }
 
 }  // namespace query

@@ -29,12 +29,15 @@ struct Fanout : std::enable_shared_from_this<Fanout> {
   QueryService::Done done;
 
   void Combine(const PartialResult& child) {
+    // Count accumulation is owned here, not by MergeStructure: tuple
+    // vertices sum alternative derivations, exec vertices multiply joint
+    // inputs.
     if (product) {
       acc.count *= child.count;
     } else {
       acc.count += child.count;
     }
-    acc.Union(child);
+    acc.MergeStructure(child);
   }
 
   bool ShouldPrune() const {
@@ -138,8 +141,11 @@ void QueryService::ResolveTuple(uint64_t qid, const QueryOptions& opts,
   }
   memo.waiters.push_back(std::move(done));
 
-  // Cross-query cache, validated against the provenance version.
-  CacheKey key{vid, opts.type, opts.include_maybe, opts.count_threshold};
+  // Cross-query cache, validated against the provenance version. The
+  // remaining depth is part of the key: a result computed under a tight
+  // budget must not be served to a traversal arriving with a deeper one.
+  CacheKey key{vid, opts.type, opts.include_maybe, opts.count_threshold,
+               depth};
   if (opts.use_cache) {
     if (const PartialResult* hit = cache_.Lookup(key, store_->version())) {
       MemoEntry& m = memo_[qid][vid];
@@ -187,12 +193,26 @@ void QueryService::ResolveTuple(uint64_t qid, const QueryOptions& opts,
 
   uint64_t version = store_->version();
   fan->done = [this, qid, vid, key, version, opts](const PartialResult& r) {
-    if (opts.use_cache && !r.truncated) cache_.Store(key, version, r);
-    MemoEntry& m = memo_[qid][vid];
+    if (opts.use_cache) cache_.Store(key, version, r);  // refuses truncated
+    auto& per_query = memo_[qid];
+    std::vector<Done> waiters = std::move(per_query[vid].waiters);
+    per_query[vid].waiters.clear();
+    if (r.truncated) {
+      // A truncated result reflects the depth/pruning budget of the branch
+      // that computed it, not the vertex itself. Memoizing it as complete
+      // would serve the undercount to later branches reaching this vertex
+      // with more remaining depth (multi-parent derivations), so drop the
+      // entry and let them recompute under their own budget. Waiters that
+      // piled up while this resolution was in flight (parallel traversal)
+      // still receive this result — they arrived under the same in-flight
+      // budget and re-resolving them here could recurse forever.
+      per_query.erase(vid);
+      for (Done& w : waiters) w(r);
+      return;
+    }
+    MemoEntry& m = per_query[vid];
     m.complete = true;
     m.result = r;
-    std::vector<Done> waiters = std::move(m.waiters);
-    m.waiters.clear();
     for (Done& w : waiters) w(m.result);
   };
   fan->Run();

@@ -181,13 +181,13 @@ void Engine::DrainQueue() {
   if (draining_) return;
   draining_ = true;
   actions_this_trigger_ = 0;
-  // List-hash cache hits are process-wide (the cache lives in the shared
-  // value reps); attribute the ones accrued during this drain to this
-  // engine. Cross-engine message delivery goes through the simulator's
-  // event queue, so drains never nest across engines and the attribution is
-  // exact.
+  // Both counters are per-thread; a drain executes entirely on the thread
+  // that entered it (cross-engine message delivery goes through the
+  // simulator's event queue, so drains never nest across engines), which
+  // keeps the before/after deltas exactly attributable to this engine even
+  // when other workers hash and allocate concurrently.
   const uint64_t hash_hits_before = Value::ListHashCacheHits();
-  const uint64_t allocs_before = AllocCount();
+  const uint64_t allocs_before = AllocCountThisThread();
   while (!queue_.empty()) {
     bool serial = opts_.batch_size <= 1;
     if (!serial) {
@@ -218,7 +218,7 @@ void Engine::DrainQueue() {
   }
   stats_.hash_cache_hits += Value::ListHashCacheHits() - hash_hits_before;
   stats_.vid_intern_hits = vid_interner_.hits();
-  stats_.drain_allocs += AllocCount() - allocs_before;
+  stats_.drain_allocs += AllocCountThisThread() - allocs_before;
   draining_ = false;
 }
 

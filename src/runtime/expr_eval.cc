@@ -184,9 +184,10 @@ Result<Value> EvalNode(const CompiledExpr& expr, uint32_t id,
       // on every selection/head evaluation, and a fresh vector here was the
       // single largest allocation source in converged churn. Calls nest
       // (arguments may themselves be calls), so the pool holds one buffer
-      // per nesting level seen. The runtime is single-threaded (one
-      // discrete-event loop), so a process-wide pool is safe.
-      static std::vector<std::vector<Value>>* pool =
+      // per nesting level seen. One pool per thread: parallel simulator
+      // workers each evaluate their own nodes' rules, and a shared pool
+      // would both race and ping-pong cache lines.
+      static thread_local std::vector<std::vector<Value>>* pool =
           new std::vector<std::vector<Value>>();
       std::vector<Value> args;
       if (!pool->empty()) {

@@ -271,6 +271,83 @@ TEST_F(QueryDiamondTest, ThresholdPruningStopsEarly) {
   EXPECT_LT(cheap->messages, full->messages);
 }
 
+// A "kite": chain 0->1->2->3 plus shortcut 0->2, so conn(@0,3) has two
+// derivations that SHARE the sub-derivation conn(@2,3) — a long chain
+// through node 1 and a short one over the shortcut. The shortcut link's
+// latency is raised so the long-chain derivation reaches node 0 first,
+// pinning the provenance edge order (long before short) that the
+// depth-budget regression below depends on.
+class QueryKiteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<runtime::CompiledProgramPtr> prog = runtime::Compile(R"(
+      materialize(link, infinity, infinity, keys(1,2)).
+      materialize(conn, infinity, infinity, keys(1,2)).
+      c1 conn(@X,Y) :- link(@X,Y,C).
+      c2 conn(@X,Z) :- link(@X,Y,C), conn(@Y,Z), X != Z.
+    )");
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    sim_.AddNode();
+    sim_.AddNode();
+    sim_.AddNode();
+    sim_.AddNode();
+    sim_.AddLink(0, 1);
+    sim_.AddLink(1, 2);
+    sim_.AddLink(2, 3);
+    sim_.AddLink(0, 2, 5 * net::kMillisecond);  // slow shortcut
+    for (NodeId i = 0; i < 4; ++i) {
+      engines_.push_back(std::make_unique<runtime::Engine>(&sim_, i, *prog));
+    }
+    querier_ = std::make_unique<ProvenanceQuerier>(
+        &sim_, protocols::EnginePtrs(engines_));
+    auto link = [](NodeId a, NodeId b) {
+      return Tuple("link",
+                   {Value::Address(a), Value::Address(b), Value::Int(1)});
+    };
+    ASSERT_TRUE(engines_[0]->Insert(link(0, 1)).ok());
+    ASSERT_TRUE(engines_[1]->Insert(link(1, 2)).ok());
+    ASSERT_TRUE(engines_[2]->Insert(link(2, 3)).ok());
+    ASSERT_TRUE(engines_[0]->Insert(link(0, 2)).ok());
+    sim_.Run();
+  }
+
+  net::Simulator sim_;
+  std::vector<std::unique_ptr<runtime::Engine>> engines_;
+  std::unique_ptr<ProvenanceQuerier> querier_;
+};
+
+// Regression for the per-query memo: resolving the long branch first
+// exhausts the depth budget partway down, truncating the shared conn(@2,3)
+// subtree (0 derivations found there). Memoizing that truncated result as
+// complete used to serve the undercount to the short branch — which arrives
+// with enough remaining budget to resolve conn(@2,3) fully — collapsing the
+// derivation count for conn(@0,3) to 0.
+TEST_F(QueryKiteTest, DepthBudgetedCountRecomputesSharedSubtree) {
+  Tuple conn("conn", {Value::Address(0), Value::Address(3)});
+  ASSERT_TRUE(engines_[0]->HasTuple(conn));
+  ASSERT_EQ(engines_[0]->CountOf(conn), 2);
+
+  QueryOptions opts;
+  opts.type = QueryType::kDerivCount;
+  opts.traversal = Traversal::kSequential;
+  opts.use_cache = false;
+
+  // Sanity: with ample depth both derivations are counted.
+  Result<QueryResult> full = querier_->Query(conn, opts);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->count, 2);
+  EXPECT_FALSE(full->truncated);
+
+  // Budget chosen so the long branch truncates inside conn(@2,3)'s subtree
+  // while the short branch, two levels higher, can still resolve it fully:
+  // the correct answer is exactly the short branch's derivation.
+  opts.max_depth = 6;
+  Result<QueryResult> r = querier_->Query(conn, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->truncated);
+  EXPECT_EQ(r->count, 1);
+}
+
 TEST_F(QueryDiamondTest, DepthLimitTruncates) {
   Tuple conn("conn", {Value::Address(0), Value::Address(3)});
   QueryOptions opts;
