@@ -1,0 +1,111 @@
+// Crash/recovery cost: virtual time-to-reconverge and messages-to-recover
+// after CrashNode + RestartNode, comparing a warm restart (restore from a
+// checkpoint of the converged state, then reconcile via neighbor
+// re-announcement) against a cold restart (restore from an empty pre-boot
+// checkpoint, rebuilding the node's entire state from re-announcements).
+// Because reconciliation is re-announcement-based (neighbors re-derive and
+// re-ship everything rooted at the cycled links either way), the wire cost
+// of recovery is nearly warmth-independent; the checkpoint's value is the
+// restored node's local state (bases, soft-state deadlines, aggregate
+// internals, provenance) — visible in per-cycle CPU time, not messages.
+// Both are dwarfed by msgs_crash: the survivors' reroute-around-the-crash
+// cascade, which no restart strategy can skip.
+//
+// Counters (all per crash+restart cycle, averaged over the bench loop):
+//   virtual_us_reconverge — simulator time from SetNodeUp(up) to quiescence
+//   msgs_recover          — frames shipped during the restart phase
+//   msgs_crash            — frames of the crash-side reroute cascade
+#include <benchmark/benchmark.h>
+
+#include "src/net/topology.h"
+#include "src/protocols/programs.h"
+#include "src/runtime/engine.h"
+#include "src/runtime/plan.h"
+
+namespace nettrails {
+namespace {
+
+runtime::CompiledProgramPtr CompileCached(const char* source) {
+  Result<runtime::CompiledProgramPtr> r = runtime::Compile(source);
+  return r.ok() ? *r : nullptr;
+}
+
+void RunCrashRestart(benchmark::State& state, const char* program,
+                     double p, bool warm) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  runtime::CompiledProgramPtr prog = CompileCached(program);
+  if (prog == nullptr) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  Rng rng(1);
+  net::Topology topo = net::MakeRandomConnected(n, p, &rng, 4);
+  net::Simulator sim;
+  auto engines = protocols::MakeEngines(&sim, topo, prog);
+  const NodeId victim = static_cast<NodeId>(n / 2);
+  // Cold restart restores this pre-boot snapshot: empty tables, so the
+  // restarted node owns nothing and every row is re-derived from scratch.
+  runtime::EngineCheckpoint cold_ckpt = engines[victim]->TakeCheckpoint();
+  if (!protocols::InstallLinks(topo, &engines, &sim).ok()) {
+    state.SkipWithError("install failed");
+    return;
+  }
+  // Warm restart restores the converged state; recovery then only
+  // reconciles the remotely-grounded slice.
+  runtime::EngineCheckpoint warm_ckpt = engines[victim]->TakeCheckpoint();
+  const runtime::EngineCheckpoint& ckpt = warm ? warm_ckpt : cold_ckpt;
+
+  uint64_t cycles = 0, msgs_crash = 0, msgs_recover = 0, reconverge_us = 0;
+  for (auto _ : state) {
+    uint64_t msgs0 = sim.total_traffic().messages;
+    if (!protocols::CrashNode(victim, topo, &engines, &sim).ok()) {
+      state.SkipWithError("crash failed");
+      return;
+    }
+    uint64_t msgs1 = sim.total_traffic().messages;
+    net::Time t0 = sim.now();
+    if (!protocols::RestartNode(victim, ckpt, topo, &engines, &sim).ok()) {
+      state.SkipWithError("restart failed");
+      return;
+    }
+    msgs_crash += msgs1 - msgs0;
+    msgs_recover += sim.total_traffic().messages - msgs1;
+    reconverge_us += sim.now() - t0;
+    ++cycles;
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+  if (cycles > 0) {
+    state.counters["virtual_us_reconverge"] =
+        static_cast<double>(reconverge_us) / static_cast<double>(cycles);
+    state.counters["msgs_recover"] =
+        static_cast<double>(msgs_recover) / static_cast<double>(cycles);
+    state.counters["msgs_crash"] =
+        static_cast<double>(msgs_crash) / static_cast<double>(cycles);
+  }
+}
+
+void BM_Recovery_Mincost_WarmRestore(benchmark::State& state) {
+  RunCrashRestart(state, protocols::MincostProgram(), 0.08, /*warm=*/true);
+}
+void BM_Recovery_Mincost_ColdRestart(benchmark::State& state) {
+  RunCrashRestart(state, protocols::MincostProgram(), 0.08, /*warm=*/false);
+}
+void BM_Recovery_PathVector_WarmRestore(benchmark::State& state) {
+  RunCrashRestart(state, protocols::PathVectorProgram(), 0.04, /*warm=*/true);
+}
+void BM_Recovery_PathVector_ColdRestart(benchmark::State& state) {
+  RunCrashRestart(state, protocols::PathVectorProgram(), 0.04,
+                  /*warm=*/false);
+}
+
+BENCHMARK(BM_Recovery_Mincost_WarmRestore)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Recovery_Mincost_ColdRestart)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Recovery_PathVector_WarmRestore)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Recovery_PathVector_ColdRestart)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace nettrails

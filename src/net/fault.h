@@ -1,0 +1,166 @@
+// Deterministic fault injection for the network simulator.
+//
+// A FaultPlan attached to SimulatorOptions describes message faults (drop,
+// duplicate, delay-jitter, reorder hold-back) and scripted node lifecycle
+// events (crash / pause / restart). Every message-fault decision is a pure
+// function of (plan seed, fault sequence number, channel id): the sequence
+// number is assigned on the coordinator's serial send path — which the
+// epoch-barrier replay drives in exactly the serial loop's order — so a
+// faulted run is bit-identical at any SimulatorOptions::num_threads. No
+// floating point is involved anywhere (rates are integer parts-per-10000,
+// jitter is a modulus), so there is no platform drift either.
+//
+// Fault semantics (see docs/ARCHITECTURE.md "Fault model and recovery"):
+//  * drop       — the frame is consumed by the network after leaving the
+//                 NIC: link traffic is accounted, the sender sees success
+//                 (SendFrame returns true), and the per-channel fault stats
+//                 count it as dropped_fault. Link-down drops stay sender-
+//                 visible (SendFrame returns false) exactly as before.
+//  * duplicate  — a deep copy of the frame is delivered a second time,
+//                 after the original (its extra delay is drawn from the
+//                 same decision hash).
+//  * delay      — extra latency of 1..delay_jitter_max microseconds.
+//  * reorder    — extra hold-back of reorder_hold microseconds, letting
+//                 later traffic on *other* flows overtake this frame.
+// While a plan is installed, per-flow FIFO is preserved: delivery times on
+// one (src, dst) flow are clamped monotone in send order, so jitter and
+// hold-back reorder traffic across flows but never within one. That is the
+// delivery contract the delta-shipping pipeline assumes (a retraction may
+// not overtake the insertion it cancels), and it is what makes the
+// convergence oracles hold: timing faults perturb interleavings, never
+// delta content.
+#ifndef NETTRAILS_NET_FAULT_H_
+#define NETTRAILS_NET_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/tuple.h"
+
+namespace nettrails {
+namespace net {
+
+/// Virtual time in microseconds (mirrors simulator.h; kept here so this
+/// header stays includable on its own).
+using FaultTime = uint64_t;
+
+/// Fault rates for one scope (a channel, a link, or the plan default).
+/// Rates are parts-per-10000 — integers end to end, so decisions are exact
+/// and platform-independent.
+struct FaultSpec {
+  uint32_t drop_per_10k = 0;
+  uint32_t dup_per_10k = 0;
+  uint32_t delay_per_10k = 0;
+  uint32_t reorder_per_10k = 0;
+  /// Maximum extra latency (microseconds) of a delay fault; the drawn
+  /// jitter is uniform in [1, delay_jitter_max].
+  FaultTime delay_jitter_max = 0;
+  /// Extra hold-back (microseconds) applied by a reorder fault.
+  FaultTime reorder_hold = 0;
+
+  bool Any() const {
+    return drop_per_10k != 0 || dup_per_10k != 0 || delay_per_10k != 0 ||
+           reorder_per_10k != 0;
+  }
+};
+
+/// One scripted node lifecycle event. A crash takes the node's up links
+/// down with it (neighbors observe the link change and can retract); a
+/// pause only stops delivery (links stay up, messages to the node are
+/// dropped and counted as fault drops); a restart brings the node back and
+/// restores exactly the links its crash took down. Engine-level state loss
+/// and checkpoint restore are the harness's job (see Engine::TakeCheckpoint
+/// / RestoreCheckpoint) — the simulator only gates delivery and topology.
+struct NodeFaultEvent {
+  enum class Kind : uint8_t { kCrash, kPause, kRestart };
+  FaultTime time = 0;
+  NodeId node = 0;
+  Kind kind = Kind::kCrash;
+};
+
+/// A complete seeded fault schedule.
+struct FaultPlan {
+  uint64_t seed = 0;
+  /// Message faults are active in virtual-time window [start, heal_time).
+  /// Node events fire at their own times, independent of the window.
+  FaultTime start = 0;
+  FaultTime heal_time = ~FaultTime{0};
+  /// Default message-fault rates for every non-local send.
+  FaultSpec spec;
+  /// Per-channel overrides by channel name (take precedence over `spec`).
+  std::map<std::string, FaultSpec> channel_overrides;
+  /// Per-link overrides keyed by undirected (min, max) node pair (take
+  /// precedence over channel overrides; never apply to overlay channels).
+  std::map<std::pair<NodeId, NodeId>, FaultSpec> link_overrides;
+  std::vector<NodeFaultEvent> node_events;
+
+  bool Empty() const {
+    return !spec.Any() && channel_overrides.empty() && link_overrides.empty() &&
+           node_events.empty();
+  }
+};
+
+/// Per-channel fault accounting. Conservation invariant at quiescence:
+///   sent == delivered + dropped_link + dropped_fault
+/// where `sent` counts every frame entering SendFrame (duplicates included,
+/// so a duplicate is both +1 sent and +1 duplicated), `dropped_link` counts
+/// sender-visible drops for lack of an up link, and `dropped_fault` counts
+/// injected drops plus deliveries consumed by a down (crashed/paused) node.
+struct ChannelFaultStats {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped_link = 0;
+  uint64_t dropped_fault = 0;
+  uint64_t duplicated = 0;
+  uint64_t delayed = 0;
+  uint64_t reordered = 0;
+};
+
+/// SplitMix64 finalizer — the decision mixer. Pure integer function.
+inline uint64_t FaultMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Independent decision salts: one send consumes one fault sequence number
+/// and derives each sub-decision with its own salt.
+enum class FaultSalt : uint32_t {
+  kDrop = 1,
+  kDup = 2,
+  kDelay = 3,
+  kDelayJitter = 4,
+  kReorder = 5,
+  kDupDelay = 6,
+};
+
+/// The deterministic decision value for (seed, seq, channel, salt).
+inline uint64_t FaultDecision(uint64_t seed, uint64_t seq, uint32_t channel,
+                              FaultSalt salt) {
+  uint64_t key = (static_cast<uint64_t>(channel) << 32) |
+                 static_cast<uint64_t>(salt);
+  return FaultMix(seed ^ FaultMix(seq ^ FaultMix(key)));
+}
+
+/// True with probability per10k / 10000 (exact, integer-only).
+inline bool FaultHit(uint64_t seed, uint64_t seq, uint32_t channel,
+                     FaultSalt salt, uint32_t per10k) {
+  if (per10k == 0) return false;
+  return FaultDecision(seed, seq, channel, salt) % 10000 < per10k;
+}
+
+/// Uniform draw in [1, max] (returns 0 when max is 0).
+inline FaultTime FaultDraw(uint64_t seed, uint64_t seq, uint32_t channel,
+                           FaultSalt salt, FaultTime max) {
+  if (max == 0) return 0;
+  return 1 + FaultDecision(seed, seq, channel, salt) % max;
+}
+
+}  // namespace net
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NET_FAULT_H_

@@ -156,17 +156,31 @@ bool Simulator::SendFrame(FrameRef f) {
   if (WorkerCtx* ctx = tls_ctx_) return WorkerSendFrame(ctx, f);
 #endif
   Message& msg = frames_[f];
+  ChannelFaultStats& fs = FaultStatsFor(msg.channel);
+  ++fs.sent;
+  if (!NodeUp(msg.src)) {
+    // A down node's NIC is off: stale timers may still try to send; the
+    // frame never reaches the network. Sender-transparent (the node is in
+    // no position to observe the result anyway).
+    ++fs.dropped_fault;
+    ReleaseFrame(f);
+    return true;
+  }
   Time delay = 1;  // local hop: 1us
+  bool duplicate = false;
+  Time dup_delay = 0;
   if (msg.src != msg.dst) {
     size_t nbytes = msg.SerializedSize(channel_names_[msg.channel].size());
     size_t ntuples = msg.TupleCount();
+    LinkState* ls = nullptr;
     if (overlay_latency_[msg.channel] != kNoOverlay) {
       channel_traffic_[msg.channel].Add(nbytes, ntuples);
       delay = overlay_latency_[msg.channel];
     } else {
-      LinkState* ls = links_.Find(LinkKey(msg.src, msg.dst));
+      ls = links_.Find(LinkKey(msg.src, msg.dst));
       if (ls == nullptr || !ls->up) {
-        ++dropped_messages_;
+        ++dropped_messages_;  // legacy counter stays link-drops-only
+        ++fs.dropped_link;
         ReleaseFrame(f);
         return false;
       }
@@ -174,11 +188,80 @@ bool Simulator::SendFrame(FrameRef f) {
       channel_traffic_[msg.channel].Add(nbytes, ntuples);
       delay = ls->latency;
     }
+    // Message-fault resolution. This branch only ever runs on the
+    // coordinator's serial path (direct sends, singleton waves, or the
+    // barrier replay — WorkerSendFrame logs an op instead of coming here),
+    // so fault_seq_ advances in canonical serial order and every decision
+    // is a pure function of (seed, seq, channel): bit-identical at any
+    // num_threads.
+    if (plan_installed_ && now_ >= plan_.start && now_ < plan_.heal_time) {
+      const FaultSpec& spec = EffectiveSpec(msg);
+      if (spec.Any()) {
+        const uint64_t seed = plan_.seed;
+        const uint64_t fseq = fault_seq_++;
+        const ChannelId ch = msg.channel;
+        if (FaultHit(seed, fseq, ch, FaultSalt::kDrop, spec.drop_per_10k)) {
+          // Lost in flight: the link carried it (traffic accounted above)
+          // and the sender saw it leave — sender-transparent.
+          ++fs.dropped_fault;
+          ReleaseFrame(f);
+          return true;
+        }
+        if (FaultHit(seed, fseq, ch, FaultSalt::kDelay,
+                     spec.delay_per_10k)) {
+          delay += FaultDraw(seed, fseq, ch, FaultSalt::kDelayJitter,
+                             spec.delay_jitter_max);
+          ++fs.delayed;
+        }
+        if (FaultHit(seed, fseq, ch, FaultSalt::kReorder,
+                     spec.reorder_per_10k)) {
+          delay += spec.reorder_hold;
+          ++fs.reordered;
+        }
+        if (FaultHit(seed, fseq, ch, FaultSalt::kDup, spec.dup_per_10k)) {
+          duplicate = true;
+          // The copy trails the original by a jitter draw (>= 1us so the
+          // original always arrives first even on a zero-jitter spec).
+          dup_delay = delay + FaultDraw(seed, fseq, ch, FaultSalt::kDupDelay,
+                                        spec.delay_jitter_max > 0
+                                            ? spec.delay_jitter_max
+                                            : 1);
+          ++fs.duplicated;
+          if (ls != nullptr) ls->traffic.Add(nbytes, ntuples);
+          channel_traffic_[msg.channel].Add(nbytes, ntuples);
+        }
+      }
+    }
+  }
+  Time arrival = now_ + delay;
+  if (plan_installed_ && msg.src != msg.dst) {
+    arrival = ClampFlowArrival(msg.src, msg.dst, arrival);
   }
   Event ev;
   ev.kind = Event::Kind::kDeliver;
   ev.frame = f;
-  Push(now_ + delay, ev);
+  Push(arrival, ev);
+  if (duplicate) {
+    // Deep copy: the handler may move tuples out of whichever copy arrives
+    // first, so the two frames must not share payload buffers.
+    FrameRef df = AcquireFrame();
+    Message& orig = frames_[f];  // re-resolve: AcquireFrame may grow the
+    Message& d = frames_[df];    // deque (references stay valid; be tidy)
+    d.src = orig.src;
+    d.dst = orig.dst;
+    d.channel = orig.channel;
+    d.is_delete = orig.is_delete;
+    d.multiplicity = orig.multiplicity;
+    d.payload = orig.payload;
+    d.batch = orig.batch;
+    ChannelFaultStats& dfs = FaultStatsFor(d.channel);
+    ++dfs.sent;
+    Time dup_arrival = ClampFlowArrival(d.src, d.dst, now_ + dup_delay);
+    Event dev;
+    dev.kind = Event::Kind::kDeliver;
+    dev.frame = df;
+    Push(dup_arrival, dev);
+  }
   return true;
 }
 
@@ -192,11 +275,97 @@ bool Simulator::Send(Message msg) {
 
 void Simulator::Deliver(FrameRef f) {
   Message& msg = frames_[f];
-  if (msg.dst < handlers_.size() && msg.channel < handlers_[msg.dst].size()) {
+  AccountDelivery(msg);
+  if (NodeUp(msg.dst) && msg.dst < handlers_.size() &&
+      msg.channel < handlers_[msg.dst].size()) {
     const MessageHandler& h = handlers_[msg.dst][msg.channel];
     if (h) h(msg);
   }
   ReleaseFrame(f);
+}
+
+ChannelFaultStats& Simulator::FaultStatsFor(ChannelId ch) {
+  if (ch >= channel_fault_.size()) channel_fault_.resize(ch + 1);
+  return channel_fault_[ch];
+}
+
+void Simulator::AccountDelivery(const Message& msg) {
+  ChannelFaultStats& fs = FaultStatsFor(msg.channel);
+  if (NodeUp(msg.dst)) {
+    ++fs.delivered;
+  } else {
+    // In flight toward a node that crashed before arrival: consumed by the
+    // fault layer, never seen by a handler.
+    ++fs.dropped_fault;
+  }
+}
+
+const FaultSpec& Simulator::EffectiveSpec(const Message& msg) const {
+  if (!plan_.link_overrides.empty() &&
+      overlay_latency_[msg.channel] == kNoOverlay) {
+    NodeId lo = msg.src < msg.dst ? msg.src : msg.dst;
+    NodeId hi = msg.src < msg.dst ? msg.dst : msg.src;
+    auto it = plan_.link_overrides.find({lo, hi});
+    if (it != plan_.link_overrides.end()) return it->second;
+  }
+  if (!plan_.channel_overrides.empty()) {
+    auto it = plan_.channel_overrides.find(channel_names_[msg.channel]);
+    if (it != plan_.channel_overrides.end()) return it->second;
+  }
+  return plan_.spec;
+}
+
+Time Simulator::ClampFlowArrival(NodeId src, NodeId dst, Time arrival) {
+  Time& last = flow_last_[(static_cast<uint64_t>(src) << 32) | dst];
+  if (arrival < last) arrival = last;
+  last = arrival;
+  return arrival;
+}
+
+void Simulator::InstallFaultPlan(const FaultPlan& plan) {
+  plan_ = plan;
+  plan_installed_ = true;
+  fault_seq_ = 0;
+  flow_last_.clear();
+  for (const NodeFaultEvent& e : plan_.node_events) {
+    bool up = e.kind == NodeFaultEvent::Kind::kRestart;
+    bool links = e.kind != NodeFaultEvent::Kind::kPause;
+    ScheduleNodeChange(e.time, e.node, up, links);
+  }
+}
+
+Status Simulator::SetNodeUp(NodeId node, bool up, bool with_links) {
+  if (node >= node_count_) {
+    return Status::NotFound("no node " + std::to_string(node));
+  }
+  if (node_down_.size() < node_count_) node_down_.resize(node_count_, 0);
+  if (node_down_[node] == static_cast<uint8_t>(!up)) return Status::OK();
+  node_down_[node] = !up;
+  if (!up) {
+    if (with_links) {
+      // Crash takes the node's up links with it; record them so a restart
+      // restores exactly this set. The hash map's iteration order is
+      // layout-dependent, so sort before taking links down — observers
+      // must fire in a deterministic order.
+      std::vector<std::pair<NodeId, NodeId>> taken;
+      links_.ForEach([&](uint64_t key, const LinkState& ls) {
+        NodeId a = static_cast<NodeId>(key >> 32);
+        NodeId b = static_cast<NodeId>(key & 0xffffffffu);
+        if (ls.up && (a == node || b == node)) taken.emplace_back(a, b);
+      });
+      std::sort(taken.begin(), taken.end());
+      for (const auto& [a, b] : taken) (void)SetLinkUp(a, b, false);
+      crashed_links_[node] = std::move(taken);
+    }
+  } else {
+    auto it = crashed_links_.find(node);
+    if (it != crashed_links_.end()) {
+      for (const auto& [a, b] : it->second) (void)SetLinkUp(a, b, true);
+      crashed_links_.erase(it);
+    }
+  }
+  for (const NodeObserver& obs : node_observers_) obs(node, up);
+  return Status::OK();
 }
 
 void Simulator::Push(Time t, Event ev) {
@@ -265,6 +434,29 @@ void Simulator::ScheduleLinkChange(Time t, NodeId a, NodeId b, bool up) {
   Push(t, ev);
 }
 
+void Simulator::ScheduleNodeChange(Time t, NodeId node, bool up,
+                                   bool with_links) {
+#ifdef NETTRAILS_THREADS
+  if (WorkerCtx* ctx = tls_ctx_) {
+    WorkerOp op;
+    op.kind = WorkerOp::Kind::kNodeChange;
+    op.trigger_seq = ctx->trigger_seq;
+    op.time = t;
+    op.a = node;
+    op.up = up;
+    op.links = with_links;
+    ctx->ops.push_back(std::move(op));
+    return;
+  }
+#endif
+  Event ev;
+  ev.kind = Event::Kind::kNodeChange;
+  ev.node.id = node;
+  ev.node.up = up;
+  ev.node.links = with_links;
+  Push(t, ev);
+}
+
 void Simulator::Execute(const Event& ev) {
   switch (ev.kind) {
     case Event::Kind::kDeliver:
@@ -281,6 +473,9 @@ void Simulator::Execute(const Event& ev) {
     }
     case Event::Kind::kLinkChange:
       (void)SetLinkUp(ev.link.a, ev.link.b, ev.link.up);  // unknown link: no-op
+      break;
+    case Event::Kind::kNodeChange:
+      (void)SetNodeUp(ev.node.id, ev.node.up, ev.node.links);
       break;
   }
 }
@@ -417,12 +612,15 @@ void Simulator::WorkerMain(WorkerCtx* ctx) {
       if (shutdown_) return;
       seen = epoch_gen_;
     }
-    // Deliver this shard in seq order (Deliver() minus the frame release,
-    // which the coordinator performs at the barrier in global seq order).
+    // Deliver this shard in seq order (Deliver() minus the frame release
+    // and delivery accounting, which the coordinator performs at the
+    // barrier in global seq order). node_down_ is frozen during a wave
+    // (node changes bound waves), so the down-destination skip is a pure
+    // read and matches the serial Deliver exactly.
     for (const Event& ev : ctx->events) {
       ctx->trigger_seq = ev.seq;
       Message& msg = frames_[ev.frame];
-      if (msg.dst < handlers_.size() &&
+      if (NodeUp(msg.dst) && msg.dst < handlers_.size() &&
           msg.channel < handlers_[msg.dst].size()) {
         const MessageHandler& h = handlers_[msg.dst][msg.channel];
         if (h) h(msg);
@@ -458,8 +656,13 @@ void Simulator::ExecuteWave() {
     done_cv_.wait(lock, [this] { return busy_ == 0; });
   }
   // The serial loop releases each delivered frame right after its handler
-  // returns; batch the releases here in the same seq order.
-  for (const Event& ev : wave_) ReleaseFrame(ev.frame);
+  // returns; batch the releases (and the delivery-side conservation
+  // accounting — counters are sums, so batching at the barrier yields the
+  // same totals as the serial interleaving) here in the same seq order.
+  for (const Event& ev : wave_) {
+    AccountDelivery(frames_[ev.frame]);
+    ReleaseFrame(ev.frame);
+  }
   ReplayOps();
 }
 
@@ -525,6 +728,9 @@ void Simulator::ApplyOp(WorkerOp op) {
     case WorkerOp::Kind::kLinkChange:
       ScheduleLinkChange(op.time, op.a, op.b, op.up);
       return;
+    case WorkerOp::Kind::kNodeChange:
+      ScheduleNodeChange(op.time, op.a, op.up, op.links);
+      return;
   }
 }
 
@@ -568,6 +774,41 @@ void Simulator::ResetTrafficStats() {
   for (TrafficStats& ts : channel_traffic_) ts = TrafficStats{};
   links_.ForEach([](uint64_t, LinkState& ls) { ls.traffic = TrafficStats{}; });
   dropped_messages_ = 0;
+  for (ChannelFaultStats& fs : channel_fault_) fs = ChannelFaultStats{};
+}
+
+const ChannelFaultStats& Simulator::channel_fault_stats(ChannelId ch) const {
+  static const ChannelFaultStats kZero;
+  if (ch >= channel_fault_.size()) return kZero;
+  return channel_fault_[ch];
+}
+
+std::map<std::string, ChannelFaultStats> Simulator::ChannelFaultStatsByName()
+    const {
+  std::map<std::string, ChannelFaultStats> out;
+  for (size_t ch = 0; ch < channel_fault_.size(); ++ch) {
+    const ChannelFaultStats& fs = channel_fault_[ch];
+    if (fs.sent == 0 && fs.delivered == 0 && fs.dropped_link == 0 &&
+        fs.dropped_fault == 0) {
+      continue;
+    }
+    out[channel_names_[ch]] = fs;
+  }
+  return out;
+}
+
+ChannelFaultStats Simulator::total_fault_stats() const {
+  ChannelFaultStats total;
+  for (const ChannelFaultStats& fs : channel_fault_) {
+    total.sent += fs.sent;
+    total.delivered += fs.delivered;
+    total.dropped_link += fs.dropped_link;
+    total.dropped_fault += fs.dropped_fault;
+    total.duplicated += fs.duplicated;
+    total.delayed += fs.delayed;
+    total.reordered += fs.reordered;
+  }
+  return total;
 }
 
 void Simulator::ResetEventStats() {

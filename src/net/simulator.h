@@ -45,6 +45,7 @@
 #include "src/common/status.h"
 #include "src/common/tuple.h"
 #include "src/common/value.h"
+#include "src/net/fault.h"
 
 namespace nettrails {
 namespace net {
@@ -143,6 +144,9 @@ using MessageHandler = std::function<void(Message&)>;
 /// Observer of link up/down events: (a, b, up).
 using LinkObserver = std::function<void(NodeId, NodeId, bool)>;
 
+/// Observer of node up/down events: (node, up).
+using NodeObserver = std::function<void(NodeId, bool)>;
+
 /// Execution options for the simulator event loop.
 struct SimulatorOptions {
   /// Worker threads for the epoch-barrier parallel loop. 1 (the default)
@@ -151,6 +155,9 @@ struct SimulatorOptions {
   /// execution (fixpoints, provenance, traffic, event ordering). Clamped
   /// to 1 in builds configured with -DNETTRAILS_THREADS=OFF.
   unsigned num_threads = 1;
+  /// Seeded fault schedule (drop/duplicate/delay/reorder + node events).
+  /// Installed at construction when non-empty; see InstallFaultPlan.
+  FaultPlan faults;
 };
 
 /// Discrete-event simulator. Owns virtual time; all scheduling happens
@@ -166,6 +173,7 @@ class Simulator {
   Simulator() = default;
   explicit Simulator(const SimulatorOptions& opts) {
     set_num_threads(opts.num_threads);
+    if (!opts.faults.Empty()) InstallFaultPlan(opts.faults);
   }
   ~Simulator();
   Simulator(const Simulator&) = delete;
@@ -204,6 +212,43 @@ class Simulator {
   void AddLinkObserver(LinkObserver obs) {
     link_observers_.push_back(std::move(obs));
   }
+
+  // --- Fault injection and node lifecycle (see fault.h) -------------------
+
+  /// Installs (or replaces) the fault plan: resets the fault sequence
+  /// counter and schedules the plan's node events as POD events. Message
+  /// faults apply to sends in the plan's [start, heal_time) window; the
+  /// per-flow FIFO clamp applies to every remote send while a plan is
+  /// installed. Must not be called from inside Run().
+  void InstallFaultPlan(const FaultPlan& plan);
+  bool fault_plan_installed() const { return plan_installed_; }
+
+  /// Marks a node down (crashed/paused) or up. While down, frames sent by
+  /// the node are swallowed at the NIC and frames delivered to it are
+  /// consumed by the fault layer (both count as dropped_fault on their
+  /// channel); handlers never run. `with_links` on a down transition also
+  /// takes the node's up links down (observers fire — neighbors see the
+  /// crash as link failures) and records them; an up transition restores
+  /// exactly the recorded links. Node observers fire on every transition.
+  Status SetNodeUp(NodeId node, bool up, bool with_links = true);
+  /// True unless the node was taken down by SetNodeUp / a node event.
+  bool NodeUp(NodeId node) const {
+    return !(node < node_down_.size() && node_down_[node]);
+  }
+  /// Schedules a node up/down transition at time `t` as a POD event.
+  void ScheduleNodeChange(Time t, NodeId node, bool up,
+                          bool with_links = true);
+  void AddNodeObserver(NodeObserver obs) {
+    node_observers_.push_back(std::move(obs));
+  }
+
+  /// Per-channel fault/conservation counters (zero stats if unknown).
+  const ChannelFaultStats& channel_fault_stats(ChannelId ch) const;
+  /// Fault counters by channel name (all-zero channels omitted).
+  std::map<std::string, ChannelFaultStats> ChannelFaultStatsByName() const;
+  /// Sum over all channels. At quiescence (after Run() drains the queue)
+  /// sent == delivered + dropped_link + dropped_fault.
+  ChannelFaultStats total_fault_stats() const;
 
   /// Interns a channel name to its dense id (idempotent). Senders cache the
   /// id once and never touch the string again.
@@ -321,7 +366,12 @@ class Simulator {
   struct Event {
     Time time;
     uint64_t seq;  // FIFO tie-break for same-time events
-    enum class Kind : uint8_t { kDeliver, kClosure, kLinkChange } kind;
+    enum class Kind : uint8_t {
+      kDeliver,
+      kClosure,
+      kLinkChange,
+      kNodeChange
+    } kind;
     union {
       FrameRef frame;    // kDeliver
       uint32_t closure;  // kClosure
@@ -329,6 +379,11 @@ class Simulator {
         NodeId a, b;
         bool up;
       } link;  // kLinkChange
+      struct {
+        NodeId id;
+        bool up;
+        bool links;
+      } node;  // kNodeChange
     };
   };
   struct EventLater {
@@ -350,6 +405,18 @@ class Simulator {
   void Execute(const Event& ev);
   void Deliver(FrameRef f);
   void RebuildAdjacency() const;
+  /// Per-channel fault stats slot, grown on demand (coordinator only).
+  ChannelFaultStats& FaultStatsFor(ChannelId ch);
+  /// Delivery-side conservation accounting: delivered, or dropped_fault
+  /// when the destination node is down. Coordinator only (the serial
+  /// Deliver and the wave barrier both run there).
+  void AccountDelivery(const Message& msg);
+  /// The fault spec applying to this send: link override, else channel
+  /// override, else the plan default. Never consulted for local sends.
+  const FaultSpec& EffectiveSpec(const Message& msg) const;
+  /// Per-flow FIFO clamp (active while a plan is installed): delivery
+  /// times on one (src, dst) flow are monotone in send order.
+  Time ClampFlowArrival(NodeId src, NodeId dst, Time arrival);
   /// Shared body of Run/RunUntil: pops events in (time, seq) order; in
   /// threaded mode, contiguous same-time delivery runs become waves.
   void RunLoop(Time until, bool bounded);
@@ -383,13 +450,14 @@ class Simulator {
 
   /// One side effect recorded by a handler running inside a wave.
   struct WorkerOp {
-    enum class Kind : uint8_t { kSend, kClosure, kLinkChange };
+    enum class Kind : uint8_t { kSend, kClosure, kLinkChange, kNodeChange };
     Kind kind;
-    bool up = false;           // kLinkChange
-    NodeId a = 0, b = 0;       // kLinkChange
+    bool up = false;           // kLinkChange / kNodeChange
+    bool links = true;         // kNodeChange: take/restore links too
+    NodeId a = 0, b = 0;       // kLinkChange / kNodeChange (a = node)
     FrameRef frame = 0;        // kSend
     uint64_t trigger_seq = 0;  // seq of the delivery that issued this op
-    Time time = 0;             // kClosure / kLinkChange fire time
+    Time time = 0;             // kClosure / kLinkChange / kNodeChange time
     std::function<void()> fn;  // kClosure
   };
 
@@ -470,6 +538,25 @@ class Simulator {
   std::vector<std::vector<MessageHandler>> handlers_;
 
   std::vector<LinkObserver> link_observers_;
+  std::vector<NodeObserver> node_observers_;
+
+  // --- Fault injection state (see fault.h) -------------------------------
+  // All of it is mutated on the coordinator's serial paths only: SendFrame
+  // outside waves or in the barrier replay, Execute(kNodeChange) between
+  // waves. Workers read node_down_ (frozen during a wave) and nothing else.
+  FaultPlan plan_;
+  bool plan_installed_ = false;
+  /// Fault sequence number: one per remote send reaching the fault layer,
+  /// assigned in serial send order (== barrier replay order), which is what
+  /// makes fault decisions bit-identical at any thread count.
+  uint64_t fault_seq_ = 0;
+  std::vector<ChannelFaultStats> channel_fault_;
+  /// Last scheduled arrival per directed flow (src << 32 | dst).
+  std::unordered_map<uint64_t, Time> flow_last_;
+  std::vector<uint8_t> node_down_;  // indexed by NodeId; empty = all up
+  /// Links a crash took down, per node, restored on restart (sorted for
+  /// deterministic takedown/restore order).
+  std::map<NodeId, std::vector<std::pair<NodeId, NodeId>>> crashed_links_;
 };
 
 }  // namespace net

@@ -131,6 +131,77 @@ Status RecoverLink(NodeId a, NodeId b, int64_t cost,
   return Status::OK();
 }
 
+Status CrashNode(NodeId v, const net::Topology& topo,
+                 std::vector<std::unique_ptr<runtime::Engine>>* engines,
+                 net::Simulator* sim, bool run_to_quiescence) {
+  // Physical takedown first: from here on every frame to or from v is
+  // swallowed (counted as a fault drop), so nothing the dying node had in
+  // flight reaches the survivors after this point.
+  NT_RETURN_IF_ERROR(sim->SetNodeUp(v, false));
+  (*engines)[v]->HaltForCrash();
+  for (const net::CostedLink& l : topo.links) {
+    if (l.a == v) {
+      NT_RETURN_IF_ERROR((*engines)[l.b]->Delete(LinkTuple(l.b, v, l.cost)));
+    } else if (l.b == v) {
+      NT_RETURN_IF_ERROR((*engines)[l.a]->Delete(LinkTuple(l.a, v, l.cost)));
+    }
+  }
+  // Survivors evict every derivation grounded at the dead node: its rule
+  // executions no longer exist, and any retraction it would have shipped is
+  // lost. The cascades route the protocol around the crash; retractions
+  // bound for v are swallowed by the simulator. This also keeps the
+  // restarted node's later re-announcements from double-counting against
+  // stale copies.
+  for (size_t u = 0; u < engines->size(); ++u) {
+    if (static_cast<NodeId>(u) == v) continue;
+    (*engines)[u]->DropDerivationsFrom(v);
+  }
+  if (run_to_quiescence) sim->Run();
+  return Status::OK();
+}
+
+Status RestartNode(NodeId v, const runtime::EngineCheckpoint& ckpt,
+                   const net::Topology& topo,
+                   std::vector<std::unique_ptr<runtime::Engine>>* engines,
+                   net::Simulator* sim,
+                   const std::function<void(NodeId)>& on_restored,
+                   bool run_to_quiescence) {
+  NT_RETURN_IF_ERROR(sim->SetNodeUp(v, true));
+  runtime::Engine* engine = (*engines)[v].get();
+  engine->RestoreCheckpoint(ckpt);
+  // Observers were dropped by the restore; re-attach provenance stores and
+  // fence query caches before any reconciliation delta flows.
+  if (on_restored) on_restored(v);
+  // Retract the restored remote-grounded share: v missed every retraction
+  // addressed to it while down, so rows whose derivations executed on other
+  // nodes may no longer be held by those nodes. The re-announcement below
+  // re-derives whatever is still true.
+  engine->DropRemoteDerivations();
+  // Cycle the links on both endpoints: the Delete scrubs v's restored
+  // local derivations rooted at each link (and their exports), the
+  // re-Inserts trigger fresh derivation and re-announcement from both
+  // sides, re-converging v and its neighbors.
+  for (const net::CostedLink& l : topo.links) {
+    NodeId u;
+    if (l.a == v) {
+      u = l.b;
+    } else if (l.b == v) {
+      u = l.a;
+    } else {
+      continue;
+    }
+    // A cold restart (empty or pre-boot checkpoint) restores no link
+    // bases; there is nothing to scrub, only the re-announce half applies.
+    if (engine->HasTuple(LinkTuple(v, u, l.cost))) {
+      NT_RETURN_IF_ERROR(engine->Delete(LinkTuple(v, u, l.cost)));
+    }
+    NT_RETURN_IF_ERROR(engine->Insert(LinkTuple(v, u, l.cost)));
+    NT_RETURN_IF_ERROR((*engines)[u]->Insert(LinkTuple(u, v, l.cost)));
+  }
+  if (run_to_quiescence) sim->Run();
+  return Status::OK();
+}
+
 Status StartDsrDiscovery(runtime::Engine* engine, NodeId src, NodeId dst) {
   return engine->InsertEvent(
       Tuple("rreq", {Value::Address(src), Value::Address(src),

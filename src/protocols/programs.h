@@ -5,6 +5,7 @@
 #ifndef NETTRAILS_PROTOCOLS_PROGRAMS_H_
 #define NETTRAILS_PROTOCOLS_PROGRAMS_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +63,29 @@ Status RecoverLink(NodeId a, NodeId b, int64_t cost,
 
 /// Starts a DSR route discovery: injects rreq(@src, src, dst, [src]).
 Status StartDsrDiscovery(runtime::Engine* engine, NodeId src, NodeId dst);
+
+/// Crashes node `v`: takes its physical links down in the simulator (frames
+/// in flight to/from v are swallowed and counted as fault drops), halts its
+/// engine (pending work discarded, timers fenced), and has each topology
+/// neighbor retract its link tuple toward v so the failure propagates
+/// protocol-level exactly as neighbors would detect it.
+Status CrashNode(NodeId v, const net::Topology& topo,
+                 std::vector<std::unique_ptr<runtime::Engine>>* engines,
+                 net::Simulator* sim, bool run_to_quiescence = true);
+
+/// Restarts node `v` from `ckpt`: brings its links back up, restores the
+/// engine checkpoint, invokes `on_restored` (attach fresh provenance
+/// store / fence query caches — must run before reconciliation so the new
+/// store observes the reconciliation deltas), reconciles away restored
+/// remote-grounded derivations that may be stale (v missed retractions
+/// addressed to it while down), then cycles v's link tuples on both
+/// endpoints to trigger re-announcement and re-convergence.
+Status RestartNode(NodeId v, const runtime::EngineCheckpoint& ckpt,
+                   const net::Topology& topo,
+                   std::vector<std::unique_ptr<runtime::Engine>>* engines,
+                   net::Simulator* sim,
+                   const std::function<void(NodeId)>& on_restored = nullptr,
+                   bool run_to_quiescence = true);
 
 }  // namespace protocols
 }  // namespace nettrails

@@ -94,6 +94,18 @@ class ResultCache {
     misses_ = 0;
   }
 
+  /// Restart fence. A recovered node attaches a *fresh* ProvStore whose
+  /// version counter restarts near zero, so version comparison alone cannot
+  /// distinguish "same version, same graph" from "same version, different
+  /// incarnation". Drops every entry AND forgets the observed version —
+  /// unlike Clear, which keeps hit/miss counters, this resets the version
+  /// watermark so post-restart Stores at small versions are not rejected
+  /// as stale.
+  void InvalidateForRestart() {
+    entries_.clear();
+    seen_version_ = 0;
+  }
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   size_t size() const { return entries_.size(); }

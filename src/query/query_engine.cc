@@ -348,6 +348,16 @@ void QueryService::HandleReply(const Tuple& rep) {
 
 void QueryService::ClearQuery(uint64_t qid) { memo_.erase(qid); }
 
+void QueryService::OnNodeRestart(provenance::ProvStore* new_store) {
+  store_ = new_store;
+  cache_.InvalidateForRestart();
+  // Memoized partials and pending remote continuations reference the dead
+  // incarnation's graph; any in-flight query over a crashing node is
+  // abandoned rather than answered from stale state.
+  memo_.clear();
+  pending_.clear();
+}
+
 ProvenanceQuerier::ProvenanceQuerier(net::Simulator* sim,
                                      std::vector<runtime::Engine*> engines)
     : sim_(sim), engines_(std::move(engines)) {
@@ -438,6 +448,16 @@ uint64_t ProvenanceQuerier::total_cache_misses() const {
 
 void ProvenanceQuerier::ClearCaches() {
   for (auto& s : services_) s->cache().Clear();
+}
+
+void ProvenanceQuerier::RestartNode(NodeId id) {
+  assert(id < stores_.size());
+  // The fresh store's constructor replays the restored prov/ruleExec rows
+  // into its adjacency indexes and registers a new engine observer, so it
+  // must be built after Engine::RestoreCheckpoint has repopulated tables
+  // (and cleared the old observers).
+  stores_[id] = std::make_unique<provenance::ProvStore>(engines_[id]);
+  services_[id]->OnNodeRestart(stores_[id].get());
 }
 
 }  // namespace query

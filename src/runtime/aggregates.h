@@ -69,6 +69,18 @@ class AggGroup {
   /// Total number of distinct contributions (for tests).
   size_t distinct_contributions() const { return live_; }
 
+  /// Live (count > 0) contributions with their derivation counts, in
+  /// sorted key order — the checkpoint serialization of the group.
+  /// Replaying Adjust(key.value, key.vids, count) into a fresh group
+  /// rebuilds an equivalent multiset (same outputs, same winners).
+  void LiveContributions(
+      std::vector<std::pair<ContribKey, int64_t>>* out) const {
+    out->clear();
+    for (const Entry& e : contribs_) {
+      if (e.count > 0) out->emplace_back(e.key, e.count);
+    }
+  }
+
  private:
   struct Entry {
     ContribKey key;

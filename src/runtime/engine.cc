@@ -1,5 +1,6 @@
 #include "src/runtime/engine.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/common/alloc_hook.h"
@@ -42,6 +43,15 @@ Engine::Engine(net::Simulator* sim, NodeId id, CompiledProgramPtr prog,
                EngineOptions opts)
     : sim_(sim), id_(id), prog_(std::move(prog)), opts_(opts) {
   if (prog_->provenance) opts_.track_vid_index = true;
+  InitTables();
+  tuple_channel_ = sim_->InternChannel(kTupleChannel);
+  sim_->RegisterHandler(id_, kTupleChannel,
+                        [this](net::Message& msg) { OnTupleMessage(msg); });
+  SchedulePeriodics();
+}
+
+void Engine::InitTables() {
+  tables_.clear();
   for (const auto& [name, info] : prog_->tables) {
     if (info.materialized) tables_.emplace(name, Table(info));
   }
@@ -58,7 +68,7 @@ Engine::Engine(net::Simulator* sim, NodeId id, CompiledProgramPtr prog,
   }
   // Resolve each body atom's table once: the join loop indexes
   // term_tables_ instead of probing the string-keyed table map per visit.
-  term_tables_.resize(prog_->rules.size());
+  term_tables_.assign(prog_->rules.size(), {});
   for (size_t r = 0; r < prog_->rules.size(); ++r) {
     const CompiledRule& cr = prog_->rules[r];
     term_tables_[r].assign(cr.rule.body.size(), nullptr);
@@ -68,27 +78,30 @@ Engine::Engine(net::Simulator* sim, NodeId id, CompiledProgramPtr prog,
       if (it != tables_.end()) term_tables_[r][pos] = &it->second;
     }
   }
-  tuple_channel_ = sim_->InternChannel(kTupleChannel);
-  sim_->RegisterHandler(id_, kTupleChannel,
-                        [this](net::Message& msg) { OnTupleMessage(msg); });
-  SchedulePeriodics();
 }
 
 void Engine::SchedulePeriodics() {
+  const uint64_t epoch = restart_epoch_;
   for (const PeriodicStream& stream : prog_->periodic_streams) {
     sim_->ScheduleAfter(
         static_cast<net::Time>(stream.period_secs) * net::kSecond,
-        [this, stream]() { FirePeriodic(stream, 1); });
+        [this, stream, epoch]() {
+          if (restart_epoch_ == epoch) FirePeriodic(stream, 1);
+        });
   }
 }
 
 void Engine::FirePeriodic(PeriodicStream stream, int64_t iteration) {
   ++stats_.periodic_firings;
-  // Fresh event id per firing, stable across runs (no wall clock).
+  // Fresh event id per firing, stable across runs (no wall clock). The
+  // restart epoch is mixed in so a restored engine's re-run of the stream
+  // (which restarts from iteration 1) emits ids distinct from the
+  // checkpointed firings of its previous incarnation.
   Hasher h;
   h.AddU64(id_);
   h.AddU64(static_cast<uint64_t>(stream.period_secs));
   h.AddU64(static_cast<uint64_t>(iteration));
+  h.AddU64(restart_epoch_);
   Value eid = Value::Int(static_cast<int64_t>(h.Digest() >> 1));
   EnqueueLocal({kPeriodicPredicate,
                 {Value::Address(id_), eid, Value::Int(stream.period_secs),
@@ -97,9 +110,12 @@ void Engine::FirePeriodic(PeriodicStream stream, int64_t iteration) {
                 /*is_delete=*/false});
   DrainQueue();
   if (iteration < stream.count) {
+    const uint64_t epoch = restart_epoch_;
     sim_->ScheduleAfter(
         static_cast<net::Time>(stream.period_secs) * net::kSecond,
-        [this, stream, iteration]() { FirePeriodic(stream, iteration + 1); });
+        [this, stream, iteration, epoch]() {
+          if (restart_epoch_ == epoch) FirePeriodic(stream, iteration + 1);
+        });
   }
 }
 
@@ -399,28 +415,36 @@ void Engine::ProcessDelta(const Delta& delta) {
   }
 }
 
+void Engine::ScheduleExpiry(const std::string& name, const ValueList& key,
+                            uint64_t gen, net::Time deadline) {
+  const uint64_t epoch = restart_epoch_;
+  sim_->ScheduleAt(deadline, [this, name, key, gen, epoch]() {
+    if (restart_epoch_ != epoch) return;  // armed before a crash/restore
+    auto git = soft_gen_.find({name, key});
+    if (git == soft_gen_.end() || git->second.gen != gen) return;
+    const Table* t = GetTable(name);
+    if (t == nullptr) return;
+    const Table::Row* row = t->FindByKey(key);
+    if (row == nullptr) return;
+    ++stats_.expirations;
+    EnqueueLocal({name, CopyToPooled(row->fields), row->count,
+                  /*is_delete=*/true});
+    DrainQueue();
+  });
+}
+
 void Engine::HandleSoftState(const Table& table, const TableAction& action) {
   const ndlog::TableInfo& info = table.info();
   if (info.lifetime_secs < 0 && info.max_size < 0) return;
   const std::string& name = table.name();
   ValueList key = table.KeyOf(action.fields);
-  uint64_t gen = ++soft_gen_[{name, key}];
+  SoftMeta& meta = soft_gen_[{name, key}];
+  uint64_t gen = ++meta.gen;
 
   if (info.lifetime_secs >= 0) {
-    sim_->ScheduleAfter(
-        static_cast<net::Time>(info.lifetime_secs) * net::kSecond,
-        [this, name, key, gen]() {
-          auto git = soft_gen_.find({name, key});
-          if (git == soft_gen_.end() || git->second != gen) return;
-          const Table* t = GetTable(name);
-          if (t == nullptr) return;
-          const Table::Row* row = t->FindByKey(key);
-          if (row == nullptr) return;
-          ++stats_.expirations;
-          EnqueueLocal({name, CopyToPooled(row->fields), row->count,
-                        /*is_delete=*/true});
-          DrainQueue();
-        });
+    meta.deadline =
+        sim_->now() + static_cast<net::Time>(info.lifetime_secs) * net::kSecond;
+    ScheduleExpiry(name, key, gen, meta.deadline);
   }
 
   if (info.max_size >= 0) {
@@ -432,7 +456,7 @@ void Engine::HandleSoftState(const Table& table, const TableAction& action) {
       auto [victim_key, victim_gen] = order.front();
       order.pop_front();
       auto git = soft_gen_.find({name, victim_key});
-      if (git == soft_gen_.end() || git->second != victim_gen) {
+      if (git == soft_gen_.end() || git->second.gen != victim_gen) {
         continue;  // refreshed or replaced since: a newer entry exists
       }
       const Table::Row* row = table.FindByKey(victim_key);
@@ -701,6 +725,7 @@ void Engine::EmitHead(const CompiledRule& cr, size_t rule_idx,
 
 void Engine::ShipRemote(NodeId dst, Tuple tuple, int64_t mult,
                         bool is_delete) {
+  if (suppress_shipping_) return;
   if (batching_) {
     // Per-destination buffering happens directly in a pooled simulator
     // frame: the batch entry is built in place in the frame's arena, so
@@ -971,6 +996,207 @@ size_t Engine::TotalTuples(bool provenance_only) const {
 const Tuple* Engine::FindTupleByVid(Vid vid) const {
   auto it = vid_index_.find(vid);
   return it == vid_index_.end() ? nullptr : &it->second;
+}
+
+EngineCheckpoint Engine::TakeCheckpoint() const {
+  EngineCheckpoint ckpt;
+  ckpt.taken_at = sim_->now();
+  for (const auto& [name, table] : tables_) {
+    std::vector<EngineCheckpoint::TableRow>& rows = ckpt.tables[name];
+    for (Table::RowHandle h : table.OrderedView()) {
+      const Table::Row& row = table.Deref(h);
+      rows.push_back({row.fields, row.count});
+    }
+  }
+  for (const auto& [key, meta] : soft_gen_) {
+    ckpt.soft.push_back({key.first, key.second, meta.gen, meta.deadline});
+  }
+  for (const auto& [name, order] : fifo_) {
+    ckpt.fifo[name].assign(order.begin(), order.end());
+  }
+  ckpt.pending_evictions = pending_evictions_;
+  // agg_state_ is a hash map (never iterated on evaluation paths); sort the
+  // serialized entries so equal states checkpoint identically.
+  std::vector<std::pair<AggGroup::ContribKey, int64_t>> live;
+  for (const auto& [key, state] : agg_state_) {
+    EngineCheckpoint::AggEntry e;
+    e.rule_idx = key.first;
+    e.group = key.second;
+    state.group.LiveContributions(&live);
+    e.contribs.reserve(live.size());
+    for (const auto& [k, count] : live) {
+      e.contribs.push_back({k.value, k.vids, count});
+    }
+    e.has_output = state.has_output;
+    e.last_output = state.last_output;
+    e.last_prov = state.last_prov;
+    ckpt.aggregates.push_back(std::move(e));
+  }
+  std::sort(ckpt.aggregates.begin(), ckpt.aggregates.end(),
+            [](const EngineCheckpoint::AggEntry& a,
+               const EngineCheckpoint::AggEntry& b) {
+              if (a.rule_idx != b.rule_idx) return a.rule_idx < b.rule_idx;
+              return ValueListLess{}(a.group, b.group);
+            });
+  ckpt.interned_vids.reserve(vid_interner_.size());
+  for (size_t h = 0; h < vid_interner_.size(); ++h) {
+    ckpt.interned_vids.push_back(
+        vid_interner_.ToVid(static_cast<provenance::VidInterner::Handle>(h)));
+  }
+  ckpt.vid_index.reserve(vid_index_.size());
+  for (const auto& [vid, tuple] : vid_index_) {
+    ckpt.vid_index.emplace_back(vid, tuple);
+  }
+  std::sort(ckpt.vid_index.begin(), ckpt.vid_index.end(),
+            [](const std::pair<Vid, Tuple>& a, const std::pair<Vid, Tuple>& b) {
+              return a.first < b.first;
+            });
+  return ckpt;
+}
+
+void Engine::HaltForCrash() {
+  ++restart_epoch_;  // every armed timer closure becomes a no-op
+  queue_.clear();
+  draining_ = false;
+  overflowed_ = false;
+  last_error_.clear();
+}
+
+void Engine::RestoreCheckpoint(const EngineCheckpoint& ckpt) {
+  ++restart_epoch_;
+  queue_.clear();
+  draining_ = false;
+  batching_ = false;
+  overflowed_ = false;
+  last_error_.clear();
+  dirty_aggs_.clear();
+  outbox_.Clear();
+  outbox_order_.clear();
+  // Pre-crash observers (the node's ProvStore among them) reference dead
+  // state; the recovery harness attaches fresh ones after this returns.
+  observers_.clear();
+
+  // Tables are rebuilt from scratch — term_tables_ holds raw pointers into
+  // tables_, so InitTables re-resolves it too. Rows load through the
+  // ordinary plan/apply path (correct for both bag and key-replacement
+  // tables) but fire no triggers, observers, or VID registration: derived
+  // state is restored as data, not re-derived.
+  InitTables();
+  for (const auto& [name, rows] : ckpt.tables) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) continue;
+    Table& table = it->second;
+    for (const EngineCheckpoint::TableRow& row : rows) {
+      for (const TableAction& a : table.PlanInsert(row.fields, row.count)) {
+        table.Apply(a);
+      }
+    }
+  }
+
+  soft_gen_.clear();
+  fifo_.clear();
+  pending_evictions_ = ckpt.pending_evictions;
+  for (const EngineCheckpoint::SoftEntry& e : ckpt.soft) {
+    soft_gen_[{e.table, e.key}] = SoftMeta{e.gen, e.deadline};
+  }
+  for (const auto& [name, order] : ckpt.fifo) {
+    fifo_[name].assign(order.begin(), order.end());
+  }
+  // Re-arm expiry timers at their absolute deadlines. ScheduleAt clamps
+  // past times to now, so an entry whose lifetime elapsed while the node
+  // was down is retracted immediately after restart — expiry order (by
+  // original deadline, then schedule order) is preserved.
+  for (const EngineCheckpoint::SoftEntry& e : ckpt.soft) {
+    if (e.deadline == 0) continue;
+    const Table* t = GetTable(e.table);
+    if (t == nullptr || t->info().lifetime_secs < 0) continue;
+    ScheduleExpiry(e.table, e.key, e.gen, e.deadline);
+  }
+
+  agg_state_.clear();
+  for (const EngineCheckpoint::AggEntry& e : ckpt.aggregates) {
+    AggGroupState state;
+    for (const EngineCheckpoint::AggContribution& c : e.contribs) {
+      state.group.Adjust(c.value, c.vids, c.count);
+    }
+    state.has_output = e.has_output;
+    state.last_output = e.last_output;
+    state.last_prov = e.last_prov;
+    agg_state_.emplace(std::make_pair(e.rule_idx, e.group), std::move(state));
+  }
+
+  vid_interner_ = provenance::VidInterner();
+  for (Vid vid : ckpt.interned_vids) vid_interner_.Intern(vid);
+  vid_index_.clear();
+  for (const auto& [vid, tuple] : ckpt.vid_index) {
+    vid_index_.emplace(vid, tuple);
+  }
+
+  SchedulePeriodics();
+}
+
+void Engine::DropRemoteDerivations() {
+  // Suppress shipping: the survivors already scrubbed this node's exports
+  // when it crashed (DropDerivationsFrom), so re-shipping the retractions
+  // here would deliver unmatched -1 deltas that clamp against — and eat —
+  // same-fields sibling derivations at the receiver.
+  ScrubGroundedRows(/*any_remote=*/true, /*origin=*/0,
+                    /*ship_retractions=*/false);
+}
+
+void Engine::DropDerivationsFrom(NodeId origin) {
+  ScrubGroundedRows(/*any_remote=*/false, origin, /*ship_retractions=*/true);
+}
+
+void Engine::ScrubGroundedRows(bool any_remote, NodeId origin,
+                               bool ship_retractions) {
+  if (!prog_->provenance) return;
+  const Table* prov = GetTable(provenance::kProvTable);
+  if (prov == nullptr) return;
+  // Snapshot the remote-grounded prov rows first: the deletes below cascade
+  // through the rules and mutate the table while draining.
+  struct Victim {
+    ValueList prov_fields;
+    int64_t prov_count;
+    std::string target_name;
+    ValueList target_fields;
+  };
+  std::vector<Victim> victims;
+  for (Table::RowHandle h : prov->OrderedView()) {
+    const Table::Row& row = prov->Deref(h);
+    // prov(@Loc, VID, RID, RLoc, Maybe): RLoc is where the derivation's
+    // rule executed. RLoc == id_ means locally grounded — keep.
+    if (row.fields.size() < 4 || !row.fields[3].is_address()) continue;
+    const NodeId rloc = row.fields[3].as_address();
+    if (rloc == id_) continue;
+    if (!any_remote && rloc != origin) continue;
+    Victim v;
+    v.prov_fields = row.fields;
+    v.prov_count = row.count;
+    const Tuple* target = FindTupleByVid(ValueToVid(row.fields[1]));
+    if (target != nullptr) {
+      v.target_name = target->name();
+      v.target_fields = target->fields();
+    }
+    victims.push_back(std::move(v));
+  }
+  const bool saved_suppress = suppress_shipping_;
+  suppress_shipping_ = !ship_retractions;
+  for (Victim& v : victims) {
+    // The prov row itself arrived as shipped deltas from the remote
+    // deriver; no local rule maintains it, so delete it directly. Then
+    // retract the remote-grounded share of the target tuple (its local
+    // derivations, if any, stay) — this cascades through the node's own
+    // rules, retracting downstream derivations.
+    EnqueueLocal({provenance::kProvTable, std::move(v.prov_fields),
+                  v.prov_count, /*is_delete=*/true});
+    if (!v.target_name.empty()) {
+      EnqueueLocal({v.target_name, std::move(v.target_fields), v.prov_count,
+                    /*is_delete=*/true});
+    }
+  }
+  DrainQueue();
+  suppress_shipping_ = saved_suppress;
 }
 
 }  // namespace runtime

@@ -103,6 +103,57 @@ struct EngineStats {
 /// The "tuple" message channel used for shipped deltas.
 inline constexpr char kTupleChannel[] = "tuple";
 
+/// Point-in-time snapshot of one node's recoverable engine state, produced
+/// by Engine::TakeCheckpoint and consumed by Engine::RestoreCheckpoint.
+/// In-memory format (the durable serialization would be a straightforward
+/// walk of these fields); every container is in a deterministic order —
+/// OrderedView for table rows, key order for soft state, (rule, group) for
+/// aggregates, first-intern order for VIDs — so two checkpoints of equal
+/// states compare equal.
+struct EngineCheckpoint {
+  /// Virtual time the checkpoint was taken at (soft-state deadlines below
+  /// are absolute times).
+  net::Time taken_at = 0;
+
+  struct TableRow {
+    ValueList fields;
+    int64_t count = 0;
+  };
+  std::map<std::string, std::vector<TableRow>> tables;
+
+  /// Soft-state expiry metadata: one entry per live (table, key) with its
+  /// generation and absolute expiry deadline (0 when the table has no
+  /// lifetime — max-size-only soft state).
+  struct SoftEntry {
+    std::string table;
+    ValueList key;
+    uint64_t gen = 0;
+    net::Time deadline = 0;
+  };
+  std::vector<SoftEntry> soft;
+  std::map<std::string, std::vector<std::pair<ValueList, uint64_t>>> fifo;
+  std::map<std::string, int64_t> pending_evictions;
+
+  struct AggContribution {
+    Value value;
+    Value vids;
+    int64_t count = 0;
+  };
+  struct AggEntry {
+    size_t rule_idx = 0;
+    ValueList group;
+    std::vector<AggContribution> contribs;
+    bool has_output = false;
+    ValueList last_output;
+    std::vector<Tuple> last_prov;
+  };
+  std::vector<AggEntry> aggregates;
+
+  /// Interned VIDs in dense-handle order, and the VID -> tuple index.
+  std::vector<Vid> interned_vids;
+  std::vector<std::pair<Vid, Tuple>> vid_index;
+};
+
 class Engine {
  public:
   /// Observes every visible table change on this node, after application.
@@ -152,6 +203,56 @@ class Engine {
   bool overflowed() const { return overflowed_; }
   /// Last evaluation error, for diagnostics ("" if none).
   const std::string& last_error() const { return last_error_; }
+
+  // --- Crash / recovery ---------------------------------------------------
+  // See docs/ARCHITECTURE.md "Fault model and recovery" for the full
+  // protocol; protocols::CrashNode / RestartNode orchestrate these with the
+  // simulator's node lifecycle.
+
+  /// Snapshot of all recoverable state: table rows (with derivation
+  /// counts), soft-state expiry generations + deadlines, FIFO eviction
+  /// order, aggregate groups (live contributions, last output, last
+  /// emitted provenance), the VID interner, and the VID -> tuple index.
+  EngineCheckpoint TakeCheckpoint() const;
+
+  /// Marks the engine crashed: bumps the restart epoch so every
+  /// outstanding timer closure (soft-state expiries, periodics) becomes a
+  /// no-op, and clears the delta queue. The simulator-side counterpart is
+  /// Simulator::SetNodeUp(id, false), which gates message delivery.
+  void HaltForCrash();
+
+  /// Restores a checkpoint in place: rebuilds tables (indexes and the
+  /// join loop's table resolution included), aggregate state, soft-state
+  /// bookkeeping (expiry timers are re-armed at their absolute deadlines —
+  /// deadlines that passed while the node was down fire immediately), the
+  /// VID interner, and the VID index. Action observers are dropped (a
+  /// pre-crash ProvStore points at dead state; the recovery harness
+  /// attaches a fresh store, which bootstraps itself from the restored
+  /// prov/ruleExec tables). Periodic streams restart from iteration 1.
+  void RestoreCheckpoint(const EngineCheckpoint& ckpt);
+
+  /// Recovery reconciliation, run after RestoreCheckpoint (and after the
+  /// fresh provenance store is attached): retracts the remote-grounded
+  /// share of every restored tuple — derivations whose rule execution
+  /// lives on another node (prov rows with RLoc != this node). A restarted
+  /// node missed every retraction addressed to it while it was down, so
+  /// remotely-derived rows in its checkpoint may be stale; dropping them
+  /// (with full local cascade) and letting neighbors re-announce is what
+  /// makes recovery converge to the fault-free fixpoint. The cascade does
+  /// NOT ship retractions of this node's own exports: the survivors already
+  /// scrubbed those at crash time (DropDerivationsFrom), and re-shipping
+  /// would land unmatched -1 deltas that eat same-fields sibling
+  /// derivations at the receiver.
+  void DropRemoteDerivations();
+
+  /// Survivor-side half of the crash protocol: retracts every row whose
+  /// derivation was grounded at `origin` (the crashed node), with full
+  /// cascade and normal shipping — retractions bound for live nodes are
+  /// genuine, and those bound for the crashed node are swallowed by the
+  /// simulator. Without this, a survivor keeps routing through derivations
+  /// whose deriver no longer exists, and the restarted node's
+  /// re-announcements would double-count against the stale copies.
+  void DropDerivationsFrom(NodeId origin);
 
  private:
   struct Delta {
@@ -239,6 +340,12 @@ class Engine {
   }
   void DrainQueue();
   void ProcessDelta(const Delta& delta);
+  /// Shared core of DropRemoteDerivations / DropDerivationsFrom: retracts
+  /// prov rows (and their targets) grounded at any remote node
+  /// (`any_remote`) or at `origin` specifically, cascading locally;
+  /// outbound deltas ship only when `ship_retractions`.
+  void ScrubGroundedRows(bool any_remote, NodeId origin,
+                         bool ship_retractions);
   /// Batched pipeline: drains a run of consecutive same-table deltas from
   /// the queue front and processes them as one DeltaBatch (one-pass
   /// ApplyBatch, rule-major evaluation under suffix overlays, one aggregate
@@ -290,9 +397,17 @@ class Engine {
   /// Soft-state bookkeeping after a visible insert: refresh the expiry
   /// timer and enforce FIFO max-size eviction.
   void HandleSoftState(const Table& table, const TableAction& action);
+  /// Arms one epoch-guarded expiry timer at the absolute `deadline`.
+  void ScheduleExpiry(const std::string& name, const ValueList& key,
+                      uint64_t gen, net::Time deadline);
   /// Schedules the program's periodic(@X,E,T,C) timer streams.
   void SchedulePeriodics();
   void FirePeriodic(PeriodicStream stream, int64_t iteration);
+  /// (Re)builds tables_ from the program — storage, planner-selected
+  /// indexes, and the join loop's per-term table resolution. Shared by the
+  /// constructor and RestoreCheckpoint (which must rebuild term_tables_
+  /// too: it holds raw pointers into tables_).
+  void InitTables();
 
   net::Simulator* sim_;
   NodeId id_;
@@ -315,6 +430,9 @@ class Engine {
   Frame frame_;
   std::deque<Delta> queue_;
   bool draining_ = false;
+  /// True while a scrub cascade runs with shipping suppressed (see
+  /// DropRemoteDerivations); checked at the top of ShipRemote.
+  bool suppress_shipping_ = false;
   uint64_t actions_this_trigger_ = 0;
   bool overflowed_ = false;
 
@@ -395,7 +513,9 @@ class Engine {
   std::vector<ValueList> list_pool_;
 
   // Soft state: per-key insertion generation (a re-insertion refreshes the
-  // expiry timer and invalidates stale timers) and FIFO insertion order.
+  // expiry timer and invalidates stale timers), the absolute expiry
+  // deadline (recorded so checkpoints can re-arm timers), and FIFO
+  // insertion order.
   struct TableKeyLess {
     bool operator()(const std::pair<std::string, ValueList>& a,
                     const std::pair<std::string, ValueList>& b) const {
@@ -403,10 +523,19 @@ class Engine {
       return ValueListLess{}(a.second, b.second);
     }
   };
-  std::map<std::pair<std::string, ValueList>, uint64_t, TableKeyLess>
+  struct SoftMeta {
+    uint64_t gen = 0;
+    net::Time deadline = 0;  // 0 when the table has no lifetime
+  };
+  std::map<std::pair<std::string, ValueList>, SoftMeta, TableKeyLess>
       soft_gen_;
   std::map<std::string, std::deque<std::pair<ValueList, uint64_t>>> fifo_;
   std::map<std::string, int64_t> pending_evictions_;
+
+  /// Bumped by HaltForCrash/RestoreCheckpoint; timer closures capture the
+  /// epoch they were armed in and no-op if it has moved on, so a restored
+  /// engine never executes a pre-crash timer.
+  uint64_t restart_epoch_ = 0;
 
   std::vector<ActionObserver> observers_;
   EngineStats stats_;

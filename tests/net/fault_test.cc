@@ -1,0 +1,402 @@
+// Deterministic fault injection: decision purity, bit-identical fault
+// schedules across thread counts, per-flow FIFO preservation, exact
+// always/never fault semantics, the fault window, and node crash / pause /
+// restart link bookkeeping.
+#include "src/net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/net/simulator.h"
+
+namespace nettrails {
+namespace net {
+namespace {
+
+Message Ping(Simulator* sim, NodeId src, NodeId dst, int64_t tag = 1,
+             const std::string& channel = "tuple") {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.channel = sim->InternChannel(channel);
+  m.payload = Tuple("ping", {Value::Address(dst), Value::Int(tag)});
+  return m;
+}
+
+TEST(FaultDecisionTest, PureAndSaltSeparated) {
+  const uint64_t d = FaultDecision(7, 100, 3, FaultSalt::kDrop);
+  EXPECT_EQ(d, FaultDecision(7, 100, 3, FaultSalt::kDrop));  // pure
+  EXPECT_NE(d, FaultDecision(7, 100, 3, FaultSalt::kDup));   // salt matters
+  EXPECT_NE(d, FaultDecision(7, 101, 3, FaultSalt::kDrop));  // seq matters
+  EXPECT_NE(d, FaultDecision(8, 100, 3, FaultSalt::kDrop));  // seed matters
+  EXPECT_NE(d, FaultDecision(7, 100, 4, FaultSalt::kDrop));  // channel matters
+  // Rate edge cases are exact, not probabilistic.
+  EXPECT_FALSE(FaultHit(7, 100, 3, FaultSalt::kDrop, 0));
+  EXPECT_TRUE(FaultHit(7, 100, 3, FaultSalt::kDrop, 10000));
+  EXPECT_EQ(FaultDraw(7, 100, 3, FaultSalt::kDelayJitter, 0), 0u);
+  const FaultTime j = FaultDraw(7, 100, 3, FaultSalt::kDelayJitter, 50);
+  EXPECT_GE(j, 1u);
+  EXPECT_LE(j, 50u);
+}
+
+/// Runs a cascading-forward scenario under a fault plan and returns the
+/// per-node delivery trace plus the simulator's deterministic counters.
+/// Handlers forward with a decremented TTL around a 4-node ring, so fault
+/// decisions feed back into the traffic they are drawn for — any divergence
+/// in decision order compounds and becomes visible.
+struct CascadeResult {
+  std::vector<std::vector<std::string>> per_node_log;
+  ChannelFaultStats total;
+  TrafficStats traffic;
+  uint64_t events = 0;
+};
+
+CascadeResult RunCascade(unsigned threads, uint64_t seed) {
+  SimulatorOptions opts;
+  opts.num_threads = threads;
+  opts.faults.seed = seed;
+  opts.faults.spec.drop_per_10k = 1200;
+  opts.faults.spec.dup_per_10k = 900;
+  opts.faults.spec.delay_per_10k = 2000;
+  opts.faults.spec.delay_jitter_max = 700;
+  opts.faults.spec.reorder_per_10k = 800;
+  opts.faults.spec.reorder_hold = 3 * kMillisecond;
+  Simulator sim(opts);
+  const unsigned kNodes = 4;
+  for (unsigned i = 0; i < kNodes; ++i) sim.AddNode();
+  for (unsigned i = 0; i < kNodes; ++i) sim.AddLink(i, (i + 1) % kNodes);
+  sim.AddLink(0, 2);
+
+  CascadeResult out;
+  out.per_node_log.resize(kNodes);
+  for (unsigned n = 0; n < kNodes; ++n) {
+    // Each handler appends only to its own node's log: in threaded mode a
+    // node is owned by exactly one worker per wave, so this is race-free.
+    sim.RegisterHandler(n, "tuple", [&sim, &out, n](Message& m) {
+      const int64_t ttl = m.payload.field(1).as_int();
+      out.per_node_log[n].push_back(std::to_string(sim.now()) + ":" +
+                                    std::to_string(ttl));
+      if (ttl > 0) {
+        sim.Send(Ping(&sim, n, (n + 1) % 4, ttl - 1));
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    sim.Send(Ping(&sim, i % kNodes, (i + 1) % kNodes, /*tag=*/6));
+  }
+  sim.Run();
+  out.total = sim.total_fault_stats();
+  out.traffic = sim.total_traffic();
+  out.events = sim.events_executed();
+  return out;
+}
+
+TEST(FaultInjectionTest, ScheduleBitIdenticalAcrossThreadCounts) {
+  const CascadeResult serial = RunCascade(1, 4242);
+  // The plan actually fired faults — otherwise this test proves nothing.
+  EXPECT_GT(serial.total.dropped_fault, 0u);
+  EXPECT_GT(serial.total.duplicated, 0u);
+  EXPECT_GT(serial.total.delayed, 0u);
+  EXPECT_GT(serial.total.reordered, 0u);
+  EXPECT_EQ(serial.total.sent, serial.total.delivered +
+                                   serial.total.dropped_link +
+                                   serial.total.dropped_fault);
+  for (unsigned threads : {2u, 4u}) {
+    const CascadeResult t = RunCascade(threads, 4242);
+    EXPECT_EQ(serial.per_node_log, t.per_node_log) << threads << " threads";
+    EXPECT_EQ(serial.total.sent, t.total.sent);
+    EXPECT_EQ(serial.total.delivered, t.total.delivered);
+    EXPECT_EQ(serial.total.dropped_fault, t.total.dropped_fault);
+    EXPECT_EQ(serial.total.duplicated, t.total.duplicated);
+    EXPECT_EQ(serial.total.delayed, t.total.delayed);
+    EXPECT_EQ(serial.total.reordered, t.total.reordered);
+    EXPECT_EQ(serial.traffic.messages, t.traffic.messages);
+    EXPECT_EQ(serial.traffic.bytes, t.traffic.bytes);
+    EXPECT_EQ(serial.events, t.events);
+  }
+  // A different seed draws a different schedule.
+  const CascadeResult other = RunCascade(1, 4243);
+  EXPECT_NE(serial.per_node_log, other.per_node_log);
+}
+
+TEST(FaultInjectionTest, PerFlowFifoPreservedUnderJitterAndReorder) {
+  SimulatorOptions opts;
+  opts.faults.seed = 99;
+  opts.faults.spec.delay_per_10k = 6000;
+  opts.faults.spec.delay_jitter_max = 5 * kMillisecond;
+  opts.faults.spec.reorder_per_10k = 4000;
+  opts.faults.spec.reorder_hold = 8 * kMillisecond;
+  Simulator sim(opts);
+  NodeId a = sim.AddNode(), b = sim.AddNode(), c = sim.AddNode();
+  sim.AddLink(a, b);
+  sim.AddLink(c, b);
+  std::vector<int64_t> from_a, from_c;
+  sim.RegisterHandler(b, "tuple", [&](Message& m) {
+    (m.src == a ? from_a : from_c).push_back(m.payload.field(1).as_int());
+  });
+  for (int i = 0; i < 64; ++i) {
+    sim.Send(Ping(&sim, a, b, i));
+    sim.Send(Ping(&sim, c, b, i));
+  }
+  sim.Run();
+  ASSERT_EQ(from_a.size(), 64u);
+  ASSERT_EQ(from_c.size(), 64u);
+  // Jitter and hold-back may shuffle the interleaving of the two flows but
+  // never the order within one flow (the delta-shipping contract).
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(from_a[i], i);
+    EXPECT_EQ(from_c[i], i);
+  }
+  EXPECT_GT(sim.total_fault_stats().delayed + sim.total_fault_stats().reordered,
+            0u);
+}
+
+TEST(FaultInjectionTest, AlwaysDropAndAlwaysDuplicateAreExact) {
+  {
+    SimulatorOptions opts;
+    opts.faults.spec.drop_per_10k = 10000;
+    Simulator sim(opts);
+    NodeId a = sim.AddNode(), b = sim.AddNode();
+    sim.AddLink(a, b);
+    int got = 0;
+    sim.RegisterHandler(b, "tuple", [&](const Message&) { ++got; });
+    for (int i = 0; i < 10; ++i) {
+      // Injected drops are sender-transparent: the frame left the NIC.
+      EXPECT_TRUE(sim.Send(Ping(&sim, a, b, i)));
+    }
+    sim.Run();
+    EXPECT_EQ(got, 0);
+    const ChannelFaultStats t = sim.total_fault_stats();
+    EXPECT_EQ(t.sent, 10u);
+    EXPECT_EQ(t.dropped_fault, 10u);
+    EXPECT_EQ(t.delivered, 0u);
+    EXPECT_EQ(sim.dropped_messages(), 0u);  // legacy counter: link drops only
+  }
+  {
+    SimulatorOptions opts;
+    opts.faults.spec.dup_per_10k = 10000;
+    Simulator sim(opts);
+    NodeId a = sim.AddNode(), b = sim.AddNode();
+    sim.AddLink(a, b);
+    int got = 0;
+    sim.RegisterHandler(b, "tuple", [&](const Message&) { ++got; });
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(sim.Send(Ping(&sim, a, b, i)));
+    }
+    sim.Run();
+    // Duplicates do not re-roll: exactly one extra copy per frame.
+    EXPECT_EQ(got, 20);
+    const ChannelFaultStats t = sim.total_fault_stats();
+    EXPECT_EQ(t.sent, 20u);
+    EXPECT_EQ(t.delivered, 20u);
+    EXPECT_EQ(t.duplicated, 10u);
+  }
+}
+
+TEST(FaultInjectionTest, FaultWindowBoundsInjection) {
+  SimulatorOptions opts;
+  opts.faults.spec.drop_per_10k = 10000;
+  opts.faults.start = 5 * kMillisecond;
+  opts.faults.heal_time = 10 * kMillisecond;
+  Simulator sim(opts);
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  std::vector<Time> got;
+  sim.RegisterHandler(b, "tuple", [&](const Message&) {
+    got.push_back(sim.now());
+  });
+  for (Time t : {2u, 7u, 12u}) {
+    sim.ScheduleAt(t * kMillisecond, [&sim, a, b] {
+      sim.Send(Ping(&sim, a, b));
+    });
+  }
+  sim.Run();
+  // Only the send inside [start, heal) is dropped.
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 3 * kMillisecond);
+  EXPECT_EQ(got[1], 13 * kMillisecond);
+  EXPECT_EQ(sim.total_fault_stats().dropped_fault, 1u);
+}
+
+TEST(FaultInjectionTest, ChannelOverrideTakesPrecedence) {
+  SimulatorOptions opts;
+  opts.faults.spec.drop_per_10k = 0;
+  opts.faults.channel_overrides["lossy"].drop_per_10k = 10000;
+  Simulator sim(opts);
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  int tuple_got = 0, lossy_got = 0;
+  sim.RegisterHandler(b, "tuple", [&](const Message&) { ++tuple_got; });
+  sim.RegisterHandler(b, "lossy", [&](const Message&) { ++lossy_got; });
+  sim.Send(Ping(&sim, a, b, 1, "tuple"));
+  sim.Send(Ping(&sim, a, b, 1, "lossy"));
+  sim.Run();
+  EXPECT_EQ(tuple_got, 1);
+  EXPECT_EQ(lossy_got, 0);
+  auto by_name = sim.ChannelFaultStatsByName();
+  EXPECT_EQ(by_name["lossy"].dropped_fault, 1u);
+  EXPECT_EQ(by_name["tuple"].dropped_fault, 0u);
+}
+
+TEST(FaultInjectionTest, LinkOverrideTakesPrecedenceOverChannel) {
+  SimulatorOptions opts;
+  opts.faults.channel_overrides["tuple"].drop_per_10k = 0;
+  opts.faults.link_overrides[{0, 1}].drop_per_10k = 10000;
+  Simulator sim(opts);
+  NodeId a = sim.AddNode(), b = sim.AddNode(), c = sim.AddNode();
+  sim.AddLink(a, b);
+  sim.AddLink(a, c);
+  int b_got = 0, c_got = 0;
+  sim.RegisterHandler(b, "tuple", [&](const Message&) { ++b_got; });
+  sim.RegisterHandler(c, "tuple", [&](const Message&) { ++c_got; });
+  sim.Send(Ping(&sim, a, b));  // on the lossy link
+  sim.Send(Ping(&sim, a, c));  // unaffected link
+  sim.Run();
+  EXPECT_EQ(b_got, 0);
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(NodeLifecycleTest, CrashRestoresExactlyTheRecordedLinks) {
+  Simulator sim;
+  NodeId v = sim.AddNode();
+  NodeId n1 = sim.AddNode(), n2 = sim.AddNode(), n3 = sim.AddNode();
+  sim.AddLink(v, n1);
+  sim.AddLink(v, n2);
+  sim.AddLink(v, n3);
+  // One incident link is already down before the crash.
+  ASSERT_TRUE(sim.SetLinkUp(v, n2, false).ok());
+
+  std::vector<std::string> events;
+  sim.AddLinkObserver([&](NodeId a, NodeId b, bool up) {
+    events.push_back("link:" + std::to_string(a) + "-" + std::to_string(b) +
+                     (up ? ":up" : ":down"));
+  });
+  sim.AddNodeObserver([&](NodeId n, bool up) {
+    events.push_back("node:" + std::to_string(n) + (up ? ":up" : ":down"));
+  });
+
+  ASSERT_TRUE(sim.SetNodeUp(v, false).ok());
+  EXPECT_FALSE(sim.NodeUp(v));
+  EXPECT_FALSE(sim.LinkUp(v, n1));
+  EXPECT_FALSE(sim.LinkUp(v, n3));
+  // Links drop in sorted order, then the node observer fires.
+  EXPECT_EQ(events, (std::vector<std::string>{"link:0-1:down", "link:0-3:down",
+                                              "node:0:down"}));
+  events.clear();
+
+  ASSERT_TRUE(sim.SetNodeUp(v, true).ok());
+  EXPECT_TRUE(sim.NodeUp(v));
+  EXPECT_TRUE(sim.LinkUp(v, n1));
+  EXPECT_TRUE(sim.LinkUp(v, n3));
+  // The link that was down before the crash is NOT resurrected.
+  EXPECT_FALSE(sim.LinkUp(v, n2));
+  EXPECT_EQ(events, (std::vector<std::string>{"link:0-1:up", "link:0-3:up",
+                                              "node:0:up"}));
+  // Redundant transitions are no-ops.
+  ASSERT_TRUE(sim.SetNodeUp(v, true).ok());
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST(NodeLifecycleTest, DownNodeSwallowsBothDirections) {
+  Simulator sim;
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  int got = 0;
+  sim.RegisterHandler(b, "tuple", [&](const Message&) { ++got; });
+  sim.RegisterHandler(a, "tuple", [&](const Message&) { ++got; });
+
+  // Pause (links stay up): sends toward the node succeed but are consumed.
+  ASSERT_TRUE(sim.SetNodeUp(b, false, /*with_links=*/false).ok());
+  EXPECT_TRUE(sim.LinkUp(a, b));
+  EXPECT_TRUE(sim.Send(Ping(&sim, a, b)));
+  // Sends *from* the down node are swallowed at the NIC.
+  EXPECT_TRUE(sim.Send(Ping(&sim, b, a)));
+  sim.Run();
+  EXPECT_EQ(got, 0);
+  const ChannelFaultStats t = sim.total_fault_stats();
+  EXPECT_EQ(t.sent, 2u);
+  EXPECT_EQ(t.dropped_fault, 2u);
+  EXPECT_EQ(t.sent, t.delivered + t.dropped_link + t.dropped_fault);
+
+  ASSERT_TRUE(sim.SetNodeUp(b, true).ok());
+  EXPECT_TRUE(sim.Send(Ping(&sim, a, b)));
+  sim.Run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(NodeLifecycleTest, PlanNodeEventsFireAsPodEvents) {
+  SimulatorOptions opts;
+  opts.faults.node_events.push_back(
+      {10 * kMillisecond, 1, NodeFaultEvent::Kind::kCrash});
+  opts.faults.node_events.push_back(
+      {20 * kMillisecond, 1, NodeFaultEvent::Kind::kRestart});
+  Simulator sim(opts);
+  NodeId a = sim.AddNode(), b = sim.AddNode();
+  sim.AddLink(a, b);
+  std::vector<Time> got;
+  sim.RegisterHandler(b, "tuple", [&](const Message&) {
+    got.push_back(sim.now());
+  });
+  // One send per 4ms; those launched in [10ms, 20ms) die (either swallowed
+  // at delivery or dropped at send once the crash took the link down).
+  for (Time t = 0; t < 28; t += 4) {
+    sim.ScheduleAt(t * kMillisecond, [&sim, a, b] {
+      sim.Send(Ping(&sim, a, b));
+    });
+  }
+  sim.RunUntil(12 * kMillisecond);
+  EXPECT_FALSE(sim.NodeUp(1));
+  EXPECT_FALSE(sim.LinkUp(a, b));  // crash (not pause) takes links down
+  sim.Run();
+  EXPECT_TRUE(sim.NodeUp(1));
+  EXPECT_TRUE(sim.LinkUp(a, b));
+  // Delivered: sends at 0,4,8 (arrive 1,5,9) and 20,24 (arrive 21,25).
+  // The send at 8ms arrives at 9ms, before the crash; 12/16 die.
+  EXPECT_EQ(got, (std::vector<Time>{kMillisecond, 5 * kMillisecond,
+                                    9 * kMillisecond, 21 * kMillisecond,
+                                    25 * kMillisecond}));
+}
+
+TEST(NodeLifecycleTest, CrashIsDeterministicAcrossThreadCounts) {
+  auto run = [](unsigned threads) {
+    SimulatorOptions opts;
+    opts.num_threads = threads;
+    opts.faults.node_events.push_back(
+        {5 * kMillisecond, 2, NodeFaultEvent::Kind::kCrash});
+    opts.faults.node_events.push_back(
+        {15 * kMillisecond, 2, NodeFaultEvent::Kind::kRestart});
+    Simulator sim(opts);
+    const unsigned kNodes = 4;
+    for (unsigned i = 0; i < kNodes; ++i) sim.AddNode();
+    for (unsigned i = 0; i < kNodes; ++i) sim.AddLink(i, (i + 1) % kNodes);
+    std::vector<std::vector<std::string>> logs(kNodes);
+    for (unsigned n = 0; n < kNodes; ++n) {
+      sim.RegisterHandler(n, "tuple", [&sim, &logs, n](Message& m) {
+        const int64_t ttl = m.payload.field(1).as_int();
+        logs[n].push_back(std::to_string(sim.now()) + ":" +
+                          std::to_string(ttl));
+        if (ttl > 0) sim.Send(Ping(&sim, n, (n + 1) % 4, ttl - 1));
+      });
+    }
+    for (unsigned i = 0; i < kNodes; ++i) {
+      sim.Send(Ping(&sim, i, (i + 1) % kNodes, /*tag=*/12));
+    }
+    sim.Run();
+    ChannelFaultStats t = sim.total_fault_stats();
+    EXPECT_EQ(t.sent, t.delivered + t.dropped_link + t.dropped_fault);
+    return std::make_pair(logs, t.delivered);
+  };
+  const auto serial = run(1);
+  EXPECT_GT(serial.second, 0u);
+  for (unsigned threads : {2u, 4u}) {
+    const auto t = run(threads);
+    EXPECT_EQ(serial.first, t.first) << threads << " threads";
+    EXPECT_EQ(serial.second, t.second);
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace nettrails

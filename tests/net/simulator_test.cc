@@ -343,6 +343,113 @@ TEST(SimulatorTest, HandlerMayMoveTuplesOutOfFrame) {
   EXPECT_EQ(stolen[1].as_int(), 1);
 }
 
+// Conservation invariant: at quiescence every frame that entered SendFrame
+// is accounted exactly once per channel —
+//   sent == delivered + dropped_link + dropped_fault
+// with injected fault drops and down-node swallows counted separately
+// (dropped_fault) from sender-visible no-up-link drops (dropped_link).
+TEST(SimulatorTest, FaultConservationPerChannel) {
+  SimulatorOptions opts;
+  opts.faults.seed = 42;
+  opts.faults.spec.drop_per_10k = 1500;
+  opts.faults.spec.dup_per_10k = 1000;
+  opts.faults.spec.delay_per_10k = 800;
+  opts.faults.spec.delay_jitter_max = 500;
+  opts.faults.spec.reorder_per_10k = 500;
+  opts.faults.spec.reorder_hold = 2 * kMillisecond;
+  Simulator sim(opts);
+  NodeId a = sim.AddNode(), b = sim.AddNode(), c = sim.AddNode();
+  sim.AddLink(a, b);
+  sim.AddLink(a, c);
+  uint64_t handled_tuple = 0, handled_ctrl = 0;
+  for (NodeId n : {b, c}) {
+    sim.RegisterHandler(n, "tuple", [&](const Message&) { ++handled_tuple; });
+    sim.RegisterHandler(n, "ctrl", [&](const Message&) { ++handled_ctrl; });
+  }
+  for (int i = 0; i < 300; ++i) {
+    sim.Send(MakeMsg(&sim, a, i % 2 == 0 ? b : c));
+  }
+  for (int i = 0; i < 100; ++i) {
+    sim.Send(MakeMsg(&sim, a, i % 2 == 0 ? b : c, "ctrl"));
+  }
+  sim.Run();
+  // Sender-visible link drops: link a-c down, sends fail.
+  ASSERT_TRUE(sim.SetLinkUp(a, c, false).ok());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(sim.Send(MakeMsg(&sim, a, c)));
+  }
+  // Paused destination: frames travel but are consumed by the fault layer.
+  ASSERT_TRUE(sim.SetNodeUp(b, false, /*with_links=*/false).ok());
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(sim.Send(MakeMsg(&sim, a, b)));
+  }
+  sim.Run();
+  ASSERT_TRUE(sim.SetNodeUp(b, true).ok());
+
+  auto by_name = sim.ChannelFaultStatsByName();
+  ASSERT_EQ(by_name.count("tuple"), 1u);
+  ASSERT_EQ(by_name.count("ctrl"), 1u);
+  const ChannelFaultStats& ts = by_name["tuple"];
+  const ChannelFaultStats& cs = by_name["ctrl"];
+  EXPECT_EQ(ts.sent, ts.delivered + ts.dropped_link + ts.dropped_fault);
+  EXPECT_EQ(cs.sent, cs.delivered + cs.dropped_link + cs.dropped_fault);
+  // Handlers ran exactly once per delivered frame (swallowed ones never
+  // reach a handler).
+  EXPECT_EQ(ts.delivered, handled_tuple);
+  EXPECT_EQ(cs.delivered, handled_ctrl);
+  EXPECT_EQ(ts.dropped_link, 20u);
+  EXPECT_EQ(cs.dropped_link, 0u);
+  // The paused-node swallows guarantee fault drops even if the seeded drop
+  // rate happened to fire rarely.
+  EXPECT_GE(ts.dropped_fault, 30u);
+  EXPECT_GT(ts.duplicated, 0u);
+  EXPECT_GT(ts.delayed, 0u);
+  // Duplicates are their own sends: sent exceeds the frames we issued.
+  EXPECT_EQ(ts.sent, 350u + ts.duplicated);
+  const ChannelFaultStats total = sim.total_fault_stats();
+  EXPECT_EQ(total.sent,
+            total.delivered + total.dropped_link + total.dropped_fault);
+  EXPECT_EQ(total.sent, ts.sent + cs.sent);
+}
+
+// Pin the in-flight semantics of a link going down: frames already in
+// flight when the link drops are still delivered (they left the NIC);
+// only subsequent sends are dropped. Identical at 1 and 4 threads.
+TEST(SimulatorTest, LinkDownWithFramesInFlightStillDelivers) {
+  auto run = [](unsigned threads, std::vector<std::string>* log,
+                uint64_t* dropped) {
+    SimulatorOptions opts;
+    opts.num_threads = threads;
+    Simulator sim(opts);
+    NodeId a = sim.AddNode(), b = sim.AddNode();
+    sim.AddLink(a, b, 5 * kMillisecond);
+    sim.RegisterHandler(b, "tuple", [&, log](Message& m) {
+      log->push_back("recv:" + std::to_string(sim.now()) + ":" +
+                     std::to_string(m.payload.field(1).as_int()));
+    });
+    // Two frames leave the NIC at t=0; the link drops at t=2ms while both
+    // are in flight.
+    sim.Send(MakeMsg(&sim, a, b));
+    sim.Send(MakeMsg(&sim, a, b));
+    sim.ScheduleLinkChange(2 * kMillisecond, a, b, /*up=*/false);
+    // A send issued after the drop (t=3ms) must fail.
+    sim.ScheduleAt(3 * kMillisecond, [&] {
+      EXPECT_FALSE(sim.Send(MakeMsg(&sim, a, b)));
+    });
+    sim.Run();
+    *dropped = sim.dropped_messages();
+  };
+  std::vector<std::string> log1, log4;
+  uint64_t d1 = 0, d4 = 0;
+  run(1, &log1, &d1);
+  run(4, &log4, &d4);
+  ASSERT_EQ(log1.size(), 2u);  // both in-flight frames delivered
+  EXPECT_EQ(log1[0], "recv:5000:1");
+  EXPECT_EQ(d1, 1u);  // only the post-drop send was lost
+  EXPECT_EQ(log1, log4);
+  EXPECT_EQ(d1, d4);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace nettrails

@@ -250,6 +250,83 @@ TEST(SoftStateTest, ProvenanceRetractedOnExpiry) {
   EXPECT_EQ(engine.TableContents("ruleExec").size(), 0u);
 }
 
+// Soft-state expiry determinism under timing faults: delay jitter and
+// reorder hold-back shuffle when shipped tuples arrive (and therefore when
+// their lifetimes start), but for a fixed fault seed the resulting action
+// and expiry sequence at the receiver must be bit-identical across the
+// serial, batched, and threaded engine configurations. Inserts are
+// staggered in time so every shipped frame carries exactly one tuple in
+// every configuration — identical wire traffic means identical fault
+// sequence numbers, which is what makes the configs comparable at all.
+TEST(SoftStateTest, ExpiryOrderDeterministicUnderTimingFaults) {
+  const char* kProg = R"(
+    materialize(src, infinity, infinity, keys(1,2)).
+    materialize(dest, infinity, infinity, keys(1,2)).
+    materialize(obs, 2, infinity, keys(1,2)).
+    r1 obs(@Y,V) :- src(@X,V), dest(@X,Y).
+  )";
+  auto run = [&](uint32_t batch_size, unsigned threads) {
+    CompiledProgramPtr prog = MustCompile(kProg);
+    net::SimulatorOptions sopts;
+    sopts.num_threads = threads;
+    sopts.faults.seed = 2026;
+    sopts.faults.spec.delay_per_10k = 6000;
+    sopts.faults.spec.delay_jitter_max = 400 * net::kMillisecond;
+    sopts.faults.spec.reorder_per_10k = 3000;
+    sopts.faults.spec.reorder_hold = 600 * net::kMillisecond;
+    net::Simulator sim(sopts);
+    sim.AddNode();
+    sim.AddNode();
+    sim.AddNode();
+    sim.AddLink(0, 1);
+    sim.AddLink(2, 1);
+    EngineOptions eopts;
+    eopts.batch_size = batch_size;
+    Engine e0(&sim, 0, prog, eopts);
+    Engine e1(&sim, 1, prog, eopts);
+    Engine e2(&sim, 2, prog, eopts);
+    // Every obs action at node 1 (arrival inserts and expiry deletes), with
+    // its virtual timestamp: the determinism fingerprint.
+    std::vector<std::string> log;
+    e1.AddActionObserver(
+        [&](const std::string& table, const TableAction& a) {
+          if (table != "obs") return;
+          log.push_back(std::to_string(sim.now()) + ":" +
+                        std::to_string(a.fields[1].as_int()) + ":" +
+                        (a.is_delete ? "del" : "ins") + ":" +
+                        std::to_string(a.mult));
+        });
+    EXPECT_TRUE(e0.Insert(Tuple("dest", {Value::Address(0),
+                                         Value::Address(1)})).ok());
+    EXPECT_TRUE(e2.Insert(Tuple("dest", {Value::Address(2),
+                                         Value::Address(1)})).ok());
+    sim.Run();
+    // Staggered single-tuple inserts alternating between the two source
+    // flows; jitter shuffles the cross-flow arrival interleaving at node 1.
+    for (int64_t v = 0; v < 12; ++v) {
+      Engine* src = (v % 2 == 0) ? &e0 : &e2;
+      sim.ScheduleAt((1 + v) * 150 * net::kMillisecond, [src, v] {
+        EXPECT_TRUE(src->Insert(Tuple("src", {Value::Address(src->id()),
+                                              Value::Int(v)})).ok());
+      });
+    }
+    sim.Run();
+    // Everything arrived and everything expired.
+    EXPECT_EQ(e1.stats().expirations, 12u);
+    EXPECT_EQ(e1.TableContents("obs").size(), 0u);
+    // The plan actually fired timing faults.
+    const net::ChannelFaultStats fs = sim.total_fault_stats();
+    EXPECT_GT(fs.delayed + fs.reordered, 0u);
+    EXPECT_EQ(fs.sent, fs.delivered + fs.dropped_link + fs.dropped_fault);
+    return log;
+  };
+  const std::vector<std::string> serial = run(/*batch_size=*/1, /*threads=*/1);
+  ASSERT_EQ(serial.size(), 24u);  // 12 arrivals + 12 expiries
+  EXPECT_EQ(serial, run(/*batch_size=*/64, /*threads=*/1));
+  EXPECT_EQ(serial, run(/*batch_size=*/64, /*threads=*/4));
+  EXPECT_EQ(serial, run(/*batch_size=*/1, /*threads=*/4));
+}
+
 }  // namespace
 }  // namespace runtime
 }  // namespace nettrails
