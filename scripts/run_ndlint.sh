@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Lints every shipped NDlog program: the src/protocols library (via
+# `ndlint --builtin all`) and the examples/programs/*.ndlog fixtures.
+#
+# Two passes:
+#   1. machine-readable report -> <build>/ndlint_report.tsv (CI artifact,
+#      written even when the gate fails so findings are inspectable)
+#   2. the gate: --Werror, so any warning-or-error finding fails the job
+#      (notes are informational and do not gate)
+#
+# Usage: scripts/run_ndlint.sh [build-dir]   (default: build)
+set -uo pipefail
+
+BUILD_DIR="${1:-build}"
+NDLINT="$BUILD_DIR/ndlint"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [[ ! -x "$NDLINT" ]]; then
+  echo "run_ndlint.sh: $NDLINT not built (cmake --build $BUILD_DIR --target ndlint)" >&2
+  exit 2
+fi
+
+shopt -s nullglob
+FIXTURES=("$REPO_ROOT"/examples/programs/*.ndlog)
+
+"$NDLINT" --machine --builtin all "${FIXTURES[@]}" \
+  > "$BUILD_DIR/ndlint_report.tsv"
+report_rc=$?
+if [[ $report_rc -ge 2 ]]; then
+  echo "run_ndlint.sh: ndlint failed to run (rc=$report_rc)" >&2
+  exit $report_rc
+fi
+
+"$NDLINT" --Werror --builtin all "${FIXTURES[@]}"
+rc=$?
+if [[ $rc -ne 0 ]]; then
+  echo "run_ndlint.sh: lint gate failed (findings above; report in $BUILD_DIR/ndlint_report.tsv)" >&2
+  exit $rc
+fi
+echo "run_ndlint.sh: all shipped programs lint clean (report: $BUILD_DIR/ndlint_report.tsv)"

@@ -8,7 +8,9 @@ namespace ndlog {
 namespace {
 
 Status RuleError(const Rule& rule, const std::string& msg) {
-  return Status::PlanError("rule " + rule.name + ": " + msg);
+  std::string where =
+      rule.span.valid() ? " (" + rule.span.ToString() + ")" : "";
+  return Status::PlanError("rule " + rule.name + where + ": " + msg);
 }
 
 /// Normalizes the location argument of an atom: position 0, '@' optional but

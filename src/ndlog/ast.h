@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/value.h"
+#include "src/ndlog/span.h"
 
 namespace nettrails {
 namespace ndlog {
@@ -63,29 +64,35 @@ class Expr {
 
   using Rep = std::variant<Const, Var, Call, Binary, Unary, ListLit>;
 
-  explicit Expr(Rep rep) : rep_(std::move(rep)) {}
+  explicit Expr(Rep rep, Span span = {}) : rep_(std::move(rep)), span_(span) {}
 
-  static ExprPtr MakeConst(Value v) {
-    return std::make_shared<Expr>(Rep(Const{std::move(v)}));
+  // Factories take an optional source span; generated expressions (the
+  // localization and provenance rewrites) keep the invalid default.
+  static ExprPtr MakeConst(Value v, Span span = {}) {
+    return std::make_shared<Expr>(Rep(Const{std::move(v)}), span);
   }
-  static ExprPtr MakeVar(std::string name) {
-    return std::make_shared<Expr>(Rep(Var{std::move(name)}));
+  static ExprPtr MakeVar(std::string name, Span span = {}) {
+    return std::make_shared<Expr>(Rep(Var{std::move(name)}), span);
   }
-  static ExprPtr MakeCall(std::string fn, std::vector<ExprPtr> args) {
-    return std::make_shared<Expr>(Rep(Call{std::move(fn), std::move(args)}));
+  static ExprPtr MakeCall(std::string fn, std::vector<ExprPtr> args,
+                          Span span = {}) {
+    return std::make_shared<Expr>(Rep(Call{std::move(fn), std::move(args)}),
+                                  span);
   }
-  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  static ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs,
+                            Span span = {}) {
     return std::make_shared<Expr>(
-        Rep(Binary{op, std::move(lhs), std::move(rhs)}));
+        Rep(Binary{op, std::move(lhs), std::move(rhs)}), span);
   }
-  static ExprPtr MakeUnary(UnOp op, ExprPtr operand) {
-    return std::make_shared<Expr>(Rep(Unary{op, std::move(operand)}));
+  static ExprPtr MakeUnary(UnOp op, ExprPtr operand, Span span = {}) {
+    return std::make_shared<Expr>(Rep(Unary{op, std::move(operand)}), span);
   }
-  static ExprPtr MakeList(std::vector<ExprPtr> elements) {
-    return std::make_shared<Expr>(Rep(ListLit{std::move(elements)}));
+  static ExprPtr MakeList(std::vector<ExprPtr> elements, Span span = {}) {
+    return std::make_shared<Expr>(Rep(ListLit{std::move(elements)}), span);
   }
 
   const Rep& rep() const { return rep_; }
+  Span span() const { return span_; }
 
   bool is_var() const { return std::holds_alternative<Var>(rep_); }
   bool is_const() const { return std::holds_alternative<Const>(rep_); }
@@ -99,6 +106,7 @@ class Expr {
 
  private:
   Rep rep_;
+  Span span_;
 };
 
 /// Aggregate function in a rule head argument, e.g. a_min<C>.
@@ -123,6 +131,8 @@ struct AtomArg {
 struct Atom {
   std::string predicate;
   std::vector<AtomArg> args;
+  /// Position of the predicate token (invalid for generated atoms).
+  Span span;
 
   /// Location variable name (args[0] must be @Var after analysis).
   const std::string& LocationVar() const { return args[0].expr->var_name(); }
@@ -134,6 +144,8 @@ struct Atom {
 struct Assign {
   std::string var;
   ExprPtr expr;
+  /// Position of the assigned variable token.
+  Span span;
 
   std::string ToString() const;
 };
@@ -141,6 +153,9 @@ struct Assign {
 /// A boolean selection predicate over bound variables.
 struct Select {
   ExprPtr expr;
+
+  /// Position of the selection expression (from its root expr).
+  Span span() const { return expr ? expr->span() : Span{}; }
 
   std::string ToString() const;
 };
@@ -157,6 +172,8 @@ struct Rule {
   Atom head;
   std::vector<BodyTerm> body;
   bool is_maybe = false;
+  /// Position of the rule-name token (invalid for generated rules).
+  Span span;
 
   /// Atoms of the body, in order.
   std::vector<const Atom*> BodyAtoms() const;
@@ -171,6 +188,8 @@ struct MaterializeDecl {
   int64_t lifetime_secs = -1;
   int64_t max_size = -1;
   std::vector<int> keys;  // 0-based field positions
+  /// Position of the table-name token.
+  Span span;
 
   std::string ToString() const;
 };

@@ -1,0 +1,164 @@
+#include "src/ndlog/diagnostics.h"
+
+#include <algorithm>
+
+namespace nettrails {
+namespace ndlog {
+
+std::string Span::ToString() const {
+  if (!valid()) return "generated code";
+  return "line " + std::to_string(line) + ":" + std::to_string(column);
+}
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const std::vector<DiagnosticInfo>& AllDiagnostics() {
+  // Codes are stable across releases: never renumber or reuse. Grouped by
+  // family — ND0xx front end, ND1xx stratification, ND2xx types, ND3xx
+  // link restriction, ND4xx dead code, ND5xx plan quality, ND6xx soft
+  // state.
+  static const std::vector<DiagnosticInfo>* infos =
+      new std::vector<DiagnosticInfo>{
+          {"ND001", Severity::kError, "parse error"},
+          {"ND002", Severity::kError, "semantic analysis error"},
+          {"ND101", Severity::kError,
+           "unstratified aggregation: predicate depends on itself through "
+           "a_count/a_sum"},
+          {"ND102", Severity::kWarning,
+           "non-monotone recursion through a maybe-rule head"},
+          {"ND201", Severity::kError,
+           "conflicting field types for a predicate across rules"},
+          {"ND202", Severity::kError,
+           "builtin argument type mismatch (BuiltinInfo contract)"},
+          {"ND203", Severity::kWarning,
+           "comparison between disjoint types is always false"},
+          {"ND301", Severity::kError,
+           "rule body spans more than two locations; not localizable"},
+          {"ND302", Severity::kError,
+           "rule body spans two locations with no link-shaped atom "
+           "connecting them; not localizable"},
+          {"ND303", Severity::kWarning,
+           "rule head ships tuples to a location that is not a declared "
+           "link neighbor of the evaluation site"},
+          {"ND401", Severity::kWarning,
+           "dead rule: derives an event predicate no rule consumes"},
+          {"ND402", Severity::kWarning,
+           "write-only variable: assigned but never read"},
+          {"ND403", Severity::kNote,
+           "singleton variable: bound once and never used (possible typo)"},
+          {"ND501", Severity::kWarning,
+           "join probes a table with no usable index and an unbound "
+           "location: whole-table scan fallback per delta"},
+          {"ND502", Severity::kNote,
+           "broadcast join: only the location is bound, so every row of "
+           "the probed table is a candidate per delta"},
+          {"ND601", Severity::kWarning,
+           "materialized table is never referenced by any rule"},
+          {"ND602", Severity::kWarning,
+           "soft-state lifetime/max_size on an aggregate output table: "
+           "eviction silently changes aggregate results"},
+      };
+  return *infos;
+}
+
+const DiagnosticInfo* FindDiagnostic(const std::string& code) {
+  for (const DiagnosticInfo& info : AllDiagnostics()) {
+    if (code == info.code) return &info;
+  }
+  return nullptr;
+}
+
+std::string Diagnostic::Render(const std::string& file) const {
+  std::string out;
+  if (!file.empty()) out += file + ":";
+  out += std::to_string(span.line) + ":" + std::to_string(span.column) + ": ";
+  out += SeverityName(severity);
+  out += ": ";
+  if (!rule.empty()) out += "rule " + rule + ": ";
+  out += message;
+  out += " [" + code + "]";
+  return out;
+}
+
+std::string Diagnostic::RenderMachine(const std::string& file) const {
+  std::string out = file;
+  out += "\t" + std::to_string(span.line) + "\t" + std::to_string(span.column);
+  out += "\t";
+  out += SeverityName(severity);
+  out += "\t" + code + "\t" + rule + "\t" + message;
+  return out;
+}
+
+void DiagnosticEngine::Add(const char* code, Severity severity, Span span,
+                           std::string rule, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.span = span;
+  d.rule = std::move(rule);
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+}
+
+size_t DiagnosticEngine::CountAtLeast(Severity s) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity >= s) ++n;
+  }
+  return n;
+}
+
+size_t DiagnosticEngine::warnings() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+void DiagnosticEngine::Sort() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     if (a.span.column != b.span.column) {
+                       return a.span.column < b.span.column;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+void DiagnosticEngine::Suppress(const std::vector<std::string>& allowed) {
+  if (allowed.empty()) return;
+  diags_.erase(std::remove_if(diags_.begin(), diags_.end(),
+                              [&](const Diagnostic& d) {
+                                for (const std::string& code : allowed) {
+                                  if (d.code == code) return true;
+                                }
+                                return false;
+                              }),
+               diags_.end());
+}
+
+std::string DiagnosticEngine::RenderAll(const std::string& file) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += d.Render(file);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ndlog
+}  // namespace nettrails

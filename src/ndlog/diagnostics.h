@@ -1,0 +1,84 @@
+// Diagnostics engine for NDlog static analysis: stable rule codes,
+// severities, and source spans. Produced by the lint passes (lint.h) and
+// the front end; rendered by the ndlint CLI and folded into PlanErrors by
+// the compile pipeline.
+#ifndef NETTRAILS_NDLOG_DIAGNOSTICS_H_
+#define NETTRAILS_NDLOG_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ndlog/span.h"
+
+namespace nettrails {
+namespace ndlog {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+const char* SeverityName(Severity s);
+
+/// One finding. `code` is a stable identifier (ND001...) that tools and
+/// suppressions key on; the human message may evolve freely.
+struct Diagnostic {
+  std::string code;      // stable, e.g. "ND101"
+  Severity severity = Severity::kWarning;
+  Span span;             // invalid for whole-program findings
+  std::string rule;      // rule name context ("" for program-level)
+  std::string message;
+
+  /// Human rendering: "<file>:<line>:<col>: <severity>: <message> [<code>]".
+  /// `file` may be empty (omitted with its colon).
+  std::string Render(const std::string& file = "") const;
+
+  /// Machine rendering, one finding per line, tab-separated:
+  /// "<file>\t<line>\t<col>\t<severity>\t<code>\t<rule>\t<message>".
+  std::string RenderMachine(const std::string& file = "") const;
+};
+
+/// Registry entry describing one stable diagnostic code (for docs and
+/// `ndlint --explain`).
+struct DiagnosticInfo {
+  const char* code;
+  Severity default_severity;
+  const char* summary;
+};
+
+/// All registered codes, ordered by code.
+const std::vector<DiagnosticInfo>& AllDiagnostics();
+
+/// Registry lookup; nullptr if `code` is unknown.
+const DiagnosticInfo* FindDiagnostic(const std::string& code);
+
+/// Collects findings. Passes append through Add(); callers inspect counts
+/// and render. Deterministic: findings keep insertion order, and Sort()
+/// orders by (line, column, code) for stable golden output.
+class DiagnosticEngine {
+ public:
+  void Add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void Add(const char* code, Severity severity, Span span, std::string rule,
+           std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+
+  size_t CountAtLeast(Severity s) const;
+  size_t errors() const { return CountAtLeast(Severity::kError); }
+  size_t warnings() const;
+
+  /// Stable order for golden tests and CLI output.
+  void Sort();
+
+  /// Drops findings whose code is in `allowed` (the suppression set).
+  void Suppress(const std::vector<std::string>& allowed);
+
+  /// Concatenated Render() of every finding, one per line.
+  std::string RenderAll(const std::string& file = "") const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace ndlog
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NDLOG_DIAGNOSTICS_H_

@@ -51,6 +51,8 @@ class Parser {
 
  private:
   const Token& Cur() const { return tokens_[pos_]; }
+  /// Span of the current token (stamped onto AST nodes as they parse).
+  Span Sp() const { return Span{Cur().line, Cur().column}; }
   const Token& Next() const {
     return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
   }
@@ -81,6 +83,7 @@ class Parser {
     if (!At(TokenKind::kIdent)) return Error("expected table name");
     MaterializeDecl decl;
     decl.table = Cur().text;
+    decl.span = Sp();
     Advance();
     NT_RETURN_IF_ERROR(Expect(TokenKind::kComma, "materialize"));
     NT_ASSIGN_OR_RETURN(decl.lifetime_secs, ParseLifetimeOrSize());
@@ -127,6 +130,7 @@ class Parser {
     Rule rule;
     if (!At(TokenKind::kIdent)) return Error("expected rule name");
     rule.name = Cur().text;
+    rule.span = Sp();
     Advance();
     NT_ASSIGN_OR_RETURN(rule.head, ParseAtom(/*allow_agg=*/true));
     if (At(TokenKind::kDerives)) {
@@ -155,6 +159,7 @@ class Parser {
     if (At(TokenKind::kVariable) && Next().kind == TokenKind::kAssign) {
       Assign assign;
       assign.var = Cur().text;
+      assign.span = Sp();
       Advance();
       Advance();  // ':='
       NT_ASSIGN_OR_RETURN(assign.expr, ParseExpr());
@@ -175,6 +180,7 @@ class Parser {
     Atom atom;
     if (!At(TokenKind::kIdent)) return Error("expected predicate name");
     atom.predicate = Cur().text;
+    atom.span = Sp();
     Advance();
     NT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "atom"));
     if (At(TokenKind::kRParen)) {
@@ -203,10 +209,10 @@ class Parser {
       }
       if (At(TokenKind::kIntLit)) {
         arg.expr = Expr::MakeConst(
-            Value::Address(static_cast<NodeId>(Cur().int_value)));
+            Value::Address(static_cast<NodeId>(Cur().int_value)), Sp());
         Advance();
       } else {
-        arg.expr = Expr::MakeVar(Cur().text);
+        arg.expr = Expr::MakeVar(Cur().text, Sp());
         Advance();
       }
       return arg;
@@ -221,7 +227,7 @@ class Parser {
         arg.expr = nullptr;  // a_count<*>
         Advance();
       } else if (At(TokenKind::kVariable)) {
-        arg.expr = Expr::MakeVar(Cur().text);
+        arg.expr = Expr::MakeVar(Cur().text, Sp());
         Advance();
       } else {
         return Error("expected variable or '*' in aggregate");
@@ -242,7 +248,8 @@ class Parser {
     while (At(TokenKind::kOrOr)) {
       Advance();
       NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
-      lhs = Expr::MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs));
+      Span sp = lhs->span();
+      lhs = Expr::MakeBinary(BinOp::kOr, std::move(lhs), std::move(rhs), sp);
     }
     return lhs;
   }
@@ -252,7 +259,8 @@ class Parser {
     while (At(TokenKind::kAndAnd)) {
       Advance();
       NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseEquality());
-      lhs = Expr::MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+      Span sp = lhs->span();
+      lhs = Expr::MakeBinary(BinOp::kAnd, std::move(lhs), std::move(rhs), sp);
     }
     return lhs;
   }
@@ -263,7 +271,8 @@ class Parser {
       BinOp op = At(TokenKind::kEq) ? BinOp::kEq : BinOp::kNe;
       Advance();
       NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseRelational());
-      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      Span sp = lhs->span();
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs), sp);
     }
     return lhs;
   }
@@ -284,7 +293,8 @@ class Parser {
       }
       Advance();
       NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
-      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      Span sp = lhs->span();
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs), sp);
     }
     return lhs;
   }
@@ -295,7 +305,8 @@ class Parser {
       BinOp op = At(TokenKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
       Advance();
       NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
-      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      Span sp = lhs->span();
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs), sp);
     }
     return lhs;
   }
@@ -309,21 +320,24 @@ class Parser {
                      : (At(TokenKind::kSlash) ? BinOp::kDiv : BinOp::kMod);
       Advance();
       NT_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
-      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs));
+      Span sp = lhs->span();
+      lhs = Expr::MakeBinary(op, std::move(lhs), std::move(rhs), sp);
     }
     return lhs;
   }
 
   Result<ExprPtr> ParseUnary() {
     if (At(TokenKind::kMinus)) {
+      Span sp = Sp();
       Advance();
       NT_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
-      return Expr::MakeUnary(UnOp::kNeg, std::move(e));
+      return Expr::MakeUnary(UnOp::kNeg, std::move(e), sp);
     }
     if (At(TokenKind::kBang)) {
+      Span sp = Sp();
       Advance();
       NT_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
-      return Expr::MakeUnary(UnOp::kNot, std::move(e));
+      return Expr::MakeUnary(UnOp::kNot, std::move(e), sp);
     }
     return ParsePrimary();
   }
@@ -331,31 +345,32 @@ class Parser {
   Result<ExprPtr> ParsePrimary() {
     switch (Cur().kind) {
       case TokenKind::kIntLit: {
-        ExprPtr e = Expr::MakeConst(Value::Int(Cur().int_value));
+        ExprPtr e = Expr::MakeConst(Value::Int(Cur().int_value), Sp());
         Advance();
         return e;
       }
       case TokenKind::kDoubleLit: {
-        ExprPtr e = Expr::MakeConst(Value::Double(Cur().double_value));
+        ExprPtr e = Expr::MakeConst(Value::Double(Cur().double_value), Sp());
         Advance();
         return e;
       }
       case TokenKind::kStringLit: {
-        ExprPtr e = Expr::MakeConst(Value::Str(Cur().text));
+        ExprPtr e = Expr::MakeConst(Value::Str(Cur().text), Sp());
         Advance();
         return e;
       }
       case TokenKind::kVariable: {
-        ExprPtr e = Expr::MakeVar(Cur().text);
+        ExprPtr e = Expr::MakeVar(Cur().text, Sp());
         Advance();
         return e;
       }
       case TokenKind::kAt: {
         // Address literal @N.
+        Span sp = Sp();
         Advance();
         if (!At(TokenKind::kIntLit)) return Error("expected node id after '@'");
         ExprPtr e = Expr::MakeConst(
-            Value::Address(static_cast<NodeId>(Cur().int_value)));
+            Value::Address(static_cast<NodeId>(Cur().int_value)), sp);
         Advance();
         return e;
       }
@@ -365,6 +380,7 @@ class Parser {
                        "' (functions are f_*)");
         }
         std::string fn = Cur().text;
+        Span sp = Sp();
         Advance();
         NT_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "function call"));
         std::vector<ExprPtr> args;
@@ -380,7 +396,7 @@ class Parser {
           }
         }
         NT_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "function call"));
-        return Expr::MakeCall(std::move(fn), std::move(args));
+        return Expr::MakeCall(std::move(fn), std::move(args), sp);
       }
       case TokenKind::kLParen: {
         Advance();
@@ -389,6 +405,7 @@ class Parser {
         return e;
       }
       case TokenKind::kLBracket: {
+        Span sp = Sp();
         Advance();
         std::vector<ExprPtr> elems;
         if (!At(TokenKind::kRBracket)) {
@@ -403,7 +420,7 @@ class Parser {
           }
         }
         NT_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "list literal"));
-        return Expr::MakeList(std::move(elems));
+        return Expr::MakeList(std::move(elems), sp);
       }
       default:
         return Error("expected expression");

@@ -1,0 +1,28 @@
+// Source positions for NDlog diagnostics. Lexer tokens carry line/column;
+// the parser stamps them onto AST nodes so every semantic or lint finding
+// can point at the offending source location.
+#ifndef NETTRAILS_NDLOG_SPAN_H_
+#define NETTRAILS_NDLOG_SPAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace nettrails {
+namespace ndlog {
+
+/// A source position (1-based line and column). Generated AST nodes (the
+/// localization and provenance rewrites) carry the invalid default span.
+struct Span {
+  int32_t line = 0;
+  int32_t column = 0;
+
+  bool valid() const { return line > 0; }
+
+  /// "line L:C", or "generated code" for invalid spans.
+  std::string ToString() const;
+};
+
+}  // namespace ndlog
+}  // namespace nettrails
+
+#endif  // NETTRAILS_NDLOG_SPAN_H_

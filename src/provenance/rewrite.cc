@@ -126,11 +126,11 @@ Result<Program> RewriteForProvenance(const ndlog::AnalyzedProgram& analyzed) {
     std::vector<ExprPtr> vid_vars;
     for (size_t i = 0; i < body_atoms.size(); ++i) {
       std::string v = "NT_V" + std::to_string(i);
-      eh_rule.body.emplace_back(Assign{v, MkVidCall(*body_atoms[i])});
+      eh_rule.body.emplace_back(Assign{v, MkVidCall(*body_atoms[i]), {}});
       vid_vars.push_back(Expr::MakeVar(v));
     }
     eh_rule.body.emplace_back(
-        Assign{vids_var, Expr::MakeCall("f_list", std::move(vid_vars))});
+        Assign{vids_var, Expr::MakeCall("f_list", std::move(vid_vars)), {}});
     out.rules.push_back(std::move(eh_rule));
 
     // Shared eh body atom for the consumer rules.
@@ -164,7 +164,7 @@ Result<Program> RewriteForProvenance(const ndlog::AnalyzedProgram& analyzed) {
         PlainArg(Expr::MakeConst(Value::Str(rule.name))));
     re_rule.head.args.push_back(PlainArg(Expr::MakeVar(vids_var)));
     re_rule.body.emplace_back(eh_atom);
-    re_rule.body.emplace_back(Assign{"NT_RID", rid_call});
+    re_rule.body.emplace_back(Assign{"NT_RID", rid_call, {}});
     out.rules.push_back(std::move(re_rule));
 
     // --- rk_pr: the provenance edge, shipped to the head's node. ---
@@ -179,8 +179,8 @@ Result<Program> RewriteForProvenance(const ndlog::AnalyzedProgram& analyzed) {
     pr_rule.head.args.push_back(
         PlainArg(Expr::MakeConst(Value::Int(rule.is_maybe ? 1 : 0))));
     pr_rule.body.emplace_back(eh_atom);
-    pr_rule.body.emplace_back(Assign{"NT_VID", vid_call});
-    pr_rule.body.emplace_back(Assign{"NT_RID", rid_call});
+    pr_rule.body.emplace_back(Assign{"NT_VID", vid_call, {}});
+    pr_rule.body.emplace_back(Assign{"NT_RID", rid_call, {}});
     out.rules.push_back(std::move(pr_rule));
   }
 
@@ -209,7 +209,7 @@ Result<Program> RewriteForProvenance(const ndlog::AnalyzedProgram& analyzed) {
     bp.head.args.push_back(PlainArg(Expr::MakeConst(Value::Int(0))));
     bp.body.emplace_back(std::move(body));
     bp.body.emplace_back(
-        Assign{"NT_VID", Expr::MakeCall("f_mkvid", std::move(vid_args))});
+        Assign{"NT_VID", Expr::MakeCall("f_mkvid", std::move(vid_args)), {}});
     out.rules.push_back(std::move(bp));
   }
 

@@ -232,36 +232,62 @@ Result<Value> FMkRid(const std::vector<Value>& args) {
 }
 
 const std::map<std::string, BuiltinInfo>& Registry() {
+  using namespace typemask;  // NOLINT(build/namespaces) masks read better bare
   static const std::map<std::string, BuiltinInfo>* reg = [] {
     auto* m = new std::map<std::string, BuiltinInfo>();
-    // {fn, min_args, max_args}; max -1 = variadic.
-    (*m)["f_list"] = {FList, 0, -1};
-    (*m)["f_empty"] = {FEmpty, 0, 0};
-    (*m)["f_append"] = {FAppend, 2, 2};
-    (*m)["f_prepend"] = {FPrepend, 2, 2};
-    (*m)["f_concat"] = {FConcat, 2, 2};
-    (*m)["f_member"] = {FMember, 2, 2};
-    (*m)["f_size"] = {FSize, 1, 1};
-    (*m)["f_first"] = {FFirst, 1, 1};
-    (*m)["f_last"] = {FLast, 1, 1};
-    (*m)["f_nth"] = {FNth, 2, 2};
-    (*m)["f_indexof"] = {FIndexOf, 2, 2};
-    (*m)["f_reverse"] = {FReverse, 1, 1};
-    (*m)["f_removeLast"] = {FRemoveLast, 1, 1};
-    (*m)["f_min"] = {FMin, 2, 2};
-    (*m)["f_max"] = {FMax, 2, 2};
-    (*m)["f_abs"] = {FAbs, 1, 1};
-    (*m)["f_tostr"] = {FToStr, 1, 1};
-    (*m)["f_sha1"] = {FSha1, 1, 1};
-    (*m)["f_isExtend"] = {FIsExtend, 3, 3};
-    (*m)["f_mkvid"] = {FMkVid, 1, -1};
-    (*m)["f_mkrid"] = {FMkRid, 3, 3};
+    // {fn, min_args, max_args, arg_types, rest_type, result_type};
+    // max -1 = variadic, with rest_type covering the tail. The type
+    // contracts mirror the runtime checks inside each function — ndlint's
+    // inference pass must never be stricter than the evaluator.
+    (*m)["f_list"] = {FList, 0, -1, {}, kAny, kList};
+    (*m)["f_empty"] = {FEmpty, 0, 0, {}, kAny, kList};
+    (*m)["f_append"] = {FAppend, 2, 2, {kList, kAny}, kAny, kList};
+    (*m)["f_prepend"] = {FPrepend, 2, 2, {kAny, kList}, kAny, kList};
+    (*m)["f_concat"] = {FConcat, 2, 2, {kList | kString, kList | kString},
+                        kAny, kList | kString};
+    (*m)["f_member"] = {FMember, 2, 2, {kList, kAny}, kAny, kInt};
+    (*m)["f_size"] = {FSize, 1, 1, {kList | kString}, kAny, kInt};
+    (*m)["f_first"] = {FFirst, 1, 1, {kList}, kAny, kAny};
+    (*m)["f_last"] = {FLast, 1, 1, {kList}, kAny, kAny};
+    (*m)["f_nth"] = {FNth, 2, 2, {kList, kInt}, kAny, kAny};
+    (*m)["f_indexof"] = {FIndexOf, 2, 2, {kList, kAny}, kAny, kInt};
+    (*m)["f_reverse"] = {FReverse, 1, 1, {kList}, kAny, kList};
+    (*m)["f_removeLast"] = {FRemoveLast, 1, 1, {kList}, kAny, kList};
+    (*m)["f_min"] = {FMin, 2, 2, {kAny, kAny}, kAny, kAny};
+    (*m)["f_max"] = {FMax, 2, 2, {kAny, kAny}, kAny, kAny};
+    (*m)["f_abs"] = {FAbs, 1, 1, {kNumeric}, kAny, kNumeric};
+    (*m)["f_tostr"] = {FToStr, 1, 1, {kAny}, kAny, kString};
+    (*m)["f_sha1"] = {FSha1, 1, 1, {kAny}, kAny, kInt};
+    (*m)["f_isExtend"] = {FIsExtend, 3, 3, {kList, kList, kAny}, kAny, kInt};
+    (*m)["f_mkvid"] = {FMkVid, 1, -1, {kString}, kAny, kInt};
+    (*m)["f_mkrid"] = {FMkRid, 3, 3, {kString, kAddress, kList}, kAny, kInt};
     return m;
   }();
   return *reg;
 }
 
 }  // namespace
+
+std::string TypeMaskName(TypeMask mask) {
+  if (mask == typemask::kAny) return "any";
+  if (mask == 0) return "none";
+  static const struct {
+    TypeMask bit;
+    const char* name;
+  } kBits[] = {{typemask::kInt, "int"},
+               {typemask::kDouble, "double"},
+               {typemask::kString, "string"},
+               {typemask::kAddress, "address"},
+               {typemask::kList, "list"}};
+  std::string out;
+  for (const auto& b : kBits) {
+    if (mask & b.bit) {
+      if (!out.empty()) out += "|";
+      out += b.name;
+    }
+  }
+  return out;
+}
 
 const BuiltinFn* FindBuiltin(const std::string& name) {
   const BuiltinInfo* info = FindBuiltinInfo(name);

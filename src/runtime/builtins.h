@@ -18,15 +18,40 @@ namespace runtime {
 
 using BuiltinFn = std::function<Result<Value>(const std::vector<Value>&)>;
 
-/// A registered builtin: the callable plus its arity contract. The planner
-/// lowers Call expressions against this at compile time, so unknown-builtin
-/// and arity errors are rejected when a program is compiled instead of on
-/// the first rule firing (the functions still validate arity themselves for
-/// direct invocations, e.g. from tests).
+/// Bitmask over Value kinds, used by the builtin type contracts and the
+/// ndlint type-inference lattice (a field/variable's possible runtime
+/// kinds; masks only ever shrink during inference, and an empty mask is a
+/// type conflict).
+using TypeMask = uint8_t;
+
+namespace typemask {
+inline constexpr TypeMask kInt = 1u << 0;
+inline constexpr TypeMask kDouble = 1u << 1;
+inline constexpr TypeMask kString = 1u << 2;
+inline constexpr TypeMask kAddress = 1u << 3;
+inline constexpr TypeMask kList = 1u << 4;
+inline constexpr TypeMask kNumeric = kInt | kDouble;
+inline constexpr TypeMask kAny = kInt | kDouble | kString | kAddress | kList;
+}  // namespace typemask
+
+/// Human rendering of a mask, e.g. "int|address" or "any".
+std::string TypeMaskName(TypeMask mask);
+
+/// A registered builtin: the callable plus its arity and type contracts.
+/// The planner lowers Call expressions against this at compile time, so
+/// unknown-builtin and arity errors are rejected when a program is compiled
+/// instead of on the first rule firing (the functions still validate arity
+/// themselves for direct invocations, e.g. from tests). The type contract
+/// drives ndlint's type-inference pass: `arg_types` covers the leading
+/// fixed arguments, `rest_type` any variadic remainder, `result_type` the
+/// return value.
 struct BuiltinInfo {
   BuiltinFn fn;
   int min_args = 0;
   int max_args = -1;  // -1 = unbounded (variadic)
+  std::vector<TypeMask> arg_types;
+  TypeMask rest_type = typemask::kAny;
+  TypeMask result_type = typemask::kAny;
 };
 
 /// Looks up a builtin by name ("f_append", ...). Returns nullptr if unknown.

@@ -11,8 +11,12 @@ using ndlog::BinOp;
 using ndlog::Expr;
 using ndlog::UnOp;
 
+std::string SpanSuffix(ndlog::Span span) {
+  return span.valid() ? " at " + span.ToString() : std::string();
+}
+
 Status ArityPlanError(const std::string& fn, const BuiltinInfo& info,
-                      size_t got) {
+                      size_t got, ndlog::Span span) {
   std::string want;
   if (info.max_args < 0) {
     want = "at least " + std::to_string(info.min_args);
@@ -23,7 +27,7 @@ Status ArityPlanError(const std::string& fn, const BuiltinInfo& info,
            std::to_string(info.max_args);
   }
   return Status::PlanError(fn + " expects " + want + " argument(s), got " +
-                           std::to_string(got));
+                           std::to_string(got) + SpanSuffix(span));
 }
 
 /// Lowers `expr` into `out`'s node pool, returning the new node's id.
@@ -31,6 +35,7 @@ Result<uint32_t> Lower(const Expr& expr, SlotMap* slots, CompiledExpr* out) {
   struct Visitor {
     SlotMap* slots;
     CompiledExpr* out;
+    ndlog::Span span;  // source position of the expression being visited
 
     Result<uint32_t> Emit(CompiledExpr::Node node) {
       out->nodes.push_back(std::move(node));
@@ -55,12 +60,13 @@ Result<uint32_t> Lower(const Expr& expr, SlotMap* slots, CompiledExpr* out) {
     Result<uint32_t> operator()(const Expr::Call& call) {
       const BuiltinInfo* info = FindBuiltinInfo(call.fn);
       if (info == nullptr) {
-        return Status::PlanError("unknown builtin function " + call.fn);
+        return Status::PlanError("unknown builtin function " + call.fn +
+                                 SpanSuffix(span));
       }
       if (static_cast<int>(call.args.size()) < info->min_args ||
           (info->max_args >= 0 &&
            static_cast<int>(call.args.size()) > info->max_args)) {
-        return ArityPlanError(call.fn, *info, call.args.size());
+        return ArityPlanError(call.fn, *info, call.args.size(), span);
       }
       CompiledExpr::Node node;
       node.op = CompiledExpr::Op::kCall;
@@ -104,7 +110,7 @@ Result<uint32_t> Lower(const Expr& expr, SlotMap* slots, CompiledExpr* out) {
       return Emit(std::move(node));
     }
   };
-  return std::visit(Visitor{slots, out}, expr.rep());
+  return std::visit(Visitor{slots, out, expr.span()}, expr.rep());
 }
 
 /// Integer arithmetic is overflow-checked: on int64 wrap the result is a

@@ -24,13 +24,21 @@ using ndlog::Rule;
 /// selections (and every head argument) lowered to CompiledExprs with
 /// builtins resolved and arity-checked — so unknown-builtin and arity
 /// errors surface here, at compile time, not on the first firing.
+
+/// "rule <name> (line L:C)" — the span is invalid (and omitted) for rules
+/// the localization/provenance rewrites generate.
+std::string RuleAt(const Rule& rule) {
+  std::string where =
+      rule.span.valid() ? " (" + rule.span.ToString() + ")" : "";
+  return "rule " + rule.name + where;
+}
+
 Status LowerRule(CompiledRule* cr) {
   const Rule& rule = cr->rule;
   auto lower_expr = [&](const Expr& e) -> Result<CompiledExpr> {
     Result<CompiledExpr> ce = CompileExpr(e, &cr->slots);
     if (!ce.ok()) {
-      return Status::PlanError("rule " + rule.name + ": " +
-                               ce.status().message());
+      return Status::PlanError(RuleAt(rule) + ": " + ce.status().message());
     }
     return ce;
   };
@@ -51,7 +59,7 @@ Status LowerRule(CompiledRule* cr) {
           sa.constant = e.const_value();
         } else {
           return Status::PlanError(
-              "rule " + rule.name +
+              RuleAt(rule) +
               ": body atom arguments must be variables or constants");
         }
         term.atom.args.push_back(std::move(sa));
@@ -152,6 +160,26 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
                                    const CompileOptions& options) {
   NT_ASSIGN_OR_RETURN(Program parsed, ndlog::Parse(source));
   NT_ASSIGN_OR_RETURN(AnalyzedProgram analyzed, ndlog::Analyze(std::move(parsed)));
+
+  // Static analysis runs over the user program, before localization and the
+  // provenance rewrite introduce generated rules that would trip the link
+  // and dead-code lints by construction. Only error-severity findings stop
+  // the compile; the ndlint CLI surfaces warnings and notes.
+  if (options.lint) {
+    ndlog::LintOptions lint_options = options.lint_options;
+    std::vector<std::string> pragmas = ndlog::ParseLintPragmas(source);
+    lint_options.allow.insert(lint_options.allow.end(), pragmas.begin(),
+                              pragmas.end());
+    ndlog::DiagnosticEngine diags = ndlog::LintProgram(analyzed, lint_options);
+    if (diags.errors() > 0) {
+      std::string msg = "lint failed:";
+      for (const ndlog::Diagnostic& d : diags.diagnostics()) {
+        if (d.severity == ndlog::Severity::kError) msg += "\n  " + d.Render();
+      }
+      return Status::PlanError(msg);
+    }
+  }
+
   NT_ASSIGN_OR_RETURN(Program localized, ndlog::Localize(analyzed));
   NT_ASSIGN_OR_RETURN(analyzed, ndlog::Analyze(std::move(localized)));
 
@@ -188,7 +216,7 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
         if (atom->predicate != kPeriodicPredicate) continue;
         if (atom->args.size() != 4) {
           return Status::PlanError(
-              "rule " + rule.name +
+              RuleAt(rule) +
               ": periodic requires (loc, EventId, Period, Count)");
         }
         const Expr& period = *atom->args[2].expr;
@@ -198,7 +226,7 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
             !count.const_value().is_int() ||
             count.const_value().as_int() <= 0) {
           return Status::PlanError(
-              "rule " + rule.name +
+              RuleAt(rule) +
               ": periodic period and count must be positive integer "
               "constants");
         }
@@ -206,7 +234,7 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
                                       count.const_value().as_int()});
       }
       if (rule.head.predicate == kPeriodicPredicate) {
-        return Status::PlanError("rule " + rule.name +
+        return Status::PlanError(RuleAt(rule) +
                                  ": periodic cannot be derived");
       }
     }
@@ -230,7 +258,7 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
     }
     if (cr.has_agg) {
       if (cr.head_is_event) {
-        return Status::PlanError("rule " + cr.rule.name +
+        return Status::PlanError(RuleAt(cr.rule) +
                                  ": aggregate heads must be materialized");
       }
       // Key replacement drives the output update: the head table's key must
@@ -243,7 +271,7 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
       std::sort(keys.begin(), keys.end());
       if (keys != group) {
         return Status::PlanError(
-            "rule " + cr.rule.name + ": table " + cr.rule.head.predicate +
+            RuleAt(cr.rule) + ": table " + cr.rule.head.predicate +
             " must be keyed on exactly the non-aggregate head columns");
       }
     }
@@ -254,7 +282,7 @@ Result<CompiledProgramPtr> Compile(const std::string& source,
       }
     }
     if (cr.atom_positions.empty()) {
-      return Status::PlanError("rule " + cr.rule.name +
+      return Status::PlanError(RuleAt(cr.rule) +
                                ": body must contain at least one atom");
     }
     NT_RETURN_IF_ERROR(LowerRule(&cr));

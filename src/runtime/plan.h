@@ -12,6 +12,7 @@
 
 #include "src/common/status.h"
 #include "src/ndlog/analysis.h"
+#include "src/ndlog/lint.h"
 #include "src/runtime/expr_eval.h"
 
 namespace nettrails {
@@ -21,7 +22,21 @@ struct CompileOptions {
   /// Apply the ExSPAN provenance rewrite. Maybe rules are dropped (with no
   /// effect) when false, since their sole output is provenance.
   bool provenance = true;
+  /// Run the ndlint static-analysis passes over the user program (before
+  /// localization). Error-severity findings fail the compile with a
+  /// PlanError; warnings and notes are silent here (run the ndlint CLI to
+  /// see them). In-source `// ndlint: allow(NDxxx)` pragmas apply.
+  bool lint = true;
+  /// Lint configuration (link predicates, extra allowed codes).
+  ndlog::LintOptions lint_options;
 };
+
+/// Options with the ExSPAN provenance rewrite disabled (lint stays on).
+inline CompileOptions NoProvenanceOptions() {
+  CompileOptions options;
+  options.provenance = false;
+  return options;
+}
 
 /// Probe plan for one body atom under a specific choice of delta atom:
 /// which argument positions are already bound when the join reaches it, and

@@ -190,7 +190,7 @@ TEST(ApplyBatchPropertyTest, RandomizedBatchesMatchSerialApplies) {
 // (batch_size=1) or in batches.
 
 CompiledProgramPtr SoftStateProgram(const char* decl) {
-  Result<CompiledProgramPtr> prog = Compile(decl, CompileOptions{false});
+  Result<CompiledProgramPtr> prog = Compile(decl, NoProvenanceOptions());
   EXPECT_TRUE(prog.ok()) << prog.status().ToString();
   return prog.ok() ? *prog : nullptr;
 }

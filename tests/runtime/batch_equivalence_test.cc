@@ -268,7 +268,7 @@ TEST(BatchStatsTest, DeltasEnqueuedCountsTuplesNotBatches) {
     materialize(told, infinity, infinity, keys(1,2)).
     r1 told(@Y,I) :- gossip(@X,Y), item(@X,I).
   )",
-                                            CompileOptions{false});
+                                            NoProvenanceOptions());
   ASSERT_TRUE(prog.ok()) << prog.status().ToString();
   for (uint32_t batch_size : {1u, 64u}) {
     net::Simulator sim;
@@ -319,7 +319,7 @@ TEST(BatchStatsTest, BatchesProcessedAndDispatchAmortization) {
     r1 copy(@X,I) :- burst(@X,N), item(@X,I).
     r2 twice(@X,I2) :- copy(@X,I), I2 := I * 2.
   )",
-                                            CompileOptions{false});
+                                            NoProvenanceOptions());
   ASSERT_TRUE(prog.ok()) << prog.status().ToString();
   auto dispatches = [&](uint32_t batch_size, EngineStats* stats) {
     net::Simulator sim;

@@ -48,7 +48,7 @@ n1 +cost(@1,@0,3) x1
 
 std::string CaptureSerialTrace() {
   Result<CompiledProgramPtr> prog =
-      Compile(protocols::MincostProgram(), CompileOptions{false});
+      Compile(protocols::MincostProgram(), NoProvenanceOptions());
   EXPECT_TRUE(prog.ok()) << prog.status().ToString();
   if (!prog.ok()) return "";
   net::Topology topo = net::MakeLine(3, 1);

@@ -93,7 +93,7 @@ std::string Fingerprint(
 /// followed by the simulator counters.
 std::string LineConvergenceTrace(unsigned threads) {
   Result<CompiledProgramPtr> prog =
-      Compile(protocols::MincostProgram(), CompileOptions{false});
+      Compile(protocols::MincostProgram(), NoProvenanceOptions());
   EXPECT_TRUE(prog.ok()) << prog.status().ToString();
   if (!prog.ok()) return "";
   net::Topology topo = net::MakeLine(3, 1);

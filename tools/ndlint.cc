@@ -1,0 +1,198 @@
+// ndlint: whole-program static analysis for NDlog source files.
+//
+// Usage:
+//   ndlint [options] FILE...
+//   ndlint [options] --builtin all            # lint the shipped protocols
+//   ndlint --explain [CODE]                   # describe diagnostic codes
+//
+// Options:
+//   --machine          tab-separated output (file, line, col, severity,
+//                      code, rule, message) for CI artifacts
+//   --Werror           exit non-zero on warnings, not just errors
+//   --allow=ND403,...  suppress codes (adds to in-source pragmas)
+//   --link-pred=NAME   extra link predicate for the ND3xx pass (repeatable;
+//                      "link" is always included)
+//   --builtin NAME     lint a shipped program: mincost, pathvector, dsr,
+//                      bgp-maybe, or all
+//
+// Exit codes: 0 clean (at the chosen threshold), 1 findings, 2 usage/IO.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/ndlog/analysis.h"
+#include "src/ndlog/diagnostics.h"
+#include "src/ndlog/lint.h"
+#include "src/ndlog/parser.h"
+#include "src/protocols/programs.h"
+
+namespace {
+
+using nettrails::Result;
+using nettrails::ndlog::AnalyzedProgram;
+using nettrails::ndlog::Diagnostic;
+using nettrails::ndlog::DiagnosticEngine;
+using nettrails::ndlog::DiagnosticInfo;
+using nettrails::ndlog::LintOptions;
+using nettrails::ndlog::Program;
+using nettrails::ndlog::Severity;
+
+struct CliOptions {
+  bool machine = false;
+  bool warnings_are_errors = false;
+  LintOptions lint;
+};
+
+/// Lints one named source. Returns the findings (front-end failures become
+/// ND001/ND002 diagnostics so every outcome renders uniformly).
+DiagnosticEngine LintSource(const std::string& source,
+                            const CliOptions& cli) {
+  LintOptions options = cli.lint;
+  std::vector<std::string> pragmas =
+      nettrails::ndlog::ParseLintPragmas(source);
+  options.allow.insert(options.allow.end(), pragmas.begin(), pragmas.end());
+
+  DiagnosticEngine diags;
+  Result<Program> parsed = nettrails::ndlog::Parse(source);
+  if (!parsed.ok()) {
+    diags.Add("ND001", Severity::kError, {}, "", parsed.status().message());
+    return diags;
+  }
+  Result<AnalyzedProgram> analyzed =
+      nettrails::ndlog::Analyze(std::move(parsed).value());
+  if (!analyzed.ok()) {
+    diags.Add("ND002", Severity::kError, {}, "", analyzed.status().message());
+    return diags;
+  }
+  return nettrails::ndlog::LintProgram(analyzed.value(), options);
+}
+
+/// Renders findings for one file; returns the worst severity seen.
+int ReportFindings(const std::string& file, const DiagnosticEngine& diags,
+                   const CliOptions& cli) {
+  int worst = -1;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    std::cout << (cli.machine ? d.RenderMachine(file) : d.Render(file))
+              << "\n";
+    worst = std::max(worst, static_cast<int>(d.severity));
+  }
+  return worst;
+}
+
+int Explain(const std::string& code) {
+  if (!code.empty()) {
+    const DiagnosticInfo* info = nettrails::ndlog::FindDiagnostic(code);
+    if (info == nullptr) {
+      std::cerr << "ndlint: unknown diagnostic code " << code << "\n";
+      return 2;
+    }
+    std::cout << info->code << " (" << SeverityName(info->default_severity)
+              << "): " << info->summary << "\n";
+    return 0;
+  }
+  for (const DiagnosticInfo& info : nettrails::ndlog::AllDiagnostics()) {
+    std::cout << info.code << "\t" << SeverityName(info.default_severity)
+              << "\t" << info.summary << "\n";
+  }
+  return 0;
+}
+
+const char* BuiltinProgram(const std::string& name) {
+  if (name == "mincost") return nettrails::protocols::MincostProgram();
+  if (name == "pathvector") return nettrails::protocols::PathVectorProgram();
+  if (name == "dsr") return nettrails::protocols::DsrProgram();
+  if (name == "bgp-maybe") return nettrails::protocols::BgpMaybeProgram();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  std::vector<std::pair<std::string, std::string>> inputs;  // (label, source)
+  std::vector<std::string> files;
+  std::vector<std::string> builtins;
+  bool explain = false;
+  std::string explain_code;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--machine") {
+      cli.machine = true;
+    } else if (arg == "--Werror") {
+      cli.warnings_are_errors = true;
+    } else if (arg.rfind("--allow=", 0) == 0) {
+      std::stringstream ss(arg.substr(8));
+      std::string code;
+      while (std::getline(ss, code, ',')) {
+        if (!code.empty()) cli.lint.allow.push_back(code);
+      }
+    } else if (arg.rfind("--link-pred=", 0) == 0) {
+      cli.lint.link_predicates.insert(arg.substr(12));
+    } else if (arg == "--explain") {
+      explain = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') explain_code = argv[++i];
+    } else if (arg == "--builtin") {
+      if (i + 1 >= argc) {
+        std::cerr << "ndlint: --builtin requires a program name\n";
+        return 2;
+      }
+      builtins.push_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ndlint [--machine] [--Werror] [--allow=CODES] "
+                   "[--link-pred=NAME] [--builtin NAME|all] [--explain "
+                   "[CODE]] FILE...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "ndlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (explain) return Explain(explain_code);
+
+  for (const std::string& name : builtins) {
+    if (name == "all") {
+      for (const char* p : {"mincost", "pathvector", "dsr", "bgp-maybe"}) {
+        inputs.emplace_back(std::string("builtin:") + p, BuiltinProgram(p));
+      }
+      continue;
+    }
+    const char* source = BuiltinProgram(name);
+    if (source == nullptr) {
+      std::cerr << "ndlint: unknown builtin program " << name
+                << " (try mincost, pathvector, dsr, bgp-maybe, all)\n";
+      return 2;
+    }
+    inputs.emplace_back("builtin:" + name, source);
+  }
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "ndlint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    inputs.emplace_back(file, buf.str());
+  }
+  if (inputs.empty()) {
+    std::cerr << "ndlint: no input (pass files or --builtin all)\n";
+    return 2;
+  }
+
+  int worst = -1;
+  for (const auto& [label, source] : inputs) {
+    DiagnosticEngine diags = LintSource(source, cli);
+    worst = std::max(worst, ReportFindings(label, diags, cli));
+  }
+
+  int threshold = cli.warnings_are_errors
+                      ? static_cast<int>(Severity::kWarning)
+                      : static_cast<int>(Severity::kError);
+  return worst >= threshold ? 1 : 0;
+}
