@@ -17,10 +17,20 @@
 // determinism suite either way.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "src/common/alloc_hook.h"
 #include "src/net/topology.h"
 #include "src/protocols/programs.h"
 #include "src/runtime/plan.h"
+
+namespace {
+
+// Set by main() from --topology=<file>; empty selects the default corpus
+// file. Lives at global scope so both main() and the benches see it.
+std::string g_topology_path;
+
+}  // namespace
 
 namespace nettrails {
 namespace {
@@ -28,6 +38,14 @@ namespace {
 runtime::CompiledProgramPtr CompileCached(const char* source) {
   Result<runtime::CompiledProgramPtr> r = runtime::Compile(source);
   return r.ok() ? *r : nullptr;
+}
+
+// The RealTopology bench defaults to the committed 102-node synthetic-ISP
+// corpus file — the one corpus graph sized for scale-out measurement.
+std::string TopologyPath() {
+  if (!g_topology_path.empty()) return g_topology_path;
+  return std::string(NETTRAILS_SOURCE_DIR) +
+         "/examples/topologies/isp_synth_102.topo";
 }
 
 // Sparse random topology: p chosen so average degree stays near 4 as n
@@ -145,5 +163,74 @@ BENCHMARK(BM_Scaleout_Mincost_IncrementalFlap)
     ->MeasureProcessCPUTime()->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Cold convergence on a committed corpus topology (default: the 102-node
+// synthetic ISP; override with --topology=<file>). Arg is the thread
+// count; the graph comes from the file, so this is the scale-out story on
+// the same corpus the scenario matrix pins.
+void BM_Scaleout_Mincost_RealTopologyConverge(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  runtime::CompiledProgramPtr prog =
+      CompileCached(protocols::MincostProgram());
+  if (prog == nullptr) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  Result<net::Topology> file_topo = net::LoadTopologyFile(TopologyPath());
+  if (!file_topo.ok()) {
+    state.SkipWithError(file_topo.status().ToString().c_str());
+    return;
+  }
+  const net::Topology& topo = *file_topo;
+  uint64_t runs = 0, events = 0, messages = 0;
+  for (auto _ : state) {
+    net::SimulatorOptions sopts;
+    sopts.num_threads = threads;
+    net::Simulator sim(sopts);
+    runtime::EngineOptions opts;
+    opts.batch_size = 64;
+    auto engines = protocols::MakeEngines(&sim, topo, prog, opts);
+    if (!protocols::InstallLinks(topo, &engines, &sim).ok()) {
+      state.SkipWithError("install failed");
+      return;
+    }
+    ++runs;
+    events += sim.events_executed();
+    messages += sim.total_traffic().messages;
+  }
+  state.counters["nodes"] = static_cast<double>(topo.num_nodes);
+  state.counters["threads"] = static_cast<double>(threads);
+  if (runs > 0) {
+    state.counters["events_per_run"] =
+        static_cast<double>(events) / static_cast<double>(runs);
+    state.counters["msgs_per_run"] =
+        static_cast<double>(messages) / static_cast<double>(runs);
+  }
+}
+
+BENCHMARK(BM_Scaleout_Mincost_RealTopologyConverge)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->MeasureProcessCPUTime()->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace nettrails
+
+// Defining main() here overrides the benchmark_main library's: strip the
+// repo-local --topology=<file> flag before google-benchmark parses argv.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.compare(0, 11, "--topology=") == 0) {
+      g_topology_path = arg.substr(11);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

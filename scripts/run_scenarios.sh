@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the (protocol x topology x scenario) regression matrix — the
+# workload-level determinism gate pinned by
+# tests/integration/golden/scenario_fingerprints.txt. Every cell replays a
+# scenario script from examples/scenarios/ on a corpus topology from
+# examples/topologies/ at batch {1,64} x threads {1,4} and must reproduce
+# the committed golden fingerprints bit for bit.
+#
+# Usage: scripts/run_scenarios.sh [build-dir] [cell-filter]
+#   scripts/run_scenarios.sh                      # full matrix, build/
+#   scripts/run_scenarios.sh build mincost/       # one protocol's cells
+#   scripts/run_scenarios.sh build /abilene/      # one topology's cells
+#
+# The cell filter is a substring match on "proto/topo/scn" keys
+# (NETTRAILS_SCENARIO_FILTER in the test binary).
+#
+# After an INTENTIONAL semantic change, regenerate the goldens and review
+# the diff like any other code change:
+#   NETTRAILS_REGEN_GOLDENS=1 scripts/run_scenarios.sh
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+FILTER="${2:-}"
+BIN="$BUILD_DIR/integration_scenario_matrix_test"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "$BIN not built; run:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j \\" >&2
+  echo "      --target integration_scenario_matrix_test" >&2
+  exit 1
+fi
+
+if [[ -n "$FILTER" ]]; then
+  NETTRAILS_SCENARIO_FILTER="$FILTER" "$BIN"
+else
+  "$BIN"
+fi

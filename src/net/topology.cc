@@ -1,5 +1,11 @@
 #include "src/net/topology.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
 namespace nettrails {
 namespace net {
 
@@ -84,6 +90,183 @@ Topology MakeRandomConnected(size_t n, double p, Rng* rng, int64_t max_cost) {
     }
   }
   return t;
+}
+
+Topology MakeSyntheticIsp(size_t n_core, size_t n_regions,
+                          size_t region_size, uint64_t seed) {
+  Topology t;
+  t.name = "isp-synth";
+  t.num_nodes = n_core + n_regions * region_size;
+  Rng rng(seed);
+  auto node = [](size_t i) { return static_cast<NodeId>(i); };
+  // Core ring (cost 1) with chords every fourth node for east-west paths.
+  for (size_t i = 0; i < n_core; ++i) {
+    t.links.push_back({node(i), node((i + 1) % n_core), 1});
+  }
+  for (size_t i = 0; i + n_core / 2 < n_core; i += 4) {
+    t.links.push_back({node(i), node(i + n_core / 2), 1});
+  }
+  // Regional rings (cost 2), each dual-homed into the core (cost 3) from
+  // two distinct region nodes to two distinct core nodes, so no single
+  // failure isolates a region.
+  for (size_t r = 0; r < n_regions; ++r) {
+    size_t base = n_core + r * region_size;
+    for (size_t i = 0; i < region_size; ++i) {
+      t.links.push_back(
+          {node(base + i), node(base + (i + 1) % region_size), 2});
+    }
+    size_t core_a = rng.NextBelow(n_core);
+    size_t core_b = (core_a + 1 + rng.NextBelow(n_core - 1)) % n_core;
+    size_t attach_b = 1 + rng.NextBelow(region_size - 1);
+    t.links.push_back({node(core_a), node(base), 3});
+    t.links.push_back({node(core_b), node(base + attach_b), 3});
+  }
+  return t;
+}
+
+namespace {
+
+/// Strips a trailing '#' comment and surrounding whitespace, then splits on
+/// whitespace.
+std::vector<std::string> TokenizeLine(const std::string& line) {
+  std::string body = line.substr(0, line.find('#'));
+  std::istringstream ss(body);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (ss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - (c - '0')) / 10) return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+Status TopoError(size_t line_no, const std::string& msg) {
+  return Status::ParseError("topology: line " + std::to_string(line_no) +
+                            ": " + msg);
+}
+
+}  // namespace
+
+Result<Topology> ParseTopology(const std::string& text) {
+  Topology t;
+  bool saw_nodes = false;
+  std::vector<std::pair<NodeId, NodeId>> seen_links;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<std::string> tok = TokenizeLine(line);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+    if (kw == "topology") {
+      if (tok.size() != 2) {
+        return TopoError(line_no, "expected `topology <name>`");
+      }
+      if (saw_nodes) {
+        return TopoError(line_no, "`topology` must precede `nodes`");
+      }
+      if (!t.name.empty()) return TopoError(line_no, "duplicate `topology`");
+      t.name = tok[1];
+    } else if (kw == "nodes") {
+      uint64_t n = 0;
+      if (tok.size() != 2 || !ParseUint(tok[1], &n)) {
+        return TopoError(line_no, "expected `nodes <count>`");
+      }
+      if (saw_nodes) return TopoError(line_no, "duplicate `nodes`");
+      if (n == 0) return TopoError(line_no, "node count must be positive");
+      t.num_nodes = n;
+      saw_nodes = true;
+    } else if (kw == "name") {
+      uint64_t id = 0;
+      if (tok.size() != 3 || !ParseUint(tok[1], &id)) {
+        return TopoError(line_no, "expected `name <id> <label>`");
+      }
+      if (!saw_nodes) return TopoError(line_no, "`name` before `nodes`");
+      if (id >= t.num_nodes) {
+        return TopoError(line_no,
+                         "node id " + tok[1] + " out of range (nodes " +
+                             std::to_string(t.num_nodes) + ")");
+      }
+      NodeId nid = static_cast<NodeId>(id);
+      if (!t.labels.emplace(nid, tok[2]).second) {
+        return TopoError(line_no, "duplicate label for node " + tok[1]);
+      }
+    } else if (kw == "link") {
+      uint64_t a = 0, b = 0, cost = 1;
+      if ((tok.size() != 3 && tok.size() != 4) || !ParseUint(tok[1], &a) ||
+          !ParseUint(tok[2], &b) ||
+          (tok.size() == 4 && !ParseUint(tok[3], &cost))) {
+        return TopoError(line_no, "expected `link <a> <b> [<cost>]`");
+      }
+      if (!saw_nodes) return TopoError(line_no, "`link` before `nodes`");
+      if (a >= t.num_nodes || b >= t.num_nodes) {
+        return TopoError(line_no,
+                         "link endpoint out of range (nodes " +
+                             std::to_string(t.num_nodes) + ")");
+      }
+      if (a == b) return TopoError(line_no, "self-link on node " + tok[1]);
+      if (cost < 1 || cost > static_cast<uint64_t>(INT64_MAX)) {
+        return TopoError(line_no, "link cost must be >= 1");
+      }
+      NodeId na = static_cast<NodeId>(a), nb = static_cast<NodeId>(b);
+      std::pair<NodeId, NodeId> key = na < nb ? std::make_pair(na, nb)
+                                              : std::make_pair(nb, na);
+      if (std::find(seen_links.begin(), seen_links.end(), key) !=
+          seen_links.end()) {
+        return TopoError(line_no, "duplicate link " + tok[1] + "-" + tok[2]);
+      }
+      seen_links.push_back(key);
+      t.links.push_back({na, nb, static_cast<int64_t>(cost)});
+    } else {
+      return TopoError(line_no, "unknown directive `" + kw + "`");
+    }
+  }
+  if (!saw_nodes) return Status::ParseError("topology: missing `nodes` line");
+  return t;
+}
+
+Result<Topology> LoadTopologyFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read topology file " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  Result<Topology> parsed = ParseTopology(buf.str());
+  if (!parsed.ok()) {
+    return Status::ParseError(path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+std::string SerializeTopology(const Topology& t) {
+  std::string out;
+  if (!t.name.empty()) out += "topology " + t.name + "\n";
+  out += "nodes " + std::to_string(t.num_nodes) + "\n";
+  for (const auto& [id, label] : t.labels) {
+    out += "name " + std::to_string(id) + " " + label + "\n";
+  }
+  std::vector<CostedLink> links = t.links;
+  for (CostedLink& l : links) {
+    if (l.a > l.b) std::swap(l.a, l.b);
+  }
+  std::sort(links.begin(), links.end(),
+            [](const CostedLink& x, const CostedLink& y) {
+              return std::tie(x.a, x.b, x.cost) < std::tie(y.a, y.b, y.cost);
+            });
+  for (const CostedLink& l : links) {
+    out += "link " + std::to_string(l.a) + " " + std::to_string(l.b) + " " +
+           std::to_string(l.cost) + "\n";
+  }
+  return out;
 }
 
 }  // namespace net

@@ -1,13 +1,21 @@
-// Topology generators for the experiment workloads: lines, rings, grids,
-// random connected graphs, and the ring+chord topology used in the Figure 2
-// walkthrough. Costs are protocol-level link costs (the C in link(@X,Y,C)).
+// Topology generators and the topology file format for the experiment
+// corpus. Generators build lines, rings, grids, random connected graphs,
+// the ring+chord topology of the Figure 2 walkthrough, and a tiered
+// synthetic ISP; the file format (ParseTopology / SerializeTopology /
+// LoadTopologyFile) stores research-style topologies as data files under
+// examples/topologies/, the way NSDI/INFOCOM-style declarative-networking
+// evaluations keep their experiment inputs out of the test code. Costs are
+// protocol-level link costs (the C in link(@X,Y,C)).
 #ifndef NETTRAILS_NET_TOPOLOGY_H_
 #define NETTRAILS_NET_TOPOLOGY_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "src/common/rand.h"
+#include "src/common/status.h"
 #include "src/common/value.h"
 #include "src/net/simulator.h"
 
@@ -21,10 +29,14 @@ struct CostedLink {
   int64_t cost = 1;
 };
 
-/// A generated topology: node count plus costed edges.
+/// A topology: node count plus costed edges. `name` and `labels` carry the
+/// optional metadata of the file format (generator topologies leave them
+/// empty); neither affects Install or protocol behaviour.
 struct Topology {
   size_t num_nodes = 0;
   std::vector<CostedLink> links;
+  std::string name;
+  std::map<NodeId, std::string> labels;
 
   /// Registers all nodes and links with the simulator.
   void Install(Simulator* sim, Time latency = kMillisecond) const;
@@ -50,6 +62,41 @@ Topology MakeGrid(size_t rows, size_t cols, int64_t cost = 1);
 /// probability p. Costs uniform in [1, max_cost].
 Topology MakeRandomConnected(size_t n, double p, Rng* rng,
                              int64_t max_cost = 10);
+
+/// Tiered synthetic ISP: a core ring of `n_core` nodes (cost-1 links, plus
+/// chords every fourth node) and `n_regions` regional rings of
+/// `region_size` nodes (cost-2 links), each region attached to the core by
+/// two cost-3 uplinks from distinct region nodes to distinct core nodes.
+/// Every node sits on a ring, so the graph is 2-edge-connected: no single
+/// link failure or node crash partitions it. Deterministic in `seed`
+/// (which only perturbs the attachment points). The committed
+/// examples/topologies/isp_synth_102.topo is this generator's output for
+/// (12, 10, 9, seed 42), cross-checked by tests/net/topology_test.cc.
+Topology MakeSyntheticIsp(size_t n_core, size_t n_regions,
+                          size_t region_size, uint64_t seed);
+
+/// Parses the topology file format:
+///
+///   # comment (to end of line); blank lines ignored
+///   topology <name>          optional, at most once, before nodes
+///   nodes <N>                required, exactly once, before name/link
+///   name <id> <label>        optional node label
+///   link <a> <b> [<cost>]    undirected edge; cost defaults to 1
+///
+/// Endpoints must be in [0, N), distinct, and each undirected pair may
+/// appear once. Errors carry the 1-based line number.
+Result<Topology> ParseTopology(const std::string& text);
+
+/// Reads and parses a topology file; errors are prefixed with the path.
+Result<Topology> LoadTopologyFile(const std::string& path);
+
+/// Canonical serialization: `topology` header (if named), `nodes`, labels
+/// in id order, links normalized to a < b and sorted by (a, b). Output
+/// round-trips through ParseTopology bit-for-bit, and two topologies are
+/// graph-identical iff their serializations match — the committed corpus
+/// files are in this form, which is what lets the generator cross-check
+/// tests compare files against generator output directly.
+std::string SerializeTopology(const Topology& t);
 
 }  // namespace net
 }  // namespace nettrails

@@ -65,6 +65,36 @@ const char* DsrProgram() {
   )";
 }
 
+const char* LinkStateProgram() {
+  return R"(
+    // Link-state (OSPF-style). ls1 originates an LSA for each adjacent
+    // link; ls2 floods LSAs to every neighbor, recording the traversed
+    // nodes so each LSA crosses a node at most once per loop-free flood
+    // path (bag-semantics-safe termination, standing in for OSPF's
+    // sequence-number duplicate suppression). ls3 projects the flood into
+    // the node's link-state database; ls4-ls6 are the local SPF: a
+    // Bellman-Ford relaxation over the *local* database routed through the
+    // a_min aggregate, with the same C < 255 distance-vector bound MINCOST
+    // uses to cut the retraction transient when churn partitions the
+    // topology. Unlike MINCOST, no SPF messages cross the wire — only
+    // LSAs do, exactly the link-state/distance-vector split.
+    materialize(link, infinity, infinity, keys(1,2)).
+    materialize(lsa, infinity, infinity, keys(1,2,3,4,5)).
+    materialize(lsdb, infinity, infinity, keys(1,2,3,4)).
+    materialize(spfdist, infinity, infinity, keys(1,2,3)).
+    materialize(spf, infinity, infinity, keys(1,2)).
+
+    ls1 lsa(@X,X,Y,C,P) :- link(@X,Y,C), P := f_list(X).
+    ls2 lsa(@Z,S,D,C,P2) :- lsa(@X,S,D,C,P), link(@X,Z,C2),
+                            f_member(P,Z) == 0, P2 := f_append(P,Z).
+    ls3 lsdb(@N,S,D,C) :- lsa(@N,S,D,C,P).
+    ls4 spfdist(@N,D,C) :- lsdb(@N,N,D,C).
+    ls5 spfdist(@N,D,C) :- spf(@N,Z,C1), lsdb(@N,Z,D,C2), D != N,
+                           C := C1 + C2, C < 255.
+    ls6 spf(@N,D,a_min<C>) :- spfdist(@N,D,C).
+  )";
+}
+
 const char* BgpMaybeProgram() {
   return R"(
     // Legacy-application support (Section 2.2): the proxy extracts

@@ -29,6 +29,17 @@ const char* PathVectorProgram();
 /// flooding (rreq/rrep events) into a materialized route table.
 const char* DsrProgram();
 
+/// Link-state protocol (OSPF-style): every node originates one link-state
+/// advertisement per adjacent link and floods it hop-by-hop (the recorded
+/// flood path bounds the flood, the NDlog analogue of OSPF's
+/// sequence-number dedup), giving each node a replicated link-state
+/// database (lsdb) of the whole topology; a purely local SPF pass
+/// (Bellman-Ford through the a_min-aggregated spf table, cost-bounded like
+/// MINCOST) turns the database into shortest-path distances. Convergence
+/// oracle: spf at every node equals Dijkstra over the topology, and every
+/// lsdb holds exactly both directions of every live link.
+const char* LinkStateProgram();
+
 /// The legacy-BGP provenance program: inputRoute/outputRoute tables plus
 /// the paper's maybe rule br1 with f_isExtend.
 const char* BgpMaybeProgram();

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
+
+#include "src/bgp/speaker.h"
+#include "src/bgp/trace_parser.h"
 
 namespace nettrails {
 namespace bgp {
@@ -114,6 +118,98 @@ TEST(TraceGenTest, TimesAreMonotone) {
   for (size_t i = 1; i < trace.size(); ++i) {
     EXPECT_GT(trace[i].time, trace[i - 1].time);
   }
+}
+
+/// Seed determinism at the byte level: the serialized trace — the artifact
+/// a workload file would pin — is identical for identical seeds and
+/// differs across seeds.
+TEST(TraceGenTest, SameSeedYieldsByteIdenticalSerializedTrace) {
+  auto gen = [](uint64_t seed) {
+    Rng rng(seed);
+    AsTopology topo = MakeAsTopology(3, 5, 8, &rng);
+    return SerializeTrace(GenerateTrace(topo, 50, &rng));
+  };
+  const std::string a = gen(42);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(gen(42), a);
+  EXPECT_NE(gen(43), a);
+}
+
+/// RouteViews-scale generation: hundreds of ASes, thousands of churn
+/// events, and the result still parses back losslessly.
+TEST(TraceGenTest, RouteViewsScaleTraceRoundTrips) {
+  Rng rng(12);
+  AsTopology topo = MakeAsTopology(8, 40, 252, &rng);
+  std::vector<TraceEvent> trace = GenerateTrace(topo, 5000, &rng);
+  EXPECT_EQ(trace.size(), 252u + 5000u);
+  Result<std::vector<TraceEvent>> back = ParseTrace(SerializeTrace(trace));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*back)[i].ToString(), trace[i].ToString()) << i;
+  }
+}
+
+/// Replaying a trace through the speaker fleet reaches the same routing
+/// fixpoint as directly originating each prefix's *final* state: the flaps
+/// in between must leave nothing behind (BGP's stable state under
+/// Gao-Rexford policies is unique, so history must not matter).
+TEST(TraceReplayTest, ReplayReachesTheDirectInsertionFixpoint) {
+  Rng rng(11);
+  AsTopology topo = MakeAsTopology(2, 3, 4, &rng);
+  std::vector<TraceEvent> trace = GenerateTrace(topo, 30, &rng);
+  // Final per-prefix state.
+  std::map<Prefix, TraceEvent> last;
+  for (const TraceEvent& ev : trace) last[ev.prefix] = ev;
+
+  struct Fleet {
+    net::Simulator sim;
+    std::vector<std::unique_ptr<Speaker>> speakers;
+    explicit Fleet(const AsTopology& topo) {
+      topo.Install(&sim);
+      for (size_t i = 0; i < topo.num_ases; ++i) {
+        speakers.push_back(
+            std::make_unique<Speaker>(&sim, static_cast<NodeId>(i)));
+      }
+      for (const AsLink& l : topo.links) {
+        speakers[l.a]->AddNeighbor(l.b, l.relation);
+        speakers[l.b]->AddNeighbor(l.a, Reverse(l.relation));
+      }
+    }
+    std::string RibFingerprint() const {
+      std::string out;
+      for (const auto& s : speakers) {
+        out += "== as " + std::to_string(s->as()) + "\n";
+        for (Prefix p : s->ReachablePrefixes()) {
+          out += std::to_string(p) + " via " +
+                 s->BestRoute(p)->ToString() + "\n";
+        }
+      }
+      return out;
+    }
+  };
+
+  Fleet replayed(topo);
+  for (const TraceEvent& ev : trace) {
+    replayed.sim.ScheduleAt(ev.time, [&replayed, ev]() {
+      if (ev.withdraw) {
+        replayed.speakers[ev.origin]->Withdraw(ev.prefix);
+      } else {
+        replayed.speakers[ev.origin]->Originate(ev.prefix);
+      }
+    });
+  }
+  replayed.sim.Run();
+
+  Fleet direct(topo);
+  for (const auto& [prefix, ev] : last) {
+    if (!ev.withdraw) direct.speakers[ev.origin]->Originate(prefix);
+  }
+  direct.sim.Run();
+
+  const std::string fp = direct.RibFingerprint();
+  EXPECT_FALSE(fp.empty());
+  EXPECT_EQ(replayed.RibFingerprint(), fp);
 }
 
 TEST(TraceGenTest, DeterministicForSeed) {

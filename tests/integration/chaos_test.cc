@@ -52,16 +52,20 @@ const char* kBoundedMincost = R"(
 
 struct Protocol {
   const char* name;
-  const char* program;
+  const char* program;      // nullptr: resolved by name at runtime
+  const char* route_table;  // routing table probed by the crash test
 };
 
 const Protocol kProtocols[] = {
-    {"mincost", kBoundedMincost},
-    {"pathvector", nullptr},  // resolved to PathVectorProgram() at runtime
+    {"mincost", kBoundedMincost, "mincost"},
+    {"pathvector", nullptr, "bestpath"},
+    {"linkstate", nullptr, "spf"},
 };
 
 const char* ProgramText(const Protocol& p) {
-  return p.program != nullptr ? p.program : protocols::PathVectorProgram();
+  if (p.program != nullptr) return p.program;
+  return std::string(p.name) == "linkstate" ? protocols::LinkStateProgram()
+                                            : protocols::PathVectorProgram();
 }
 
 /// One running world: simulator, engines, querier (stores + services).
@@ -299,9 +303,7 @@ TEST(ChaosTest, CrashRecoveryReconvergesToTheUncrashedWorld) {
       w.Converge();
       // Pre-crash query homed at the victim, populating its result cache.
       std::vector<Tuple> victims_tuples =
-          w.engines[kVictim]->TableContents(proto.program != nullptr
-                                                ? "mincost"
-                                                : "bestpath");
+          w.engines[kVictim]->TableContents(proto.route_table);
       ASSERT_FALSE(victims_tuples.empty());
       const Tuple probe = victims_tuples.front();
       Result<query::QueryResult> pre = w.querier->Query(probe);

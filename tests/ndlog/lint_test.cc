@@ -359,7 +359,8 @@ r1 out(@Y,X) :- a(@X,Y).
 TEST(LintTest, ShippedProtocolProgramsLintClean) {
   for (const char* source :
        {protocols::MincostProgram(), protocols::PathVectorProgram(),
-        protocols::DsrProgram(), protocols::BgpMaybeProgram()}) {
+        protocols::DsrProgram(), protocols::LinkStateProgram(),
+        protocols::BgpMaybeProgram()}) {
     DiagnosticEngine diags = Lint(source);
     EXPECT_EQ(CountWarningsOrWorse(diags), 0u) << diags.RenderAll();
   }

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <set>
+#include <sstream>
 
 namespace nettrails {
 namespace net {
@@ -95,6 +97,141 @@ TEST(TopologyTest, InstallRegistersNodesAndLinks) {
   EXPECT_EQ(sim.node_count(), 4u);
   EXPECT_EQ(sim.Links().size(), 4u);
   EXPECT_TRUE(sim.HasLink(0, 3));
+}
+
+TEST(TopologyTest, SyntheticIspIsConnectedAndSized) {
+  Topology t = MakeSyntheticIsp(12, 10, 9, 42);
+  EXPECT_EQ(t.num_nodes, 12u + 10u * 9u);
+  // Core ring + 2 chords + 10 regional rings + 2 uplinks per region.
+  EXPECT_EQ(t.links.size(), 12u + 2u + 10u * 9u + 10u * 2u);
+  EXPECT_TRUE(IsConnected(t));
+  // Dual-homing: removing any single link keeps the graph connected.
+  for (size_t drop = 0; drop < t.links.size(); ++drop) {
+    Topology cut = t;
+    cut.links.erase(cut.links.begin() + static_cast<ptrdiff_t>(drop));
+    EXPECT_TRUE(IsConnected(cut)) << "bridge at link " << drop;
+  }
+}
+
+TEST(TopologyTest, SyntheticIspIsSeedDeterministic) {
+  EXPECT_EQ(SerializeTopology(MakeSyntheticIsp(12, 10, 9, 42)),
+            SerializeTopology(MakeSyntheticIsp(12, 10, 9, 42)));
+  EXPECT_NE(SerializeTopology(MakeSyntheticIsp(12, 10, 9, 42)),
+            SerializeTopology(MakeSyntheticIsp(12, 10, 9, 43)));
+}
+
+// ---------------------------------------------------------------------------
+// File format
+
+std::string SrcPath(const std::string& rel) {
+  return std::string(NETTRAILS_SOURCE_DIR) + "/" + rel;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(TopologyFileTest, ParsesNamesLabelsCommentsAndDefaultCosts) {
+  Result<Topology> t = ParseTopology(
+      "# a comment\n"
+      "topology demo\n"
+      "nodes 3\n"
+      "name 0 alpha\n"
+      "link 0 1       # cost defaults to 1\n"
+      "link 1 2 7\n");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->name, "demo");
+  EXPECT_EQ(t->num_nodes, 3u);
+  ASSERT_EQ(t->labels.size(), 1u);
+  EXPECT_EQ(t->labels.at(0), "alpha");
+  ASSERT_EQ(t->links.size(), 2u);
+  EXPECT_EQ(t->links[0].cost, 1);
+  EXPECT_EQ(t->links[1].cost, 7);
+}
+
+TEST(TopologyFileTest, SerializationIsCanonicalAndOrderInsensitive) {
+  // Same graph, scrambled link order and flipped endpoints.
+  Result<Topology> a = ParseTopology(
+      "nodes 4\nlink 2 3 5\nlink 1 0\nlink 3 0 2\n");
+  Result<Topology> b = ParseTopology(
+      "nodes 4\nlink 0 1\nlink 0 3 2\nlink 3 2 5\n");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(SerializeTopology(*a), SerializeTopology(*b));
+  // Serialize -> parse -> serialize is the identity on canonical text.
+  Result<Topology> back = ParseTopology(SerializeTopology(*a));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(SerializeTopology(*back), SerializeTopology(*a));
+}
+
+TEST(TopologyFileTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char* text;
+    const char* want;
+  };
+  const Case cases[] = {
+      {"nodes 3\nnodes 4\n", "line 2"},
+      {"link 0 1\nnodes 3\n", "`link` before `nodes`"},
+      {"name 0 x\nnodes 3\n", "`name` before `nodes`"},
+      {"nodes 0\n", "positive"},
+      {"nodes 3\nlink 0 3\n", "out of range"},
+      {"nodes 3\nlink 1 1\n", "self-link"},
+      {"nodes 3\nlink 0 1\nlink 1 0 5\n", "duplicate link"},
+      {"nodes 3\nname 0 a\nname 0 b\n", "duplicate label"},
+      {"nodes 3\nlink 0 1 0\n", "cost"},
+      {"nodes 3\nfrobnicate\n", "unknown directive"},
+      {"topology x\n", "missing `nodes`"},
+      {"nodes 3\ntopology late\n", "precede"},
+  };
+  for (const Case& c : cases) {
+    Result<Topology> t = ParseTopology(c.text);
+    ASSERT_FALSE(t.ok()) << c.text;
+    EXPECT_NE(t.status().message().find(c.want), std::string::npos)
+        << "error for {" << c.text << "} was: " << t.status().message();
+  }
+}
+
+TEST(TopologyFileTest, LoadPrefixesErrorsWithThePath) {
+  Result<Topology> missing = LoadTopologyFile("/nonexistent/x.topo");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("/nonexistent/x.topo"),
+            std::string::npos);
+}
+
+/// Every committed corpus topology is stored canonically: loading and
+/// re-serializing reproduces the file byte for byte. This pins the corpus
+/// to the canonical form so graph-identity == byte-identity for reviewers.
+TEST(TopologyFileTest, CommittedCorpusIsCanonicalAndConnected) {
+  for (const char* name :
+       {"abilene", "att_na", "ring12", "grid3x3", "isp_synth_102"}) {
+    const std::string path =
+        SrcPath(std::string("examples/topologies/") + name + ".topo");
+    Result<Topology> t = LoadTopologyFile(path);
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_GT(t->num_nodes, 0u);
+    EXPECT_TRUE(IsConnected(*t)) << name;
+    EXPECT_EQ(SerializeTopology(*t), ReadFile(path)) << name;
+  }
+}
+
+/// The generator-exported corpus files are cross-checked against the
+/// generators: regenerating must reproduce the committed bytes.
+TEST(TopologyFileTest, GeneratorExportsMatchCommittedFiles) {
+  Topology ring = MakeRing(12, 1);
+  ring.name = "ring12";
+  EXPECT_EQ(SerializeTopology(ring),
+            ReadFile(SrcPath("examples/topologies/ring12.topo")));
+  Topology grid = MakeGrid(3, 3, 1);
+  grid.name = "grid3x3";
+  EXPECT_EQ(SerializeTopology(grid),
+            ReadFile(SrcPath("examples/topologies/grid3x3.topo")));
+  Topology isp = MakeSyntheticIsp(12, 10, 9, 42);
+  isp.name = "isp-synth-102";
+  EXPECT_EQ(SerializeTopology(isp),
+            ReadFile(SrcPath("examples/topologies/isp_synth_102.topo")));
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "src/net/topology.h"
 #include "src/provenance/rewrite.h"
+#include "src/query/query_engine.h"
 #include "src/runtime/plan.h"
 
 namespace nettrails {
@@ -243,6 +244,31 @@ TEST(PathVectorTest, ChurnRetractsAffectedPaths) {
   EXPECT_EQ(BestcostAt(*net, 0, 3), 3);
 }
 
+/// Provenance query on an SPF result: the derivation of a distance must
+/// bottom out in link base tuples only (the SPF is derived state all the
+/// way down to the flooded LSAs, which root in links).
+TEST(LinkStateTest, ProvenanceQueryExplainsSpf) {
+  Result<runtime::CompiledProgramPtr> prog =
+      runtime::Compile(LinkStateProgram());
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  net::Simulator sim;
+  net::Topology topo = net::MakeRingWithChords(5, 1, 2);
+  std::vector<std::unique_ptr<runtime::Engine>> engines =
+      MakeEngines(&sim, topo, *prog);
+  query::ProvenanceQuerier querier(&sim, EnginePtrs(engines));
+  ASSERT_TRUE(InstallLinks(topo, &engines, &sim).ok());
+
+  std::vector<Tuple> spf = engines[0]->TableContents("spf");
+  ASSERT_FALSE(spf.empty());
+  Result<query::QueryResult> r = querier.Query(spf.front());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->count, 0);
+  ASSERT_FALSE(r->leaf_tuples.empty());
+  for (const std::string& leaf : r->leaf_tuples) {
+    EXPECT_EQ(leaf.rfind("link(", 0), 0u) << "non-link leaf: " << leaf;
+  }
+}
+
 // ---------- DSR ----------
 
 TEST(DsrTest, DiscoversRouteOnDemand) {
@@ -290,6 +316,90 @@ TEST(DsrTest, RediscoveryAfterMobility) {
   std::vector<Tuple> routes = net->engines[0]->TableContents("route");
   ASSERT_EQ(routes.size(), 1u);
   EXPECT_EQ(routes[0].field(2).as_list().size(), 2u);  // direct route
+}
+
+// ---------- LINK STATE ----------
+
+int64_t SpfAt(const Net& net, NodeId x, NodeId z) {
+  for (const Tuple& t : net.engines[x]->TableContents("spf")) {
+    if (t.field(1).as_address() == z) return t.field(2).as_int();
+  }
+  return -1;
+}
+
+void ExpectSpfMatchesDijkstra(const Net& net) {
+  std::vector<std::vector<int64_t>> ref = AllPairsShortest(net.topo);
+  for (size_t x = 0; x < net.topo.num_nodes; ++x) {
+    for (size_t z = 0; z < net.topo.num_nodes; ++z) {
+      if (x == z) continue;
+      EXPECT_EQ(SpfAt(net, static_cast<NodeId>(x), static_cast<NodeId>(z)),
+                ref[x][z])
+          << "spf(" << x << "," << z << ")";
+    }
+  }
+}
+
+/// The flood invariant that makes link-state link-state: after convergence
+/// every node's database holds exactly both directions of every live link.
+void ExpectFullLsdbEverywhere(const Net& net) {
+  for (size_t n = 0; n < net.topo.num_nodes; ++n) {
+    std::set<std::tuple<NodeId, NodeId, int64_t>> db;
+    for (const Tuple& t : net.engines[n]->TableContents("lsdb")) {
+      db.insert({t.field(1).as_address(), t.field(2).as_address(),
+                 t.field(3).as_int()});
+    }
+    EXPECT_EQ(db.size(), 2 * net.topo.links.size()) << "node " << n;
+    for (const net::CostedLink& l : net.topo.links) {
+      EXPECT_TRUE(db.count({l.a, l.b, l.cost})) << "node " << n;
+      EXPECT_TRUE(db.count({l.b, l.a, l.cost})) << "node " << n;
+    }
+  }
+}
+
+class LinkStateCorrectness
+    : public ::testing::TestWithParam<MincostParam> {};
+
+TEST_P(LinkStateCorrectness, SpfMatchesDijkstraAndLsdbIsComplete) {
+  std::unique_ptr<Net> net =
+      RunProtocol(LinkStateProgram(), GetParam().topo, /*provenance=*/false);
+  ExpectFullLsdbEverywhere(*net);
+  ExpectSpfMatchesDijkstra(*net);
+}
+
+Rng g_ls_rng(0xf00d);
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, LinkStateCorrectness,
+    ::testing::Values(
+        MincostParam{"line4", net::MakeLine(4, 2)},
+        MincostParam{"ring6", net::MakeRing(6, 1)},
+        MincostParam{"ringchord8", net::MakeRingWithChords(8, 1, 3)},
+        MincostParam{"star5", net::MakeStar(5, 4)},
+        MincostParam{"grid3x3", net::MakeGrid(3, 3, 1)},
+        MincostParam{"rand10", net::MakeRandomConnected(10, 0.15,
+                                                        &g_ls_rng)}),
+    [](const ::testing::TestParamInfo<MincostParam>& info) {
+      return info.param.name;
+    });
+
+TEST(LinkStateChurnTest, ReconvergesAfterLinkFailureAndRecovery) {
+  net::Topology topo = net::MakeRing(6, 1);
+  std::unique_ptr<Net> net =
+      RunProtocol(LinkStateProgram(), topo, /*provenance=*/false);
+  ExpectSpfMatchesDijkstra(*net);
+
+  // Fail one ring link: the LSA retraction must flush it from every lsdb
+  // and the local SPFs must match Dijkstra on the remaining line.
+  ASSERT_TRUE(FailLink(0, 5, 1, &net->engines, &net->sim).ok());
+  net::Topology ring = net->topo;
+  net->topo = net::MakeLine(6, 1);
+  ExpectFullLsdbEverywhere(*net);
+  ExpectSpfMatchesDijkstra(*net);
+  net->topo = ring;
+
+  ASSERT_TRUE(RecoverLink(0, 5, 1, &net->engines, &net->sim).ok());
+  ExpectFullLsdbEverywhere(*net);
+  ExpectSpfMatchesDijkstra(*net);
 }
 
 TEST(DsrTest, WorksWithProvenance) {

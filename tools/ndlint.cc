@@ -13,7 +13,7 @@
 //   --link-pred=NAME   extra link predicate for the ND3xx pass (repeatable;
 //                      "link" is always included)
 //   --builtin NAME     lint a shipped program: mincost, pathvector, dsr,
-//                      bgp-maybe, or all
+//                      linkstate, bgp-maybe, or all
 //
 // Exit codes: 0 clean (at the chosen threshold), 1 findings, 2 usage/IO.
 #include <fstream>
@@ -103,6 +103,7 @@ const char* BuiltinProgram(const std::string& name) {
   if (name == "mincost") return nettrails::protocols::MincostProgram();
   if (name == "pathvector") return nettrails::protocols::PathVectorProgram();
   if (name == "dsr") return nettrails::protocols::DsrProgram();
+  if (name == "linkstate") return nettrails::protocols::LinkStateProgram();
   if (name == "bgp-maybe") return nettrails::protocols::BgpMaybeProgram();
   return nullptr;
 }
@@ -157,7 +158,8 @@ int main(int argc, char** argv) {
 
   for (const std::string& name : builtins) {
     if (name == "all") {
-      for (const char* p : {"mincost", "pathvector", "dsr", "bgp-maybe"}) {
+      for (const char* p :
+           {"mincost", "pathvector", "dsr", "linkstate", "bgp-maybe"}) {
         inputs.emplace_back(std::string("builtin:") + p, BuiltinProgram(p));
       }
       continue;
@@ -165,7 +167,7 @@ int main(int argc, char** argv) {
     const char* source = BuiltinProgram(name);
     if (source == nullptr) {
       std::cerr << "ndlint: unknown builtin program " << name
-                << " (try mincost, pathvector, dsr, bgp-maybe, all)\n";
+                << " (try mincost, pathvector, dsr, linkstate, bgp-maybe, all)\n";
       return 2;
     }
     inputs.emplace_back("builtin:" + name, source);
